@@ -1,0 +1,494 @@
+// Package bench holds the benchmark harness that regenerates every table
+// and figure of the paper's evaluation (DESIGN.md §3 maps each benchmark
+// to its experiment ID). Figure benchmarks run reduced-epoch versions of
+// the full experiments; `go run ./cmd/experiments -epochs 40` reproduces
+// the paper-length curves.
+package bench
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"vcdl/internal/baseline"
+	"vcdl/internal/cloud"
+	"vcdl/internal/core"
+	"vcdl/internal/data"
+	"vcdl/internal/nn"
+	"vcdl/internal/opt"
+	"vcdl/internal/ps"
+	"vcdl/internal/store"
+	"vcdl/internal/tensor"
+	"vcdl/internal/vcsim"
+	"vcdl/internal/wire"
+)
+
+// benchEpochs keeps the figure benchmarks tractable; shapes are preserved
+// because simulated time scales linearly in epochs.
+const benchEpochs = 3
+
+var (
+	setupOnce sync.Once
+	setupVal  *vcsim.PaperSetup
+	setupErr  error
+)
+
+func paperSetup(b *testing.B) *vcsim.PaperSetup {
+	b.Helper()
+	setupOnce.Do(func() {
+		setupVal, setupErr = vcsim.NewPaperSetup(1, benchEpochs)
+	})
+	if setupErr != nil {
+		b.Fatal(setupErr)
+	}
+	return setupVal
+}
+
+// BenchmarkTable1InstanceCatalog regenerates Table I and the §IV-E fleet
+// cost summary (experiment T1).
+func BenchmarkTable1InstanceCatalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := cloud.TableI()
+		if len(rows) != 5 {
+			b.Fatal("catalog incomplete")
+		}
+		fleet := append([]cloud.InstanceType{cloud.ServerInstance}, cloud.DefaultFleet(4)...)
+		std := cloud.FleetCost(fleet, false)
+		spot := cloud.FleetCost(fleet, true)
+		if i == 0 {
+			b.ReportMetric(std, "USD/h-standard")
+			b.ReportMetric(spot, "USD/h-preemptible")
+			b.ReportMetric(100*cloud.Savings(fleet), "%savings")
+		}
+	}
+}
+
+// BenchmarkFig2DistributedConfigs regenerates Figure 2 (experiment F2):
+// the four PnCnTn configurations at α = 0.95.
+func BenchmarkFig2DistributedConfigs(b *testing.B) {
+	s := paperSetup(b)
+	for i := 0; i < b.N; i++ {
+		results, err := vcsim.Fig2(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, res := range results {
+				b.Logf("%s: %.2fh final acc %.3f", res.Name, res.Hours, res.Curve.FinalValue())
+			}
+			b.ReportMetric(results[3].Hours, "hours-P5C5T2")
+		}
+	}
+}
+
+// BenchmarkFig3ServerImbalance regenerates Figure 3 (experiment F3):
+// training time vs simultaneous subtasks for P1C3, P3C3 and P5C5.
+func BenchmarkFig3ServerImbalance(b *testing.B) {
+	s := paperSetup(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := vcsim.Fig3(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range rows {
+				b.Logf("%s: T2=%.2fh T4=%.2fh T8=%.2fh", row.Label, row.Hours[0], row.Hours[1], row.Hours[2])
+			}
+			// The paper's headline inversion: P1C3 dips at T4, rises at T8.
+			p1 := rows[0]
+			if !(p1.Hours[1] < p1.Hours[0] && p1.Hours[2] > p1.Hours[1]) {
+				b.Fatalf("P1C3 shape broken: %v", p1.Hours)
+			}
+		}
+	}
+}
+
+// BenchmarkFig4AlphaSweep regenerates Figure 4 (experiment F4): the
+// VC-ASGD α sweep on P3C3T4, error bars included.
+func BenchmarkFig4AlphaSweep(b *testing.B) {
+	s := paperSetup(b)
+	for i := 0; i < b.N; i++ {
+		results, err := vcsim.Fig4(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, res := range results {
+				last, _ := res.Curve.Last()
+				b.Logf("%s: final acc %.3f spread [%.3f,%.3f]", res.Name, last.Value, last.Lo, last.Hi)
+			}
+		}
+	}
+}
+
+// BenchmarkFig5ZoomWindows regenerates Figure 5 (experiment F5) by
+// re-slicing the Figure 4 curves into the two zoom windows.
+func BenchmarkFig5ZoomWindows(b *testing.B) {
+	s := paperSetup(b)
+	results, err := vcsim.Fig4(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, res := range results {
+			lo := vcsim.ZoomWindow(res.Curve, 0.45*res.Hours, 0.72*res.Hours)
+			hi := vcsim.ZoomWindow(res.Curve, 0.72*res.Hours, res.Hours)
+			if len(lo.Points)+len(hi.Points) == 0 {
+				b.Fatal("zoom windows empty")
+			}
+		}
+	}
+}
+
+// BenchmarkFig6DistributedVsSingle regenerates Figure 6 (experiment F6):
+// distributed P5C5T2 with Var α against serial single-instance training.
+func BenchmarkFig6DistributedVsSingle(b *testing.B) {
+	s := paperSetup(b)
+	for i := 0; i < b.N; i++ {
+		res, err := vcsim.Fig6(s, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("distributed val %.3f / test %.3f; serial val %.3f / test %.3f",
+				res.DistVal.FinalValue(), res.DistTest.FinalValue(),
+				res.SerialVal.FinalValue(), res.SerialTest.FinalValue())
+			// The paper's shape: serial synchronous training is ahead of
+			// distributed at equal virtual time.
+			if res.SerialVal.FinalValue() <= res.DistVal.FinalValue() {
+				b.Fatal("serial baseline should lead the distributed curve")
+			}
+		}
+	}
+}
+
+// BenchmarkStoreEventualVsStrong regenerates the §IV-D comparison
+// (experiment D1): per-update cost of the two consistency models, both
+// measured live on this machine and modeled at the paper's 21.2 MB blob.
+func BenchmarkStoreEventualVsStrong(b *testing.B) {
+	blob := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(blob)
+	b.Run("eventual", func(b *testing.B) {
+		st := store.NewEventual(3, 4, 1)
+		st.Set("k", blob)
+		b.SetBytes(int64(len(blob)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := st.Update("k", func(old []byte) []byte { return old }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("strong", func(b *testing.B) {
+		st := store.NewStrong()
+		st.Set("k", blob)
+		b.SetBytes(int64(len(blob)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := st.Update("k", func(old []byte) []byte { return old }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("modeled-paper-scale", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := vcsim.CompareStores()
+			if i == 0 {
+				b.ReportMetric(c.EventualUpdateSec, "s/update-eventual")
+				b.ReportMetric(c.StrongUpdateSec, "s/update-strong")
+				b.ReportMetric(c.Ratio, "ratio")
+				b.ReportMetric(c.CIFAR10OverheadMin, "min-cifar10-overhead")
+				b.ReportMetric(c.ImageNetOverheadH, "h-imagenet-overhead")
+			}
+		}
+	})
+}
+
+// BenchmarkPreemptibleCostModel regenerates the §IV-E analysis
+// (experiment E1): the binomial expected-delay model at the paper's
+// parameters plus a Monte Carlo check.
+func BenchmarkPreemptibleCostModel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		m := cloud.PreemptModel{P: 0.05, TaskExecSeconds: 144, TimeoutSeconds: 300}
+		inc5 := m.ExpectedIncreaseSeconds(2000, 5, 2)
+		m.P = 0.20
+		inc20 := m.ExpectedIncreaseSeconds(2000, 5, 2)
+		mc := m.SampleIncreaseSeconds(2000, 5, 2, rng)
+		_ = mc
+		if i == 0 {
+			b.ReportMetric(inc5/60, "min-increase-p5%")
+			b.ReportMetric(inc20/60, "min-increase-p20%")
+		}
+	}
+}
+
+// BenchmarkPreemptionEndToEnd runs the simulator with preemption enabled
+// (experiment E1, simulated half): same fleet with and without reclaims.
+func BenchmarkPreemptionEndToEnd(b *testing.B) {
+	s := paperSetup(b)
+	for i := 0; i < b.N; i++ {
+		clean := s.Config(5, 5, 2, opt.Constant{V: 0.95})
+		clean.TimeoutSeconds = 300
+		base, err := vcsim.Run(clean)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rough := clean
+		rough.PreemptProb = 0.05
+		pre, err := vcsim.Run(rough)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("clean %.2fh, preempted %.2fh (+%.0f min, %d timeouts)",
+				base.Hours, pre.Hours, (pre.Hours-base.Hours)*60, pre.Timeouts)
+			if pre.Hours <= base.Hours {
+				b.Fatal("preemption should cost time")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationUpdateSchemes compares VC-ASGD against Downpour-style
+// and EASGD-style server updates under preemption (experiment A1).
+func BenchmarkAblationUpdateSchemes(b *testing.B) {
+	s := paperSetup(b)
+	for i := 0; i < b.N; i++ {
+		for _, rule := range vcsim.AblationRules(s.Job.Subtasks) {
+			cfg := s.Config(3, 3, 4, s.Job.Alpha)
+			cfg.Rule = rule
+			cfg.PreemptProb = 0.05
+			cfg.TimeoutSeconds = 600
+			res, err := vcsim.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Logf("%s: final acc %.3f in %.2fh (%d timeouts)",
+					rule.Name(), res.Curve.FinalValue(), res.Hours, res.Timeouts)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationStickyFiles measures the bytes saved by BOINC's
+// sticky-file caching (experiment A2).
+func BenchmarkAblationStickyFiles(b *testing.B) {
+	s := paperSetup(b)
+	for i := 0; i < b.N; i++ {
+		on := s.Config(3, 3, 4, s.Job.Alpha)
+		resOn, err := vcsim.Run(on)
+		if err != nil {
+			b.Fatal(err)
+		}
+		off := on
+		off.DisableSticky = true
+		resOff, err := vcsim.Run(off)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			ratio := float64(resOff.BytesDownloaded) / float64(resOn.BytesDownloaded)
+			b.Logf("sticky on %.1f MB, off %.1f MB (%.1fx)",
+				float64(resOn.BytesDownloaded)/1e6, float64(resOff.BytesDownloaded)/1e6, ratio)
+			b.ReportMetric(ratio, "download-inflation")
+			if ratio <= 1 {
+				b.Fatal("sticky files should reduce downloads")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationWarmstart compares cold-started VC-ASGD against the
+// Downpour-style serial warmstart (§II-B) at equal virtual time budgets.
+func BenchmarkAblationWarmstart(b *testing.B) {
+	s := paperSetup(b)
+	for i := 0; i < b.N; i++ {
+		cold := s.Config(3, 3, 4, s.Job.Alpha)
+		rCold, err := vcsim.Run(cold)
+		if err != nil {
+			b.Fatal(err)
+		}
+		warmJob := s.Job
+		warmJob.WarmstartEpochs = 1
+		warm := vcsim.DefaultConfig(warmJob, s.Corpus, 3, 3, 4)
+		rWarm, err := vcsim.Run(warm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("cold: epoch1 %.3f final %.3f in %.2fh; warm: epoch1 %.3f final %.3f in %.2fh",
+				rCold.Curve.Points[0].Value, rCold.Curve.FinalValue(), rCold.Hours,
+				rWarm.Curve.Points[0].Value, rWarm.Curve.FinalValue(), rWarm.Hours)
+			if rWarm.Curve.Points[0].Value <= rCold.Curve.Points[0].Value {
+				b.Fatal("warmstart should lift early accuracy")
+			}
+		}
+	}
+}
+
+// BenchmarkExtensionAutoscalePS measures the §III-D dynamic PS pool
+// (experiment X1): fixed P1 vs autoscaled under a T8 flood.
+func BenchmarkExtensionAutoscalePS(b *testing.B) {
+	s := paperSetup(b)
+	for i := 0; i < b.N; i++ {
+		fixed := s.Config(1, 3, 8, s.Job.Alpha)
+		rFixed, err := vcsim.Run(fixed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		auto := fixed
+		auto.AutoScalePS = true
+		auto.MaxPServers = 8
+		rAuto, err := vcsim.Run(auto)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("fixed P1: %.2fh; autoscaled: %.2fh (peak %d PS, %d scale-ups)",
+				rFixed.Hours, rAuto.Hours, rAuto.MaxPSUsed, rAuto.PSScaleUps)
+			b.ReportMetric(rFixed.Hours-rAuto.Hours, "hours-saved")
+		}
+	}
+}
+
+// --- Microbenchmarks for the numeric substrate ---
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(128, 128)
+	y := tensor.New(128, 128)
+	x.RandNormal(0, 1, rng)
+	y.RandNormal(0, 1, rng)
+	b.SetBytes(3 * 128 * 128 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, y)
+	}
+}
+
+func BenchmarkTrainBatchSmallCNN(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	net := nn.NewNetwork(nn.SmallCNNBuilder(3, 8, 8, 10))
+	net.Init(rng)
+	x := tensor.New(25, 3, 8, 8)
+	x.RandNormal(0, 1, rng)
+	labels := make([]int, 25)
+	for i := range labels {
+		labels[i] = rng.Intn(10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrads()
+		net.TrainBatch(x, labels)
+	}
+}
+
+func BenchmarkTrainBatchMiniResNet(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	net := nn.NewNetwork(nn.MiniResNetV2Builder(3, 8, 8, 8, 1, 10))
+	net.Init(rng)
+	x := tensor.New(25, 3, 8, 8)
+	x.RandNormal(0, 1, rng)
+	labels := make([]int, 25)
+	for i := range labels {
+		labels[i] = rng.Intn(10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrads()
+		net.TrainBatch(x, labels)
+	}
+}
+
+func BenchmarkVCASGDAssimilate(b *testing.B) {
+	srv := ps.NewServer(0, store.NewStrong(), opt.Constant{V: 0.95})
+	params := make([]float64, 100_000)
+	srv.Publish(params)
+	client := make([]float64, 100_000)
+	b.SetBytes(8 * 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := srv.Assimilate(client, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParamCodecCompressed(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	params := make([]float64, 100_000)
+	for i := range params {
+		params[i] = rng.NormFloat64()
+	}
+	b.SetBytes(int64(wire.RawSize(len(params))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob, err := wire.EncodeParams(params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.DecodeParams(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShardEncodeDecode(b *testing.B) {
+	dc := data.DefaultSynthConfig()
+	dc.NTrain, dc.NVal, dc.NTest = 100, 10, 10
+	corpus, err := data.GenerateSynth(dc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob, err := corpus.Train.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := data.Decode(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecutorSubtask(b *testing.B) {
+	dc := data.DefaultSynthConfig()
+	dc.NTrain, dc.NVal, dc.NTest = 100, 10, 10
+	corpus, err := data.GenerateSynth(dc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultJobConfig(nn.MiniResNetV2Builder(3, 8, 8, 8, 1, 10))
+	cfg.BatchSize = 25
+	exec := core.NewExecutor(cfg)
+	net := nn.NewNetwork(cfg.Builder)
+	net.Init(rand.New(rand.NewSource(5)))
+	params := net.Parameters()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exec.Run(params, corpus.Train, int64(i))
+	}
+}
+
+// BenchmarkSerialBaselineEpoch measures the single-instance trainer's
+// per-epoch cost (experiment F6's baseline).
+func BenchmarkSerialBaselineEpoch(b *testing.B) {
+	dc := data.DefaultSynthConfig()
+	dc.NTrain, dc.NVal, dc.NTest = 500, 100, 100
+	corpus, err := data.GenerateSynth(dc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultJobConfig(nn.SmallCNNBuilder(3, 8, 8, 10))
+	cfg.BatchSize = 25
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.TrainSerial(cfg, corpus, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Command vcdl-client runs a volunteer client daemon against a
+// vcdl-server: it polls the scheduler for training subtasks, downloads
+// model/parameter/data files (with a sticky cache), trains locally and
+// uploads updated parameters. Several clients may run concurrently; each
+// corresponds to one computing instance in the paper's fleet.
+//
+//	vcdl-client -server http://localhost:8080 -id c1 -slots 2
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vcdl/internal/boinc"
+	"vcdl/internal/core"
+	"vcdl/internal/data"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "vcdl-server base URL")
+	id := flag.String("id", "client-1", "client identifier")
+	slots := flag.Int("slots", 2, "simultaneous subtasks (the paper's Tn)")
+	poll := flag.Duration("poll", 250*time.Millisecond, "idle poll interval")
+	runFor := flag.Duration("run-for", 0, "exit after this duration (0 = until interrupted)")
+	flag.Parse()
+
+	// The client-side job config must match the server's training
+	// hyperparameters; the architecture itself ships in model.json.
+	dc := data.DefaultSynthConfig()
+	spec := core.SmallCNNSpec(dc.C, dc.H, dc.W, dc.Classes)
+	builder, err := spec.Builder()
+	if err != nil {
+		log.Fatalf("model spec: %v", err)
+	}
+	cfg := core.DefaultJobConfig(builder)
+	cfg.LocalPasses = 3
+	cfg.LearningRate = 0.01
+
+	cl := boinc.NewClient(*id, *server, *slots, core.NewTrainingApp(cfg))
+	cl.Poll = *poll
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+	if *runFor > 0 {
+		ctx2, cancel2 := context.WithTimeout(ctx, *runFor)
+		defer cancel2()
+		ctx = ctx2
+	}
+
+	log.Printf("vcdl-client %s polling %s with %d slots", *id, *server, *slots)
+	err = cl.Loop(ctx)
+	fmt.Printf("client %s exiting (%v): %d subtasks completed, %d failed, %d downloads, %d cache hits\n",
+		*id, err, cl.Completed, cl.Failed, cl.Downloads, cl.CacheHits)
+}

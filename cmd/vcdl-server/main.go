@@ -1,0 +1,112 @@
+// Command vcdl-server runs the server half of a real distributed VCDL
+// training job: the BOINC-style project server (scheduler, file
+// distribution, upload handler), the VC-ASGD parameter servers and the
+// work generator. Point one or more vcdl-client processes at it:
+//
+//	vcdl-server -addr :8080 -subtasks 20 -epochs 5 -pservers 2
+//	vcdl-client -server http://localhost:8080 -id c1 -slots 2
+//
+// The server prints the per-epoch validation accuracy as results arrive
+// and exits when the stopping criterion fires.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"vcdl/internal/core"
+	"vcdl/internal/data"
+	"vcdl/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	subtasks := flag.Int("subtasks", 20, "training subtasks per epoch")
+	epochs := flag.Int("epochs", 5, "maximum training epochs")
+	pservers := flag.Int("pservers", 2, "parameter servers sharing the store")
+	target := flag.Float64("target", 0, "stop when epoch validation accuracy reaches this (0 = run all epochs)")
+	strong := flag.Bool("strong-store", false, "use the strong-consistency store instead of eventual")
+	seed := flag.Int64("seed", 1, "seed for data generation and initialization")
+	checkpoint := flag.String("checkpoint", "", "write the final parameter vector to this file")
+	flag.Parse()
+
+	dc := data.DefaultSynthConfig()
+	dc.Seed = *seed
+	corpus, err := data.GenerateSynth(dc)
+	if err != nil {
+		log.Fatalf("generate corpus: %v", err)
+	}
+
+	spec := core.SmallCNNSpec(dc.C, dc.H, dc.W, dc.Classes)
+	builder, err := spec.Builder()
+	if err != nil {
+		log.Fatalf("model spec: %v", err)
+	}
+	cfg := core.DefaultJobConfig(builder)
+	cfg.Subtasks = *subtasks
+	cfg.MaxEpochs = *epochs
+	cfg.TargetAccuracy = *target
+	cfg.LocalPasses = 3
+	cfg.LearningRate = 0.01
+	cfg.ValSubset = 200
+	cfg.Seed = *seed
+
+	var st store.Store = store.NewEventual(3, 4, *seed)
+	if *strong {
+		st = store.NewStrong()
+	}
+	job, err := core.NewDistributed(cfg, spec, corpus, *pservers, st)
+	if err != nil {
+		log.Fatalf("create job: %v", err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: job.Server()}
+	go func() {
+		log.Printf("vcdl-server listening on %s (%d subtasks/epoch, %d epochs, %d parameter servers, %s store)",
+			*addr, *subtasks, *epochs, *pservers, st.Name())
+		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatalf("listen: %v", err)
+		}
+	}()
+
+	// Report progress until training completes.
+	seen := 0
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-job.Done():
+			res, err := job.Result()
+			if err != nil {
+				log.Fatalf("job failed: %v", err)
+			}
+			reportNew(&seen, res)
+			fmt.Printf("training finished: %d epochs, final accuracy %.3f (stopped early: %v)\n",
+				len(res.Curve.Points), res.Curve.FinalValue(), res.Stopped)
+			if *checkpoint != "" && len(res.FinalParams) > 0 {
+				if err := core.SaveParams(*checkpoint, res.FinalParams); err != nil {
+					log.Printf("checkpoint: %v", err)
+				} else {
+					log.Printf("checkpoint written to %s", *checkpoint)
+				}
+			}
+			srv.Close()
+			return
+		case <-tick.C:
+			res, err := job.Result()
+			if err == nil {
+				reportNew(&seen, res)
+			}
+		}
+	}
+}
+
+func reportNew(seen *int, res core.RunResult) {
+	for _, p := range res.Curve.Points[*seen:] {
+		fmt.Printf("epoch %2d  validation accuracy %.3f  [%.3f, %.3f]\n", p.Epoch, p.Value, p.Lo, p.Hi)
+		*seen++
+	}
+}

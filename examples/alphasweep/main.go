@@ -1,0 +1,55 @@
+// Alpha sweep: the paper's Figure 4 in miniature.
+//
+// VC-ASGD's single hyperparameter α controls how strongly the server
+// parameter copy absorbs each client update (Ws ← α·Ws + (1−α)·Wc). This
+// example sweeps the paper's four settings on a short P3C3T4 run and
+// prints the resulting accuracy trajectories side by side.
+//
+//	go run ./examples/alphasweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vcdl/internal/metrics"
+	"vcdl/internal/vcsim"
+)
+
+func main() {
+	setup, err := vcsim.NewPaperSetup(1, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type outcome struct {
+		label string
+		curve metrics.Series
+	}
+	var outs []outcome
+	for _, v := range vcsim.Fig4Variants() {
+		res, err := vcsim.Run(setup.Config(3, 3, 4, v.Schedule))
+		if err != nil {
+			log.Fatal(err)
+		}
+		outs = append(outs, outcome{label: v.Label, curve: res.Curve})
+	}
+
+	fmt.Print("epoch ")
+	for _, o := range outs {
+		fmt.Printf("  α=%-6s", o.label)
+	}
+	fmt.Println()
+	for i := 0; i < len(outs[0].curve.Points); i++ {
+		fmt.Printf("%4d  ", i+1)
+		for _, o := range outs {
+			fmt.Printf("  %.3f   ", o.curve.Points[i].Value)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nreading the sweep (cf. paper §IV-C):")
+	fmt.Println("  - small α (0.70) learns fastest in the first epochs (server absorbs 30% per update)")
+	fmt.Println("  - α = 0.95 overtakes later as client over-fitting to shards is damped")
+	fmt.Println("  - α = 0.999 barely moves: 0.1% absorption is too slow for a VC setting")
+	fmt.Println("  - Var (αe = e/(e+1)) starts absorbent and anneals, the paper's best setting")
+}

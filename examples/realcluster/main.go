@@ -1,0 +1,112 @@
+// Real cluster on localhost: the networked deployment path.
+//
+// Unlike the simulator examples, everything here is real: an HTTP BOINC-
+// style server with scheduler/download/upload endpoints, three client
+// daemons polling it over TCP, compressed parameter and shard files on the
+// wire, a flaky client whose failures exercise timeout-based reissue, and
+// VC-ASGD assimilation on the server.
+//
+//	go run ./examples/realcluster
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"vcdl/internal/boinc"
+	"vcdl/internal/core"
+	"vcdl/internal/data"
+	"vcdl/internal/store"
+)
+
+func main() {
+	// Workload and model: the architecture ships to clients as model.json.
+	dc := data.DefaultSynthConfig()
+	dc.NTrain, dc.NVal, dc.NTest = 800, 250, 250
+	dc.NoiseStd = 0.5
+	corpus, err := data.GenerateSynth(dc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := core.SmallCNNSpec(dc.C, dc.H, dc.W, dc.Classes)
+	builder, err := spec.Builder()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultJobConfig(builder)
+	cfg.Subtasks = 8
+	cfg.MaxEpochs = 3
+	cfg.LocalPasses = 3
+	cfg.LearningRate = 0.01
+	cfg.ValSubset = 150
+
+	// Server side: work generator + scheduler + VC-ASGD parameter servers
+	// over an eventual-consistency store.
+	job, err := core.NewDistributed(cfg, spec, corpus, 2, store.NewEventual(2, 2, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(job.Server())
+	defer ts.Close()
+	fmt.Printf("BOINC-style server listening at %s\n", ts.URL)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Client side: two healthy daemons plus one that fails its first two
+	// subtasks (a "preempted" volunteer) — the scheduler reissues its work.
+	var failures sync.Mutex
+	remaining := 2
+	healthy := core.NewTrainingApp(cfg)
+	flaky := boinc.AppFunc(func(asn boinc.Assignment, inputs map[string][]byte) ([]byte, error) {
+		failures.Lock()
+		if remaining > 0 {
+			remaining--
+			failures.Unlock()
+			return nil, errors.New("instance reclaimed")
+		}
+		failures.Unlock()
+		return healthy.Run(asn, inputs)
+	})
+
+	var wg sync.WaitGroup
+	clients := []*boinc.Client{
+		boinc.NewClient("steady-1", ts.URL, 2, healthy),
+		boinc.NewClient("steady-2", ts.URL, 2, healthy),
+		boinc.NewClient("flaky-1", ts.URL, 1, flaky),
+	}
+	for _, cl := range clients {
+		cl.Poll = 10 * time.Millisecond
+		wg.Add(1)
+		go func(cl *boinc.Client) {
+			defer wg.Done()
+			cl.Loop(ctx)
+		}(cl)
+	}
+
+	<-job.Done()
+	cancel()
+	wg.Wait()
+
+	res, err := job.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nepoch  val-accuracy")
+	for _, p := range res.Curve.Points {
+		fmt.Printf("%4d      %.3f\n", p.Epoch, p.Value)
+	}
+	job.Server().Scheduler(func(s *boinc.Scheduler) {
+		fmt.Printf("\nscheduler: %d issued, %d reissued after failures, %d completions\n",
+			s.Issued, s.Reissued, s.Completions)
+	})
+	for _, cl := range clients {
+		fmt.Printf("client %-9s completed=%d failed=%d downloads=%d cache-hits=%d\n",
+			cl.ID, cl.Completed, cl.Failed, cl.Downloads, cl.CacheHits)
+	}
+}

@@ -1,0 +1,179 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"vcdl/internal/core"
+	"vcdl/internal/data"
+	"vcdl/internal/nn"
+	"vcdl/internal/opt"
+)
+
+func testCorpus(t *testing.T) *data.Corpus {
+	t.Helper()
+	cfg := data.DefaultSynthConfig()
+	cfg.NTrain, cfg.NVal, cfg.NTest = 400, 150, 150
+	cfg.NoiseStd = 0.4
+	c, err := data.GenerateSynth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testJob() core.JobConfig {
+	cfg := core.DefaultJobConfig(nn.SmallCNNBuilder(3, 8, 8, 10))
+	cfg.Subtasks = 8
+	cfg.BatchSize = 25
+	cfg.LearningRate = 0.01
+	return cfg
+}
+
+func TestTrainSerialLearns(t *testing.T) {
+	corpus := testCorpus(t)
+	res, err := TrainSerial(testJob(), corpus, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ValAcc) != 5 || len(res.TestAcc) != 5 || len(res.ValLoss) != 5 {
+		t.Fatalf("curve lengths %d/%d/%d", len(res.ValAcc), len(res.TestAcc), len(res.ValLoss))
+	}
+	if res.ValAcc[4] < 0.5 {
+		t.Fatalf("serial baseline failed to learn: %v", res.ValAcc)
+	}
+	if res.ValAcc[4] <= res.ValAcc[0] {
+		t.Fatalf("no improvement: %v", res.ValAcc)
+	}
+	if len(res.FinalParams) == 0 {
+		t.Fatal("no final params")
+	}
+	for _, v := range res.FinalParams {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite params")
+		}
+	}
+}
+
+func TestTrainSerialDeterministic(t *testing.T) {
+	corpus := testCorpus(t)
+	a, err := TrainSerial(testJob(), corpus, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainSerial(testJob(), corpus, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.ValAcc {
+		if a.ValAcc[i] != b.ValAcc[i] {
+			t.Fatal("serial training not deterministic")
+		}
+	}
+}
+
+func TestTrainSerialInvalidConfig(t *testing.T) {
+	corpus := testCorpus(t)
+	cfg := testJob()
+	cfg.BatchSize = 0
+	if _, err := TrainSerial(cfg, corpus, 2); err == nil {
+		t.Fatal("invalid config must error")
+	}
+}
+
+func TestVCASGDRuleMatchesEquationOne(t *testing.T) {
+	rule := VCASGD{Alpha: opt.Constant{V: 0.75}}
+	if rule.Synchronous() {
+		t.Fatal("VC-ASGD must be asynchronous")
+	}
+	server := []float64{4, 8}
+	rule.Merge(server, []float64{0, 4}, nil, 1)
+	if server[0] != 3 || server[1] != 7 {
+		t.Fatalf("server = %v", server)
+	}
+}
+
+func TestVCASGDVarSchedule(t *testing.T) {
+	rule := VCASGD{Alpha: opt.EpochFraction{}}
+	server := []float64{0}
+	rule.Merge(server, []float64{10}, nil, 1) // α=0.5
+	if server[0] != 5 {
+		t.Fatalf("epoch 1: %v", server[0])
+	}
+}
+
+func TestDownpourAddsDelta(t *testing.T) {
+	rule := Downpour{}
+	if rule.Synchronous() {
+		t.Fatal("Downpour must be asynchronous")
+	}
+	server := []float64{10}
+	rule.Merge(server, []float64{12}, []float64{11}, 1)
+	// delta = 12-11 = 1 → server 11.
+	if server[0] != 11 {
+		t.Fatalf("server = %v", server[0])
+	}
+}
+
+func TestDownpourScale(t *testing.T) {
+	rule := Downpour{Scale: 0.5}
+	server := []float64{0}
+	rule.Merge(server, []float64{4}, []float64{0}, 1)
+	if server[0] != 2 {
+		t.Fatalf("server = %v", server[0])
+	}
+}
+
+// TestDownpourOvershoot demonstrates the failure mode the paper cites: 50
+// clients all pushing the same delta moves the server 50× too far.
+func TestDownpourOvershoot(t *testing.T) {
+	rule := Downpour{}
+	server := []float64{0}
+	snapshot := []float64{0}
+	for i := 0; i < 50; i++ {
+		rule.Merge(server, []float64{1}, snapshot, 1) // each client found optimum at 1
+	}
+	if server[0] != 50 {
+		t.Fatalf("server = %v, want the 50x overshoot", server[0])
+	}
+}
+
+func TestEASGDIsSynchronous(t *testing.T) {
+	rule := EASGD{Beta: 0.01}
+	if !rule.Synchronous() {
+		t.Fatal("EASGD must be synchronous")
+	}
+}
+
+func TestEASGDMergeAll(t *testing.T) {
+	rule := EASGD{Beta: 0.1}
+	server := []float64{0}
+	clients := [][]float64{{1}, {2}, {3}}
+	rule.MergeAll(server, clients, nil, 1)
+	// force = (1-0)+(2-0)+(3-0) = 6 → server = 0.6.
+	if math.Abs(server[0]-0.6) > 1e-12 {
+		t.Fatalf("server = %v", server[0])
+	}
+}
+
+func TestEASGDEmptyRound(t *testing.T) {
+	rule := EASGD{Beta: 0.1}
+	server := []float64{5}
+	rule.MergeAll(server, nil, nil, 1)
+	if server[0] != 5 {
+		t.Fatal("empty round must be a no-op")
+	}
+}
+
+func TestRuleNames(t *testing.T) {
+	names := []string{
+		VCASGD{Alpha: opt.Constant{V: 0.95}}.Name(),
+		Downpour{}.Name(),
+		EASGD{Beta: 0.001}.Name(),
+	}
+	for _, n := range names {
+		if n == "" {
+			t.Fatal("empty rule name")
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package baseline
+
+import (
+	"fmt"
+
+	"vcdl/internal/opt"
+)
+
+// UpdateRule abstracts the server-side parameter merge so the simulator
+// can swap VC-ASGD for the alternative schemes the paper discusses and
+// rejects for VC environments (§III-C). All rules operate on flat
+// parameter vectors.
+type UpdateRule interface {
+	// Name identifies the rule in reports.
+	Name() string
+	// Synchronous reports whether the rule needs all subtask results of
+	// an epoch before merging (EASGD-style); asynchronous rules merge
+	// each result on arrival.
+	Synchronous() bool
+	// Merge folds one client result into server (in place). snapshot is
+	// the parameter copy the client started from (the epoch snapshot).
+	Merge(server, client, snapshot []float64, epoch int)
+	// MergeAll folds a full epoch of results at once; only called when
+	// Synchronous() is true.
+	MergeAll(server []float64, clients [][]float64, snapshot []float64, epoch int)
+}
+
+// VCASGD is the paper's rule: Ws ← α·Ws + (1−α)·Wc per arriving result.
+type VCASGD struct {
+	Alpha opt.Schedule
+}
+
+// Name implements UpdateRule.
+func (v VCASGD) Name() string { return fmt.Sprintf("vc-asgd(%s)", v.Alpha.Name()) }
+
+// Synchronous implements UpdateRule.
+func (VCASGD) Synchronous() bool { return false }
+
+// Merge implements UpdateRule.
+func (v VCASGD) Merge(server, client, snapshot []float64, epoch int) {
+	a := v.Alpha.At(epoch)
+	for i := range server {
+		server[i] = a*server[i] + (1-a)*client[i]
+	}
+}
+
+// MergeAll implements UpdateRule (unused; VC-ASGD is asynchronous).
+func (v VCASGD) MergeAll(server []float64, clients [][]float64, snapshot []float64, epoch int) {
+	for _, c := range clients {
+		v.Merge(server, c, snapshot, epoch)
+	}
+}
+
+// Downpour approximates Downpour SGD's gradient pushing: each client sends
+// the delta it accumulated locally and the server adds it directly,
+// Ws ← Ws + (Wc − Wsnapshot). With many subtasks per epoch the summed
+// deltas overshoot — one reason the paper declines to use it as-is in a VC
+// setting.
+type Downpour struct {
+	// Scale dampens the applied delta (1 = raw Downpour).
+	Scale float64
+}
+
+// Name implements UpdateRule.
+func (d Downpour) Name() string { return "downpour" }
+
+// Synchronous implements UpdateRule.
+func (Downpour) Synchronous() bool { return false }
+
+// Merge implements UpdateRule.
+func (d Downpour) Merge(server, client, snapshot []float64, epoch int) {
+	s := d.Scale
+	if s == 0 {
+		s = 1
+	}
+	for i := range server {
+		server[i] += s * (client[i] - snapshot[i])
+	}
+}
+
+// MergeAll implements UpdateRule.
+func (d Downpour) MergeAll(server []float64, clients [][]float64, snapshot []float64, epoch int) {
+	for _, c := range clients {
+		d.Merge(server, c, snapshot, epoch)
+	}
+}
+
+// EASGD approximates elastic-averaging SGD's center update with moving
+// rate β: once all nt results of a round are in,
+// Ws ← Ws + β·Σ_i (Wc_i − Ws). It requires updates from all clients —
+// the fault-tolerance problem the paper calls out: a single lost client
+// stalls the round.
+type EASGD struct {
+	Beta float64
+}
+
+// Name implements UpdateRule.
+func (e EASGD) Name() string { return fmt.Sprintf("easgd(beta=%g)", e.Beta) }
+
+// Synchronous implements UpdateRule.
+func (EASGD) Synchronous() bool { return true }
+
+// Merge implements UpdateRule: EASGD cannot merge singletons; it treats an
+// arriving result as a one-element round (used only if misconfigured).
+func (e EASGD) Merge(server, client, snapshot []float64, epoch int) {
+	e.MergeAll(server, [][]float64{client}, snapshot, epoch)
+}
+
+// MergeAll implements UpdateRule.
+func (e EASGD) MergeAll(server []float64, clients [][]float64, snapshot []float64, epoch int) {
+	if len(clients) == 0 {
+		return
+	}
+	for i := range server {
+		var force float64
+		for _, c := range clients {
+			force += c[i] - server[i]
+		}
+		server[i] += e.Beta * force
+	}
+}

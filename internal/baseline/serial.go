@@ -1,0 +1,65 @@
+// Package baseline implements the comparison points of the paper's
+// evaluation: single-instance serial synchronous training (the
+// "best possible performance baseline" of Figure 6) and the alternative
+// asynchronous parameter-update rules discussed in §II-B/§III-C
+// (Downpour-style gradient pushing and EASGD-style elastic averaging),
+// used by the ablation benchmarks.
+package baseline
+
+import (
+	"math/rand"
+
+	"vcdl/internal/core"
+	"vcdl/internal/data"
+	"vcdl/internal/nn"
+	"vcdl/internal/opt"
+)
+
+// SerialResult is the outcome of a single-instance training run.
+type SerialResult struct {
+	// ValAcc and TestAcc hold per-epoch accuracies (index 0 = epoch 1).
+	ValAcc, TestAcc []float64
+	// ValLoss holds per-epoch validation losses.
+	ValLoss []float64
+	// FinalParams is the trained parameter vector.
+	FinalParams []float64
+}
+
+// TrainSerial runs the paper's single-instance baseline: plain synchronous
+// Adam over the full training set, evaluating validation and test accuracy
+// after every epoch. It is deterministic for a given cfg.Seed.
+func TrainSerial(cfg core.JobConfig, corpus *data.Corpus, epochs int) (*SerialResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if epochs < 1 {
+		epochs = cfg.MaxEpochs
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net := nn.NewNetwork(cfg.Builder)
+	net.Init(rng)
+	optimizer := opt.NewAdam(cfg.LearningRate)
+	train := corpus.Train.Subset(0, corpus.Train.N())
+
+	res := &SerialResult{}
+	for e := 1; e <= epochs; e++ {
+		train.Shuffle(rng)
+		for start := 0; start < train.N(); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > train.N() {
+				end = train.N()
+			}
+			x, labels := train.Batch(start, end)
+			net.ZeroGrads()
+			net.TrainBatch(x, labels)
+			optimizer.Step(net.ParamTensors(), net.GradTensors())
+		}
+		vLoss, vAcc := net.Evaluate(corpus.Val.X, corpus.Val.Labels, cfg.BatchSize*4)
+		_, tAcc := net.Evaluate(corpus.Test.X, corpus.Test.Labels, cfg.BatchSize*4)
+		res.ValLoss = append(res.ValLoss, vLoss)
+		res.ValAcc = append(res.ValAcc, vAcc)
+		res.TestAcc = append(res.TestAcc, tAcc)
+	}
+	res.FinalParams = net.Parameters()
+	return res, nil
+}

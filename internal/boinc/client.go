@@ -1,0 +1,292 @@
+package boinc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// App is the application a client runs for each assignment — VCDL's
+// TensorFlow stand-in. Inputs are the downloaded file contents keyed by
+// file name; the returned output is uploaded as the result.
+type App interface {
+	Run(asn Assignment, inputs map[string][]byte) (output []byte, err error)
+}
+
+// AppFunc adapts a function to the App interface.
+type AppFunc func(asn Assignment, inputs map[string][]byte) ([]byte, error)
+
+// Run implements App.
+func (f AppFunc) Run(asn Assignment, inputs map[string][]byte) ([]byte, error) {
+	return f(asn, inputs)
+}
+
+// Client is the BOINC-style client daemon: it polls the scheduler for
+// work, downloads input files (with a sticky-file cache), runs the
+// application and uploads results. Slots bounds how many assignments run
+// concurrently — the paper's Tn, "maximum number of subtasks that can run
+// simultaneously on a client".
+type Client struct {
+	ID        string
+	ServerURL string
+	Slots     int
+	App       App
+	// Poll is the idle wait between scheduler requests.
+	Poll time.Duration
+
+	httpc *http.Client
+
+	mu    sync.Mutex
+	cache map[string][]byte
+	apps  map[string]App
+
+	// Counters for tests and reports.
+	Completed, Failed, Downloads, CacheHits int
+}
+
+// NewClient creates a client daemon.
+func NewClient(id, serverURL string, slots int, app App) *Client {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Client{
+		ID:        id,
+		ServerURL: serverURL,
+		Slots:     slots,
+		App:       app,
+		Poll:      50 * time.Millisecond,
+		httpc:     &http.Client{Timeout: 60 * time.Second},
+		cache:     make(map[string][]byte),
+	}
+}
+
+// RegisterApp installs an application under a name so the client can
+// execute workunits from multiple server applications (a BOINC server
+// hosts many applications per project, §II-C). Assignments whose App
+// matches name run on app; unmatched assignments use the default App.
+func (c *Client) RegisterApp(name string, app App) {
+	c.mu.Lock()
+	if c.apps == nil {
+		c.apps = make(map[string]App)
+	}
+	c.apps[name] = app
+	c.mu.Unlock()
+}
+
+// appFor resolves the application for an assignment.
+func (c *Client) appFor(asn Assignment) App {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if asn.App != "" && c.apps != nil {
+		if app, ok := c.apps[asn.App]; ok {
+			return app
+		}
+	}
+	return c.App
+}
+
+// cachedNames returns the sticky files held locally.
+func (c *Client) cachedNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.cache))
+	for n := range c.cache {
+		names = append(names, n)
+	}
+	return names
+}
+
+// RequestWork asks the scheduler for up to n assignments.
+func (c *Client) RequestWork(n int) ([]Assignment, error) {
+	body, err := json.Marshal(WorkRequest{ClientID: c.ID, MaxTasks: n, CachedFiles: c.cachedNames()})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpc.Post(c.ServerURL+"/scheduler", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("boinc: scheduler request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("boinc: scheduler status %s", resp.Status)
+	}
+	var reply WorkReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return nil, fmt.Errorf("boinc: decode reply: %w", err)
+	}
+	return reply.Assignments, nil
+}
+
+// retryAttempts bounds transient-failure retries for downloads and
+// uploads. Volunteer clients must ride out brief server overloads; real
+// BOINC clients retry transfers persistently.
+const retryAttempts = 5
+
+// retryWait is the pause between transfer retries.
+const retryWait = 20 * time.Millisecond
+
+// Download fetches a file, consulting the sticky cache first. Transport
+// errors and 5xx responses are retried; 4xx responses (missing file) fail
+// immediately.
+func (c *Client) Download(name string) ([]byte, error) {
+	c.mu.Lock()
+	if data, ok := c.cache[name]; ok {
+		c.CacheHits++
+		c.mu.Unlock()
+		return data, nil
+	}
+	c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(retryWait)
+		}
+		resp, err := c.httpc.Get(c.ServerURL + "/download?f=" + name)
+		if err != nil {
+			lastErr = fmt.Errorf("boinc: download %s: %w", name, err)
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("boinc: download %s: %s", name, resp.Status)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("boinc: download %s: %s", name, resp.Status)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = fmt.Errorf("boinc: download %s: %w", name, err)
+			continue
+		}
+		c.mu.Lock()
+		c.cache[name] = data
+		c.Downloads++
+		c.mu.Unlock()
+		return data, nil
+	}
+	return nil, lastErr
+}
+
+// Invalidate drops a file from the sticky cache (used when the server
+// republishes a file name with new content, e.g. fresh parameters).
+func (c *Client) Invalidate(name string) {
+	c.mu.Lock()
+	delete(c.cache, name)
+	c.mu.Unlock()
+}
+
+// Upload posts the result output (or a failure notice when err != nil),
+// retrying transient transport and 5xx failures so a briefly overloaded
+// server does not strand a finished result until its timeout.
+func (c *Client) Upload(resultID int64, output []byte, appErr error) error {
+	url := fmt.Sprintf("%s/upload?result=%d", c.ServerURL, resultID)
+	if appErr != nil {
+		url += "&failed=1"
+		output = nil
+	}
+	var lastErr error
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(retryWait)
+		}
+		resp, err := c.httpc.Post(url, "application/octet-stream", bytes.NewReader(output))
+		if err != nil {
+			lastErr = fmt.Errorf("boinc: upload result %d: %w", resultID, err)
+			continue
+		}
+		status := resp.StatusCode
+		resp.Body.Close()
+		switch {
+		case status == http.StatusOK || status == http.StatusGone:
+			return nil
+		case status >= 500:
+			lastErr = fmt.Errorf("boinc: upload result %d: %d", resultID, status)
+			continue
+		default:
+			return fmt.Errorf("boinc: upload result %d: %d", resultID, status)
+		}
+	}
+	return lastErr
+}
+
+// runOne downloads inputs, runs the app and uploads the outcome.
+func (c *Client) runOne(asn Assignment) {
+	inputs := make(map[string][]byte, len(asn.InputFiles))
+	var appErr error
+	for _, f := range asn.InputFiles {
+		data, err := c.Download(f)
+		if err != nil {
+			appErr = err
+			break
+		}
+		inputs[f] = data
+	}
+	var output []byte
+	if appErr == nil {
+		app := c.appFor(asn)
+		if app == nil {
+			appErr = fmt.Errorf("boinc: no application registered for %q", asn.App)
+		} else {
+			output, appErr = app.Run(asn, inputs)
+		}
+	}
+	if err := c.Upload(asn.ResultID, output, appErr); err != nil {
+		appErr = err
+	}
+	c.mu.Lock()
+	if appErr != nil {
+		c.Failed++
+	} else {
+		c.Completed++
+	}
+	c.mu.Unlock()
+}
+
+// Step performs one scheduler round: request up to Slots assignments, run
+// them concurrently, upload all results. It returns the number of
+// assignments processed.
+func (c *Client) Step() (int, error) {
+	asns, err := c.RequestWork(c.Slots)
+	if err != nil {
+		return 0, err
+	}
+	var wg sync.WaitGroup
+	for _, asn := range asns {
+		wg.Add(1)
+		go func(a Assignment) {
+			defer wg.Done()
+			c.runOne(a)
+		}(asn)
+	}
+	wg.Wait()
+	return len(asns), nil
+}
+
+// Loop polls until ctx is cancelled. Transient scheduler errors are
+// retried after the poll interval; volunteer clients must tolerate a
+// flaky server.
+func (c *Client) Loop(ctx context.Context) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		n, err := c.Step()
+		if err != nil || n == 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(c.Poll):
+			}
+		}
+	}
+}

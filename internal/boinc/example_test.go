@@ -1,0 +1,34 @@
+package boinc_test
+
+import (
+	"fmt"
+
+	"vcdl/internal/boinc"
+)
+
+// ExampleScheduler walks the full workunit lifecycle: generation,
+// assignment, a timeout on an unreliable client, reissue, and completion
+// by a second client — the paper's §III-B fault-tolerance story.
+func ExampleScheduler() {
+	cfg := boinc.DefaultSchedulerConfig()
+	cfg.DefaultTimeout = 300 // seconds, the paper's 5-minute to
+	s := boinc.NewScheduler(cfg)
+	id := s.AddWorkunit(boinc.Workunit{Name: "train_e001_s007"})
+
+	// A client picks the subtask up but never returns it.
+	s.RequestWork("flaky", 0, 1)
+	fmt.Println("after assignment:", s.Workunit(id).Status())
+
+	// The deadline passes; the scheduler reissues.
+	expired := s.ExpireTimeouts(301)
+	fmt.Println("expired results:", len(expired))
+
+	// A steadier client finishes the reissued copy.
+	asn := s.RequestWork("steady", 301, 1)
+	_, canonical, _ := s.CompleteResult(asn[0].ResultID, true, 400)
+	fmt.Println("canonical:", canonical, "status:", s.Workunit(id).Status())
+	// Output:
+	// after assignment: in-progress
+	// expired results: 1
+	// canonical: true status: done
+}

@@ -1,0 +1,90 @@
+package boinc
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyProxy forwards to the real server but fails every third request
+// with a 503, simulating an overloaded or briefly unreachable project
+// server — routine weather for volunteer clients.
+type flakyProxy struct {
+	inner http.Handler
+	n     atomic.Int64
+}
+
+func (f *flakyProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.n.Add(1)%3 == 0 {
+		http.Error(w, "temporarily overloaded", http.StatusServiceUnavailable)
+		return
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+// TestClientSurvivesFlakyServer drives a full workload through a proxy
+// that drops a third of all HTTP requests. The client daemons must retry
+// until every workunit completes.
+func TestClientSurvivesFlakyServer(t *testing.T) {
+	srv := NewServer(DefaultSchedulerConfig(), nil, nil)
+	for i := 0; i < 12; i++ {
+		srv.AddWorkunit(Workunit{Name: fmt.Sprintf("t%d", i)})
+	}
+	ts := httptest.NewServer(&flakyProxy{inner: srv})
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		cl := NewClient(fmt.Sprintf("c%d", i), ts.URL, 2, echoApp())
+		cl.Poll = time.Millisecond
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl.Loop(ctx)
+		}()
+	}
+	for !srv.Done() {
+		select {
+		case <-ctx.Done():
+			t.Fatal("workload did not drain through the flaky proxy")
+		default:
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	cancel()
+	wg.Wait()
+	srv.Scheduler(func(s *Scheduler) {
+		if s.Completions != 12 {
+			t.Fatalf("Completions = %d, want 12", s.Completions)
+		}
+	})
+}
+
+// TestClientDownloadFailureCountsAsSubtaskFailure verifies that a client
+// that cannot fetch an input uploads a failure notice so the scheduler can
+// reissue promptly rather than waiting for the timeout.
+func TestClientDownloadFailureCountsAsSubtaskFailure(t *testing.T) {
+	srv := NewServer(DefaultSchedulerConfig(), nil, nil)
+	srv.AddWorkunit(Workunit{Name: "t", InputFiles: []string{"never-published"}})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := NewClient("c1", ts.URL, 1, echoApp())
+	if _, err := cl.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1", cl.Failed)
+	}
+	srv.Scheduler(func(s *Scheduler) {
+		if s.Reissued != 1 {
+			t.Fatalf("Reissued = %d, want 1 (prompt reissue on failure upload)", s.Reissued)
+		}
+	})
+}

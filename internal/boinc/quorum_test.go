@@ -1,0 +1,107 @@
+package boinc
+
+import "testing"
+
+func TestQuorumRequiresTwoValidResults(t *testing.T) {
+	s := newTestScheduler()
+	s.AddWorkunit(Workunit{Name: "q", Quorum: 2})
+	a1 := s.RequestWork("c1", 0, 1)
+	a2 := s.RequestWork("c2", 0, 1)
+	if len(a1) != 1 || len(a2) != 1 {
+		t.Fatalf("quorum workunit did not replicate: %v %v", a1, a2)
+	}
+	wu, canonical, err := s.CompleteResult(a1[0].ResultID, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonical {
+		t.Fatal("first result alone must not complete a quorum-2 workunit")
+	}
+	if wu.Status() != WUInProgress && wu.Status() != WUPending {
+		t.Fatalf("status = %v", wu.Status())
+	}
+	if wu.ValidResults() != 1 {
+		t.Fatalf("ValidResults = %d", wu.ValidResults())
+	}
+	_, canonical, err = s.CompleteResult(a2[0].ResultID, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !canonical {
+		t.Fatal("second valid result must complete the quorum")
+	}
+	if !s.Done() {
+		t.Fatal("scheduler should be done")
+	}
+}
+
+func TestQuorumReplicasGoToDistinctClients(t *testing.T) {
+	s := newTestScheduler()
+	s.AddWorkunit(Workunit{Name: "q", Quorum: 2})
+	a1 := s.RequestWork("c1", 0, 5)
+	if len(a1) != 1 {
+		t.Fatalf("c1 received %d copies, want exactly 1", len(a1))
+	}
+	// The same client must not receive the second replica.
+	if more := s.RequestWork("c1", 1, 5); len(more) != 0 {
+		t.Fatalf("c1 received a second replica: %v", more)
+	}
+	if a2 := s.RequestWork("c2", 1, 5); len(a2) != 1 {
+		t.Fatal("c2 should receive the second replica")
+	}
+}
+
+func TestQuorumReplenishesAfterFailure(t *testing.T) {
+	cfg := DefaultSchedulerConfig()
+	cfg.ReliabilityFloor = 0
+	s := NewScheduler(cfg)
+	s.AddWorkunit(Workunit{Name: "q", Quorum: 2})
+	a1 := s.RequestWork("c1", 0, 1)
+	a2 := s.RequestWork("c2", 0, 1)
+	// c1 succeeds, c2 fails: one more copy must become available so the
+	// quorum can still be met.
+	s.CompleteResult(a1[0].ResultID, true, 1)
+	s.CompleteResult(a2[0].ResultID, false, 1)
+	a3 := s.RequestWork("c3", 2, 1)
+	if len(a3) != 1 {
+		t.Fatal("failed replica was not replaced")
+	}
+	_, canonical, err := s.CompleteResult(a3[0].ResultID, true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !canonical {
+		t.Fatal("replacement result should complete the quorum")
+	}
+}
+
+func TestQuorumRaisesReplication(t *testing.T) {
+	s := newTestScheduler()
+	id := s.AddWorkunit(Workunit{Name: "q", Quorum: 3})
+	if s.Workunit(id).Replication != 3 {
+		t.Fatalf("Replication = %d, want raised to 3", s.Workunit(id).Replication)
+	}
+	if s.PendingCount() != 3 {
+		t.Fatalf("PendingCount = %d, want 3 queued copies", s.PendingCount())
+	}
+}
+
+func TestQuorumExtraValidAfterDoneIsAbandoned(t *testing.T) {
+	s := newTestScheduler()
+	s.AddWorkunit(Workunit{Name: "q", Quorum: 2, Replication: 3})
+	a1 := s.RequestWork("c1", 0, 1)
+	a2 := s.RequestWork("c2", 0, 1)
+	a3 := s.RequestWork("c3", 0, 1)
+	s.CompleteResult(a1[0].ResultID, true, 1)
+	s.CompleteResult(a2[0].ResultID, true, 2)
+	_, canonical, err := s.CompleteResult(a3[0].ResultID, true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonical {
+		t.Fatal("third result must not be canonical")
+	}
+	if s.Result(a3[0].ResultID).Status != ResAbandoned {
+		t.Fatalf("status = %v", s.Result(a3[0].ResultID).Status)
+	}
+}

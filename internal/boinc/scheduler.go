@@ -1,0 +1,405 @@
+package boinc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SchedulerConfig tunes the scheduling policy.
+type SchedulerConfig struct {
+	// DefaultTimeout applies to workunits that don't set one (seconds).
+	DefaultTimeout float64
+	// DefaultMaxErrors is the per-workunit error budget.
+	DefaultMaxErrors int
+	// ReliabilityFloor gates retried workunits: a workunit that has
+	// already timed out or failed once is only given to clients whose
+	// reliability score is at least this value, unless no such client is
+	// asking ("the scheduler can track how reliably clients return results
+	// and assign subtasks to more reliable clients", §III-B).
+	ReliabilityFloor float64
+	// StickyAffinity biases assignment toward clients that already cache a
+	// workunit's input files (the BOINC sticky-file feature, §III-B).
+	StickyAffinity bool
+}
+
+// DefaultSchedulerConfig mirrors the experiments: 5-minute timeout,
+// 8-error budget, reliability gating and sticky files on.
+func DefaultSchedulerConfig() SchedulerConfig {
+	return SchedulerConfig{
+		DefaultTimeout:   300,
+		DefaultMaxErrors: 8,
+		ReliabilityFloor: 0.5,
+		StickyAffinity:   true,
+	}
+}
+
+// clientState is the scheduler's view of one client.
+type clientState struct {
+	id          string
+	reliability float64
+	cached      map[string]bool
+	inFlight    int
+}
+
+// Assignment is work handed to a client.
+type Assignment struct {
+	ResultID   int64
+	WUID       int64
+	Name       string
+	App        string
+	InputFiles []string
+	Payload    []byte
+	Deadline   float64
+}
+
+// Scheduler tracks workunits and results and implements the BOINC
+// scheduling policy. It is not goroutine-safe; the HTTP server serializes
+// access and the simulator is single-threaded by construction.
+type Scheduler struct {
+	cfg SchedulerConfig
+
+	nextWU, nextRes int64
+	wus             map[int64]*Workunit
+	results         map[int64]*Result
+	pending         []int64 // FIFO of workunit IDs awaiting (re)issue
+	clients         map[string]*clientState
+	// assignedTo tracks which clients ever received a copy of a
+	// replicated workunit (BOINC's one-result-per-user rule, so replicas
+	// verify each other across machines).
+	assignedTo map[int64]map[string]bool
+
+	// Counters for reports and tests.
+	Issued, Reissued, Timeouts, Failures, Completions int
+}
+
+// NewScheduler creates a scheduler with the given policy.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 300
+	}
+	if cfg.DefaultMaxErrors <= 0 {
+		cfg.DefaultMaxErrors = 8
+	}
+	return &Scheduler{
+		cfg:        cfg,
+		wus:        make(map[int64]*Workunit),
+		results:    make(map[int64]*Result),
+		clients:    make(map[string]*clientState),
+		assignedTo: make(map[int64]map[string]bool),
+	}
+}
+
+// AddWorkunit registers a new workunit and queues it for assignment. It
+// returns the assigned ID.
+func (s *Scheduler) AddWorkunit(wu Workunit) int64 {
+	s.nextWU++
+	wu.ID = s.nextWU
+	if wu.Timeout <= 0 {
+		wu.Timeout = s.cfg.DefaultTimeout
+	}
+	if wu.MaxErrors <= 0 {
+		wu.MaxErrors = s.cfg.DefaultMaxErrors
+	}
+	if wu.Quorum <= 0 {
+		wu.Quorum = 1
+	}
+	if wu.Replication < wu.Quorum {
+		wu.Replication = wu.Quorum
+	}
+	wu.status = WUPending
+	w := wu
+	s.wus[wu.ID] = &w
+	for i := 0; i < wu.Replication; i++ {
+		s.pending = append(s.pending, wu.ID)
+	}
+	return wu.ID
+}
+
+// Workunit returns the tracked workunit by ID, or nil.
+func (s *Scheduler) Workunit(id int64) *Workunit { return s.wus[id] }
+
+// Result returns the tracked result by ID, or nil.
+func (s *Scheduler) Result(id int64) *Result { return s.results[id] }
+
+// client returns (creating if needed) the state of a client.
+func (s *Scheduler) client(id string) *clientState {
+	c, ok := s.clients[id]
+	if !ok {
+		c = &clientState{id: id, reliability: 1, cached: make(map[string]bool)}
+		s.clients[id] = c
+	}
+	return c
+}
+
+// Reliability returns the reliability score of a client (1.0 for unknown
+// clients).
+func (s *Scheduler) Reliability(clientID string) float64 {
+	return s.client(clientID).reliability
+}
+
+// NoteCached records that a client holds a sticky file locally.
+func (s *Scheduler) NoteCached(clientID, file string) {
+	s.client(clientID).cached[file] = true
+}
+
+// cacheScore counts how many of the workunit's input files the client has.
+func cacheScore(c *clientState, wu *Workunit) int {
+	n := 0
+	for _, f := range wu.InputFiles {
+		if c.cached[f] {
+			n++
+		}
+	}
+	return n
+}
+
+// RequestWork assigns up to max workunits to the client at virtual time
+// now. Assignment preference: workunits whose files the client caches
+// (most cached files first), then FIFO. Retried workunits are gated on
+// client reliability.
+func (s *Scheduler) RequestWork(clientID string, now float64, max int) []Assignment {
+	c := s.client(clientID)
+	if max <= 0 {
+		return nil
+	}
+	// Collect assignable pending entries with their queue positions.
+	type cand struct {
+		pos   int
+		wu    *Workunit
+		score int
+	}
+	var cands []cand
+	seen := map[int64]bool{}
+	for pos, id := range s.pending {
+		wu := s.wus[id]
+		if wu == nil || wu.status == WUDone || wu.status == WUFailed {
+			continue
+		}
+		if seen[id] {
+			continue // one copy of a workunit per request round
+		}
+		if wu.Replication > 1 && s.assignedTo[id][clientID] {
+			continue // replicas must verify each other across clients
+		}
+		if wu.errors > 0 && c.reliability < s.cfg.ReliabilityFloor && s.hasReliableClient() {
+			continue // reserve retries for reliable clients when any exist
+		}
+		seen[id] = true
+		sc := 0
+		if s.cfg.StickyAffinity {
+			sc = cacheScore(c, wu)
+		}
+		cands = append(cands, cand{pos: pos, wu: wu, score: sc})
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].pos < cands[j].pos
+	})
+	if len(cands) > max {
+		cands = cands[:max]
+	}
+	var out []Assignment
+	taken := map[int]bool{}
+	for _, cd := range cands {
+		taken[cd.pos] = true
+		s.nextRes++
+		res := &Result{
+			ID:       s.nextRes,
+			WUID:     cd.wu.ID,
+			ClientID: clientID,
+			SentAt:   now,
+			Deadline: now + cd.wu.Timeout,
+			Status:   ResInProgress,
+		}
+		s.results[res.ID] = res
+		cd.wu.active++
+		cd.wu.status = WUInProgress
+		c.inFlight++
+		s.Issued++
+		if s.assignedTo[cd.wu.ID] == nil {
+			s.assignedTo[cd.wu.ID] = make(map[string]bool)
+		}
+		s.assignedTo[cd.wu.ID][clientID] = true
+		out = append(out, Assignment{
+			ResultID:   res.ID,
+			WUID:       cd.wu.ID,
+			Name:       cd.wu.Name,
+			App:        cd.wu.App,
+			InputFiles: append([]string(nil), cd.wu.InputFiles...),
+			Payload:    cd.wu.Payload,
+			Deadline:   res.Deadline,
+		})
+		// Sticky files: the client will cache the inputs it downloads.
+		if s.cfg.StickyAffinity {
+			for _, f := range cd.wu.InputFiles {
+				c.cached[f] = true
+			}
+		}
+	}
+	// Remove taken entries from the pending queue.
+	if len(taken) > 0 {
+		kept := s.pending[:0]
+		for pos, id := range s.pending {
+			if !taken[pos] {
+				kept = append(kept, id)
+			}
+		}
+		s.pending = kept
+	}
+	return out
+}
+
+// queuedCopies counts pending-queue entries for a workunit.
+func (s *Scheduler) queuedCopies(id int64) int {
+	n := 0
+	for _, q := range s.pending {
+		if q == id {
+			n++
+		}
+	}
+	return n
+}
+
+// hasReliableClient reports whether any known client meets the floor.
+func (s *Scheduler) hasReliableClient() bool {
+	for _, c := range s.clients {
+		if c.reliability >= s.cfg.ReliabilityFloor {
+			return true
+		}
+	}
+	return false
+}
+
+// CompleteResult records a returned result. valid=false counts as an error
+// (validator rejection or client-reported failure). It returns the
+// workunit and whether this completion made the workunit Done (i.e. the
+// caller should assimilate this canonical result).
+func (s *Scheduler) CompleteResult(resultID int64, valid bool, now float64) (*Workunit, bool, error) {
+	res := s.results[resultID]
+	if res == nil {
+		return nil, false, fmt.Errorf("boinc: unknown result %d", resultID)
+	}
+	if res.Status != ResInProgress {
+		return nil, false, fmt.Errorf("boinc: result %d already %v", resultID, res.Status)
+	}
+	wu := s.wus[res.WUID]
+	c := s.client(res.ClientID)
+	c.inFlight--
+	wu.active--
+	if valid {
+		res.Status = ResSuccess
+		c.reliability = 0.9*c.reliability + 0.1
+		if wu.status == WUDone {
+			// A replica already completed this workunit.
+			res.Status = ResAbandoned
+			return wu, false, nil
+		}
+		wu.valid++
+		if wu.valid < wu.Quorum {
+			// Quorum not yet reached; make sure enough copies remain in
+			// flight or queued to get there.
+			queued := s.queuedCopies(wu.ID)
+			if wu.valid+wu.active+queued < wu.Quorum {
+				s.pending = append(s.pending, wu.ID)
+			}
+			return wu, false, nil
+		}
+		wu.status = WUDone
+		s.Completions++
+		// Drop any still-queued replicas of this workunit.
+		kept := s.pending[:0]
+		for _, id := range s.pending {
+			if id != wu.ID {
+				kept = append(kept, id)
+			}
+		}
+		s.pending = kept
+		return wu, true, nil
+	}
+	res.Status = ResError
+	c.reliability = 0.9 * c.reliability
+	s.noteFailure(wu)
+	return wu, false, nil
+}
+
+// noteFailure charges the workunit's error budget and reissues or fails it.
+func (s *Scheduler) noteFailure(wu *Workunit) {
+	if wu.status == WUDone {
+		return
+	}
+	wu.errors++
+	if wu.errors > wu.MaxErrors {
+		wu.status = WUFailed
+		s.Failures++
+		return
+	}
+	wu.status = WUPending
+	s.pending = append(s.pending, wu.ID)
+	s.Reissued++
+}
+
+// ExpireTimeouts marks overdue results as timed out and requeues their
+// workunits for another client (§III-B fault tolerance). It returns the
+// IDs of expired results.
+func (s *Scheduler) ExpireTimeouts(now float64) []int64 {
+	// Collect first and process in ID order so reissue order (and thus
+	// simulation behaviour) is deterministic despite map iteration.
+	var expired []int64
+	for id, res := range s.results {
+		if res.Status == ResInProgress && now > res.Deadline {
+			expired = append(expired, id)
+		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	for _, id := range expired {
+		res := s.results[id]
+		res.Status = ResTimedOut
+		wu := s.wus[res.WUID]
+		c := s.client(res.ClientID)
+		c.inFlight--
+		c.reliability = 0.9 * c.reliability
+		wu.active--
+		s.Timeouts++
+		s.noteFailure(wu)
+	}
+	return expired
+}
+
+// NextDeadline returns the earliest outstanding result deadline, or ok =
+// false when nothing is in flight. The simulator uses it to schedule
+// timeout sweeps exactly when they can matter.
+func (s *Scheduler) NextDeadline() (float64, bool) {
+	best, ok := 0.0, false
+	for _, res := range s.results {
+		if res.Status == ResInProgress && (!ok || res.Deadline < best) {
+			best, ok = res.Deadline, true
+		}
+	}
+	return best, ok
+}
+
+// Done reports whether every workunit reached a terminal state.
+func (s *Scheduler) Done() bool {
+	for _, wu := range s.wus {
+		if wu.status != WUDone && wu.status != WUFailed {
+			return false
+		}
+	}
+	return true
+}
+
+// PendingCount returns the number of queued (unassigned) workunit copies.
+func (s *Scheduler) PendingCount() int { return len(s.pending) }
+
+// InFlight returns the number of outstanding results.
+func (s *Scheduler) InFlight() int {
+	n := 0
+	for _, res := range s.results {
+		if res.Status == ResInProgress {
+			n++
+		}
+	}
+	return n
+}

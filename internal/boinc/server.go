@@ -1,0 +1,210 @@
+package boinc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// AssimilateFunc processes the canonical output of a completed workunit —
+// for VCDL this is the parameter server's VC-ASGD update. It runs after
+// validation succeeds.
+type AssimilateFunc func(wu *Workunit, output []byte)
+
+// ValidateFunc decides whether an uploaded output is acceptable. A nil
+// validator accepts everything.
+type ValidateFunc func(wu *Workunit, output []byte) bool
+
+// Server is the BOINC-style project server: scheduler endpoint, file
+// distribution ("web server"), upload handler, validator and assimilator.
+// It is safe for concurrent use.
+type Server struct {
+	mu    sync.Mutex
+	sched *Scheduler
+	files map[string][]byte
+
+	validate   ValidateFunc
+	assimilate AssimilateFunc
+
+	start time.Time
+	mux   *http.ServeMux
+}
+
+// NewServer creates a project server with the given scheduling policy and
+// hooks.
+func NewServer(cfg SchedulerConfig, validate ValidateFunc, assimilate AssimilateFunc) *Server {
+	s := &Server{
+		sched:      NewScheduler(cfg),
+		files:      make(map[string][]byte),
+		validate:   validate,
+		assimilate: assimilate,
+		start:      time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /scheduler", s.handleScheduler)
+	s.mux.HandleFunc("GET /download", s.handleDownload)
+	s.mux.HandleFunc("POST /upload", s.handleUpload)
+	s.mux.HandleFunc("GET /status", s.handleStatus)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// now returns seconds since server start — the scheduler clock.
+func (s *Server) now() float64 { return time.Since(s.start).Seconds() }
+
+// PutFile stores (or replaces) a downloadable file.
+func (s *Server) PutFile(name string, data []byte) {
+	s.mu.Lock()
+	s.files[name] = append([]byte(nil), data...)
+	s.mu.Unlock()
+}
+
+// AddWorkunit queues a workunit (the work-generator entry point).
+func (s *Server) AddWorkunit(wu Workunit) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sched.AddWorkunit(wu)
+}
+
+// Scheduler runs f with the scheduler lock held, for inspection in tests
+// and orchestration code.
+func (s *Server) Scheduler(f func(*Scheduler)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f(s.sched)
+}
+
+// Done reports whether all workunits reached a terminal state.
+func (s *Server) Done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sched.ExpireTimeouts(s.now())
+	return s.sched.Done()
+}
+
+// WorkRequest is the scheduler RPC request body.
+type WorkRequest struct {
+	ClientID string `json:"client_id"`
+	MaxTasks int    `json:"max_tasks"`
+	// CachedFiles lets a reconnecting client re-declare its sticky cache.
+	CachedFiles []string `json:"cached_files,omitempty"`
+}
+
+// WorkReply is the scheduler RPC response body.
+type WorkReply struct {
+	Assignments []Assignment `json:"assignments"`
+}
+
+func (s *Server) handleScheduler(w http.ResponseWriter, r *http.Request) {
+	var req WorkRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.ClientID == "" {
+		http.Error(w, "missing client_id", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	now := s.now()
+	s.sched.ExpireTimeouts(now)
+	for _, f := range req.CachedFiles {
+		s.sched.NoteCached(req.ClientID, f)
+	}
+	asn := s.sched.RequestWork(req.ClientID, now, req.MaxTasks)
+	s.mu.Unlock()
+	writeJSON(w, WorkReply{Assignments: asn})
+}
+
+func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("f")
+	s.mu.Lock()
+	data, ok := s.files[name]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "no such file: "+name, http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	var resultID int64
+	if _, err := fmt.Sscan(r.URL.Query().Get("result"), &resultID); err != nil {
+		http.Error(w, "bad result id", http.StatusBadRequest)
+		return
+	}
+	failed := r.URL.Query().Get("failed") == "1"
+	output, err := io.ReadAll(io.LimitReader(r.Body, 1<<30))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	s.mu.Lock()
+	res := s.sched.Result(resultID)
+	if res == nil {
+		s.mu.Unlock()
+		http.Error(w, "unknown result", http.StatusNotFound)
+		return
+	}
+	wu := s.sched.Workunit(res.WUID)
+	valid := !failed
+	if valid && s.validate != nil {
+		valid = s.validate(wu, output)
+	}
+	_, canonical, err := s.sched.CompleteResult(resultID, valid, s.now())
+	s.mu.Unlock()
+	if err != nil {
+		// Late upload for an already-expired result: acknowledged but
+		// ignored, exactly like BOINC discarding post-deadline results.
+		w.WriteHeader(http.StatusGone)
+		return
+	}
+	if canonical && s.assimilate != nil {
+		s.assimilate(wu, output)
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// StatusReply summarizes server progress for monitoring.
+type StatusReply struct {
+	Issued      int  `json:"issued"`
+	Reissued    int  `json:"reissued"`
+	Timeouts    int  `json:"timeouts"`
+	Failures    int  `json:"failures"`
+	Completions int  `json:"completions"`
+	Pending     int  `json:"pending"`
+	InFlight    int  `json:"in_flight"`
+	Done        bool `json:"done"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.sched.ExpireTimeouts(s.now())
+	reply := StatusReply{
+		Issued:      s.sched.Issued,
+		Reissued:    s.sched.Reissued,
+		Timeouts:    s.sched.Timeouts,
+		Failures:    s.sched.Failures,
+		Completions: s.sched.Completions,
+		Pending:     s.sched.PendingCount(),
+		InFlight:    s.sched.InFlight(),
+		Done:        s.sched.Done(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, reply)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,133 @@
+// Package boinc implements the volunteer-computing middleware substrate the
+// paper builds on (§II-C, §III): workunit/result lifecycle tracking, a
+// scheduler with timeout-based reissue, client-reliability tracking and
+// sticky-file affinity, a work-generator/validator/assimilator pipeline,
+// and a real HTTP server/client pair. The lifecycle and scheduling policy
+// are pure (no I/O, explicit clock) so the same code drives both the
+// networked deployment and the discrete-event simulator.
+package boinc
+
+import "fmt"
+
+// WorkunitStatus is the lifecycle state of a workunit.
+type WorkunitStatus int
+
+// Workunit lifecycle states.
+const (
+	// WUPending means the workunit is waiting to be assigned.
+	WUPending WorkunitStatus = iota
+	// WUInProgress means at least one result is outstanding.
+	WUInProgress
+	// WUDone means a valid canonical result has been assimilated.
+	WUDone
+	// WUFailed means the error budget is exhausted.
+	WUFailed
+)
+
+// String renders the status for logs.
+func (s WorkunitStatus) String() string {
+	switch s {
+	case WUPending:
+		return "pending"
+	case WUInProgress:
+		return "in-progress"
+	case WUDone:
+		return "done"
+	case WUFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Workunit is one unit of distributable work — for VCDL, one training
+// subtask (a data shard plus the current server parameter copy).
+type Workunit struct {
+	ID   int64
+	Name string
+	// App names the application that must execute this workunit. A BOINC
+	// server hosts many applications (§II-C); clients register an App
+	// implementation per name. Empty means the client's default app.
+	App string
+	// InputFiles names the files the client must download (model
+	// architecture, parameter copy, data shard). Sticky files among them
+	// are cached client-side.
+	InputFiles []string
+	// Payload is opaque application data shipped with the assignment.
+	Payload []byte
+	// Timeout is the per-result completion deadline in seconds; results
+	// not returned in time are reissued to another client (§III-B).
+	Timeout float64
+	// MaxErrors is the error/timeout budget before the workunit is
+	// declared failed. Zero means the scheduler default.
+	MaxErrors int
+	// Replication is the number of concurrent copies to issue
+	// (computational redundancy, §II-C). Zero means 1.
+	Replication int
+	// Quorum is the number of valid results required before the workunit
+	// is considered done (BOINC's redundancy-based verification, §II-C).
+	// Zero means 1; Replication is raised to at least Quorum.
+	Quorum int
+
+	status WorkunitStatus
+	errors int
+	// active counts outstanding results.
+	active int
+	// valid counts accepted results toward the quorum.
+	valid int
+}
+
+// ValidResults returns how many results have been accepted so far.
+func (w *Workunit) ValidResults() int { return w.valid }
+
+// Status returns the workunit's lifecycle state.
+func (w *Workunit) Status() WorkunitStatus { return w.status }
+
+// Errors returns how many results for this workunit timed out or failed.
+func (w *Workunit) Errors() int { return w.errors }
+
+// ResultStatus is the lifecycle state of one issued result.
+type ResultStatus int
+
+// Result lifecycle states.
+const (
+	// ResInProgress means the result is on a client.
+	ResInProgress ResultStatus = iota
+	// ResSuccess means the result returned and validated.
+	ResSuccess
+	// ResTimedOut means the deadline passed without an upload.
+	ResTimedOut
+	// ResError means the client reported failure or validation rejected
+	// the output.
+	ResError
+	// ResAbandoned means the workunit completed via another replica first.
+	ResAbandoned
+)
+
+// String renders the status for logs.
+func (s ResultStatus) String() string {
+	switch s {
+	case ResInProgress:
+		return "in-progress"
+	case ResSuccess:
+		return "success"
+	case ResTimedOut:
+		return "timed-out"
+	case ResError:
+		return "error"
+	case ResAbandoned:
+		return "abandoned"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Result is one issued instance of a workunit on one client.
+type Result struct {
+	ID       int64
+	WUID     int64
+	ClientID string
+	SentAt   float64
+	Deadline float64
+	Status   ResultStatus
+}

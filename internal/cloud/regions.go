@@ -1,0 +1,74 @@
+package cloud
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Geographic regions (§III-E: the system "can lower the cost further by
+// using different types of instances as well as instances running in
+// different data centers and geographical regions"). A Region adds a
+// round-trip latency floor between a client and the server's region, on
+// top of the per-instance bandwidth model.
+type Region string
+
+// The modelled regions, with the server hosted in USEast.
+const (
+	USEast Region = "us-east"
+	USWest Region = "us-west"
+	Europe Region = "eu"
+	APac   Region = "apac"
+)
+
+// interRegionRTT holds round-trip latencies (seconds) to the server's
+// region (USEast), representative of public-cloud inter-region numbers.
+var interRegionRTT = map[Region]float64{
+	USEast: 0.002,
+	USWest: 0.065,
+	Europe: 0.080,
+	APac:   0.160,
+}
+
+// RTT returns the round-trip latency from a region to the server region,
+// defaulting to the WAN-typical US-West figure for unknown regions.
+func (r Region) RTT() float64 {
+	if v, ok := interRegionRTT[r]; ok {
+		return v
+	}
+	return interRegionRTT[USWest]
+}
+
+// Regions lists the modelled regions, server-local first.
+func Regions() []Region { return []Region{USEast, USWest, Europe, APac} }
+
+// PlacedInstance is an instance pinned to a region.
+type PlacedInstance struct {
+	InstanceType
+	Region Region
+}
+
+// Place assigns fleet instances round-robin across the given regions,
+// modelling the paper's geographically spread fleet. An empty region list
+// keeps everything server-local.
+func Place(fleet []InstanceType, regions []Region) []PlacedInstance {
+	if len(regions) == 0 {
+		regions = []Region{USEast}
+	}
+	out := make([]PlacedInstance, len(fleet))
+	for i, it := range fleet {
+		out[i] = PlacedInstance{InstanceType: it, Region: regions[i%len(regions)]}
+	}
+	return out
+}
+
+// TransferTime extends Network.TransferTime with the instance's regional
+// round trip: every transfer pays the region RTT in addition to the WAN
+// base latency and bandwidth time.
+func (nw Network) TransferTimeFrom(n int, pi PlacedInstance, rng *rand.Rand) float64 {
+	return pi.Region.RTT() + nw.TransferTime(n, pi.InstanceType, rng)
+}
+
+// String renders the placement for fleet listings.
+func (pi PlacedInstance) String() string {
+	return fmt.Sprintf("%s @ %s (+%.0f ms RTT)", pi.InstanceType.String(), pi.Region, pi.Region.RTT()*1000)
+}

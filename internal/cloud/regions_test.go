@@ -1,0 +1,61 @@
+package cloud
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRegionRTTOrdering(t *testing.T) {
+	if !(USEast.RTT() < USWest.RTT() && USWest.RTT() < Europe.RTT() && Europe.RTT() < APac.RTT()) {
+		t.Fatal("region RTTs must grow with distance from the server region")
+	}
+	if Region("mars").RTT() != USWest.RTT() {
+		t.Fatal("unknown region should use the default RTT")
+	}
+}
+
+func TestPlaceRoundRobin(t *testing.T) {
+	fleet := DefaultFleet(5)
+	placed := Place(fleet, []Region{USEast, Europe})
+	if len(placed) != 5 {
+		t.Fatalf("placed %d", len(placed))
+	}
+	if placed[0].Region != USEast || placed[1].Region != Europe || placed[2].Region != USEast {
+		t.Fatalf("placement not round-robin: %v %v %v", placed[0].Region, placed[1].Region, placed[2].Region)
+	}
+	if placed[0].Name != fleet[0].Name {
+		t.Fatal("instance identity lost in placement")
+	}
+}
+
+func TestPlaceEmptyRegionsIsLocal(t *testing.T) {
+	placed := Place(DefaultFleet(2), nil)
+	for _, p := range placed {
+		if p.Region != USEast {
+			t.Fatalf("expected server-local placement, got %v", p.Region)
+		}
+	}
+}
+
+func TestTransferTimeFromAddsRTT(t *testing.T) {
+	nw := Network{BaseLatency: 0.01, Efficiency: 0.5}
+	rng := rand.New(rand.NewSource(1))
+	local := Place([]InstanceType{ClientA}, []Region{USEast})[0]
+	remote := Place([]InstanceType{ClientA}, []Region{APac})[0]
+	tl := nw.TransferTimeFrom(1000, local, rng)
+	tr := nw.TransferTimeFrom(1000, remote, rng)
+	wantDiff := APac.RTT() - USEast.RTT()
+	if diff := tr - tl; diff < wantDiff*0.99 || diff > wantDiff*1.01 {
+		t.Fatalf("regional latency difference %v, want %v", diff, wantDiff)
+	}
+}
+
+func TestRegionsListing(t *testing.T) {
+	rs := Regions()
+	if len(rs) != 4 || rs[0] != USEast {
+		t.Fatalf("Regions() = %v", rs)
+	}
+	if Place(DefaultFleet(1), rs)[0].String() == "" {
+		t.Fatal("empty placement string")
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	params := make([]float64, 5000)
+	for i := range params {
+		params[i] = rng.NormFloat64()
+	}
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := SaveParams(path, params); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadParams(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(params) {
+		t.Fatalf("len %d, want %d", len(back), len(params))
+	}
+	for i := range params {
+		if params[i] != back[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestCheckpointAtomicNoTempLeft(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	if err := SaveParams(path, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d files, want just the checkpoint", len(entries))
+	}
+}
+
+func TestCheckpointCorruptionDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := SaveParams(path, make([]float64, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0xff
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadParams(path); err == nil {
+		t.Fatal("corrupted checkpoint must fail to load")
+	}
+}
+
+func TestCheckpointMissingFile(t *testing.T) {
+	if _, err := LoadParams(filepath.Join(t.TempDir(), "nope.ckpt")); err == nil {
+		t.Fatal("missing checkpoint must error")
+	}
+}
+
+// TestCheckpointResumesTraining verifies the end-to-end use: train, save,
+// reload into a fresh network, and confirm identical evaluation.
+func TestCheckpointResumesTraining(t *testing.T) {
+	corpus := testCorpus(t)
+	cfg := testJobConfig()
+	cfg.MaxEpochs = 2
+	res, err := RunLocal(cfg, corpus, LocalConfig{Clients: 2, TasksPerClient: 1, PServers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "resume.ckpt")
+	if err := SaveParams(path, res.FinalParams); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadParams(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := NewEvaluator(cfg.Builder, corpus.Val, 0, 50)
+	if eval.Accuracy(res.FinalParams) != eval.Accuracy(loaded) {
+		t.Fatal("checkpointed parameters evaluate differently")
+	}
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"vcdl/internal/data"
+	"vcdl/internal/nn"
+	"vcdl/internal/opt"
+)
+
+// testCorpus returns a small, easy corpus for fast end-to-end tests.
+func testCorpus(t *testing.T) *data.Corpus {
+	t.Helper()
+	cfg := data.DefaultSynthConfig()
+	cfg.NTrain, cfg.NVal, cfg.NTest = 500, 200, 200
+	cfg.NoiseStd = 0.4
+	c, err := data.GenerateSynth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// testJobConfig returns a fast job over the small corpus.
+func testJobConfig() JobConfig {
+	cfg := DefaultJobConfig(nn.SmallCNNBuilder(3, 8, 8, 10))
+	cfg.Subtasks = 10
+	cfg.MaxEpochs = 6
+	cfg.BatchSize = 25
+	cfg.LocalPasses = 3
+	cfg.LearningRate = 0.01
+	cfg.ValSubset = 100
+	return cfg
+}
+
+func TestJobConfigValidate(t *testing.T) {
+	good := testJobConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*JobConfig){
+		func(c *JobConfig) { c.Builder = nil },
+		func(c *JobConfig) { c.Subtasks = 0 },
+		func(c *JobConfig) { c.MaxEpochs = 0 },
+		func(c *JobConfig) { c.BatchSize = 0 },
+		func(c *JobConfig) { c.LocalPasses = 0 },
+		func(c *JobConfig) { c.LearningRate = 0 },
+		func(c *JobConfig) { c.Alpha = nil },
+	}
+	for i, mutate := range bad {
+		c := testJobConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("mutation %d should invalidate config", i)
+		}
+	}
+}
+
+func TestExecutorImprovesOnShard(t *testing.T) {
+	corpus := testCorpus(t)
+	cfg := testJobConfig()
+	cfg.LocalPasses = 5
+	cfg.LearningRate = 0.01
+	exec := NewExecutor(cfg)
+	net := nn.NewNetwork(cfg.Builder)
+	net.Init(randSource(1))
+	shard := corpus.Train.Split(10)[0]
+	before := net.Parameters()
+	eval := NewEvaluator(cfg.Builder, shard, 0, 25)
+	accBefore := eval.Accuracy(before)
+	after, stats := exec.Run(before, shard, 7)
+	accAfter := eval.Accuracy(after)
+	if stats.Batches != 5*2 { // 50 samples / 25 batch × 5 passes
+		t.Fatalf("Batches = %d, want 10", stats.Batches)
+	}
+	if stats.Samples != 5*shard.N() {
+		t.Fatalf("Samples = %d", stats.Samples)
+	}
+	if accAfter <= accBefore {
+		t.Fatalf("training on shard did not improve shard accuracy: %v -> %v", accBefore, accAfter)
+	}
+}
+
+func TestExecutorDoesNotMutateInputs(t *testing.T) {
+	corpus := testCorpus(t)
+	cfg := testJobConfig()
+	exec := NewExecutor(cfg)
+	net := nn.NewNetwork(cfg.Builder)
+	net.Init(randSource(2))
+	params := net.Parameters()
+	paramsCopy := append([]float64(nil), params...)
+	shard := corpus.Train.Split(10)[0]
+	shardCopy := append([]float64(nil), shard.X.Data...)
+	labelsCopy := append([]int(nil), shard.Labels...)
+	exec.Run(params, shard, 3)
+	for i := range params {
+		if params[i] != paramsCopy[i] {
+			t.Fatal("executor mutated the input parameter vector")
+		}
+	}
+	for i := range shardCopy {
+		if shard.X.Data[i] != shardCopy[i] {
+			t.Fatal("executor mutated the shared shard images")
+		}
+	}
+	for i := range labelsCopy {
+		if shard.Labels[i] != labelsCopy[i] {
+			t.Fatal("executor mutated the shared shard labels")
+		}
+	}
+}
+
+func TestExecutorDeterministicForSeed(t *testing.T) {
+	corpus := testCorpus(t)
+	cfg := testJobConfig()
+	exec := NewExecutor(cfg)
+	net := nn.NewNetwork(cfg.Builder)
+	net.Init(randSource(3))
+	shard := corpus.Train.Split(10)[1]
+	a, _ := exec.Run(net.Parameters(), shard, 42)
+	b, _ := exec.Run(net.Parameters(), shard, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical results")
+		}
+	}
+	c, _ := exec.Run(net.Parameters(), shard, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical results")
+	}
+}
+
+func TestWorkCostScalesWithPasses(t *testing.T) {
+	cfg := testJobConfig()
+	cfg.LocalPasses = 1
+	e1 := NewExecutor(cfg)
+	cfg2 := cfg
+	cfg2.LocalPasses = 4
+	e4 := NewExecutor(cfg2)
+	if e4.WorkCost(100) != 4*e1.WorkCost(100) {
+		t.Fatal("WorkCost must scale with LocalPasses")
+	}
+}
+
+func TestEvaluatorSubset(t *testing.T) {
+	corpus := testCorpus(t)
+	cfg := testJobConfig()
+	full := NewEvaluator(cfg.Builder, corpus.Val, 0, 50)
+	sub := NewEvaluator(cfg.Builder, corpus.Val, 40, 50)
+	if full.N() != corpus.Val.N() {
+		t.Fatalf("full N = %d", full.N())
+	}
+	if sub.N() != 40 {
+		t.Fatalf("subset N = %d", sub.N())
+	}
+	net := nn.NewNetwork(cfg.Builder)
+	net.Init(randSource(4))
+	acc := full.Accuracy(net.Parameters())
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy %v out of range", acc)
+	}
+}
+
+// TestRunLocalEndToEnd is the headline integration test: a distributed
+// in-process run must learn well above chance and record one curve point
+// per epoch with sane spread bounds.
+func TestRunLocalEndToEnd(t *testing.T) {
+	corpus := testCorpus(t)
+	cfg := testJobConfig()
+	res, err := RunLocal(cfg, corpus, LocalConfig{Clients: 3, TasksPerClient: 2, PServers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve.Points) != cfg.MaxEpochs {
+		t.Fatalf("curve has %d points, want %d", len(res.Curve.Points), cfg.MaxEpochs)
+	}
+	final := res.Curve.FinalValue()
+	if final < 0.3 {
+		t.Fatalf("final accuracy %v; distributed training failed to learn (chance = 0.1)", final)
+	}
+	for _, p := range res.Curve.Points {
+		if p.Lo > p.Value || p.Value > p.Hi {
+			t.Fatalf("epoch %d: mean %v outside [%v,%v]", p.Epoch, p.Value, p.Lo, p.Hi)
+		}
+	}
+	if len(res.FinalParams) == 0 {
+		t.Fatal("missing final parameters")
+	}
+	for _, v := range res.FinalParams {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite final parameters")
+		}
+	}
+}
+
+func TestRunLocalTargetAccuracyStops(t *testing.T) {
+	corpus := testCorpus(t)
+	cfg := testJobConfig()
+	cfg.TargetAccuracy = 0.15 // trivially reachable
+	res, err := RunLocal(cfg, corpus, LocalConfig{Clients: 2, TasksPerClient: 1, PServers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("run did not report early stop")
+	}
+	if len(res.Curve.Points) >= cfg.MaxEpochs {
+		t.Fatalf("ran %d epochs despite trivial target", len(res.Curve.Points))
+	}
+}
+
+func TestRunLocalInvalidConfig(t *testing.T) {
+	corpus := testCorpus(t)
+	cfg := testJobConfig()
+	cfg.Subtasks = 0
+	if _, err := RunLocal(cfg, corpus, LocalConfig{}); err == nil {
+		t.Fatal("invalid config must error")
+	}
+}
+
+func TestRunLocalDeterministicCurve(t *testing.T) {
+	corpus := testCorpus(t)
+	cfg := testJobConfig()
+	cfg.MaxEpochs = 2
+	// Single worker slot: fully deterministic order of assimilation.
+	lc := LocalConfig{Clients: 1, TasksPerClient: 1, PServers: 1}
+	r1, err := RunLocal(cfg, corpus, lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunLocal(cfg, corpus, lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Curve.Points {
+		if r1.Curve.Points[i].Value != r2.Curve.Points[i].Value {
+			t.Fatal("single-slot runs must be deterministic")
+		}
+	}
+}
+
+// TestAlphaOrderingEarlyEpochs reproduces the paper's Figure 4 claim in
+// miniature: in early epochs, smaller alpha (faster learning from clients)
+// beats alpha close to 1. alpha=0.999 must barely move.
+func TestAlphaOrderingEarlyEpochs(t *testing.T) {
+	corpus := testCorpus(t)
+	run := func(alpha float64) float64 {
+		cfg := testJobConfig()
+		cfg.MaxEpochs = 3
+		cfg.Alpha = opt.Constant{V: alpha}
+		res, err := RunLocal(cfg, corpus, LocalConfig{Clients: 2, TasksPerClient: 2, PServers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Curve.FinalValue()
+	}
+	a70 := run(0.70)
+	a999 := run(0.999)
+	if a70 <= a999 {
+		t.Fatalf("alpha=0.7 (%v) should beat alpha=0.999 (%v) in early epochs", a70, a999)
+	}
+	if a999 > 0.3 {
+		t.Fatalf("alpha=0.999 learned implausibly fast: %v", a999)
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"vcdl/internal/boinc"
+	"vcdl/internal/data"
+	"vcdl/internal/metrics"
+	"vcdl/internal/nn"
+	"vcdl/internal/ps"
+	"vcdl/internal/store"
+	"vcdl/internal/wire"
+)
+
+// SubtaskPayload is the opaque payload attached to each training workunit:
+// which epoch and shard it covers and which files carry the inputs.
+type SubtaskPayload struct {
+	Epoch      int    `json:"epoch"`
+	Shard      int    `json:"shard"`
+	ModelFile  string `json:"model_file"`
+	ParamsFile string `json:"params_file"`
+	ShardFile  string `json:"shard_file"`
+}
+
+// NewTrainingApp returns the client-side application (the TensorFlow
+// stand-in) for a boinc.Client: it decodes the model spec, parameter copy
+// and data shard from the downloaded files, trains, and returns the
+// compressed updated parameters.
+func NewTrainingApp(cfg JobConfig) boinc.App {
+	return boinc.AppFunc(func(asn boinc.Assignment, inputs map[string][]byte) ([]byte, error) {
+		var p SubtaskPayload
+		if err := json.Unmarshal(asn.Payload, &p); err != nil {
+			return nil, fmt.Errorf("core: bad payload: %w", err)
+		}
+		spec, err := DecodeSpec(inputs[p.ModelFile])
+		if err != nil {
+			return nil, err
+		}
+		builder, err := spec.Builder()
+		if err != nil {
+			return nil, err
+		}
+		params, err := wire.DecodeParams(inputs[p.ParamsFile])
+		if err != nil {
+			return nil, fmt.Errorf("core: decode params: %w", err)
+		}
+		shard, err := data.Decode(inputs[p.ShardFile])
+		if err != nil {
+			return nil, fmt.Errorf("core: decode shard: %w", err)
+		}
+		execCfg := cfg
+		execCfg.Builder = builder
+		exec := NewExecutor(execCfg)
+		updated, _ := exec.Run(params, shard, cfg.Seed^int64(p.Epoch)<<20^int64(p.Shard))
+		return wire.EncodeParams(updated)
+	})
+}
+
+// Distributed wires a complete training job onto a BOINC-style server: the
+// work generator publishes shard/model/parameter files and one workunit
+// per subtask; the assimilator runs VC-ASGD, validation and epoch
+// tracking, and generates the next epoch until the stopping criterion
+// fires. Clients are external boinc.Client daemons pointed at the server.
+type Distributed struct {
+	cfg    JobConfig
+	spec   ModelSpec
+	server *boinc.Server
+	group  *ps.Group
+	eval   *Evaluator
+
+	mu      sync.Mutex
+	tracker *ps.EpochTracker
+	stop    ps.StopCriterion
+	shards  []*data.Dataset
+	result  RunResult
+	done    chan struct{}
+	failed  error
+}
+
+// NewDistributed creates the server-side half of a distributed training
+// job. spec must describe the same architecture cfg.Builder builds (use
+// spec.Builder() for cfg.Builder to guarantee it).
+func NewDistributed(cfg JobConfig, spec ModelSpec, corpus *data.Corpus, pn int, st store.Store) (*Distributed, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if st == nil {
+		st = store.NewStrong()
+	}
+	if pn < 1 {
+		pn = 1
+	}
+	d := &Distributed{
+		cfg:     cfg,
+		spec:    spec,
+		group:   ps.NewGroup(pn, st, cfg.Alpha),
+		eval:    NewEvaluator(cfg.Builder, corpus.Val, cfg.ValSubset, cfg.BatchSize*4),
+		tracker: ps.NewEpochTracker(cfg.Subtasks),
+		stop:    ps.StopCriterion{TargetAccuracy: cfg.TargetAccuracy, MaxEpochs: cfg.MaxEpochs},
+		shards:  cfg.SplitShards(corpus),
+		done:    make(chan struct{}),
+	}
+	d.result.Curve.Name = fmt.Sprintf("distributed-P%d", pn)
+	d.server = boinc.NewServer(boinc.DefaultSchedulerConfig(), d.validate, d.assimilate)
+
+	// Initialize and publish the model.
+	net := nn.NewNetwork(cfg.Builder)
+	net.Init(rand.New(rand.NewSource(cfg.Seed)))
+	if err := d.group.Publish(net.Parameters()); err != nil {
+		return nil, err
+	}
+	specBlob, err := EncodeSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	d.server.PutFile("model.json", specBlob)
+	for i, s := range d.shards {
+		blob, err := s.Encode()
+		if err != nil {
+			return nil, err
+		}
+		d.server.PutFile(shardFileName(i), blob)
+	}
+	if err := d.generateEpoch(1); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func shardFileName(i int) string { return fmt.Sprintf("shard_%03d.npz", i) }
+
+func paramsFileName(epoch int) string { return fmt.Sprintf("params_e%03d.h5", epoch) }
+
+// Server exposes the underlying BOINC server (an http.Handler).
+func (d *Distributed) Server() *boinc.Server { return d.server }
+
+// Done is closed when training finishes (target met, epoch budget
+// exhausted, or unrecoverable failure).
+func (d *Distributed) Done() <-chan struct{} { return d.done }
+
+// Result returns the training outcome; valid after Done is closed.
+func (d *Distributed) Result() (RunResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.result, d.failed
+}
+
+// generateEpoch publishes the epoch's parameter snapshot and queues one
+// workunit per shard. Callers must not hold d.mu.
+func (d *Distributed) generateEpoch(epoch int) error {
+	snapshot, err := d.group.Current()
+	if err != nil {
+		return err
+	}
+	blob, err := wire.EncodeParams(snapshot)
+	if err != nil {
+		return err
+	}
+	pf := paramsFileName(epoch)
+	d.server.PutFile(pf, blob)
+	for i := range d.shards {
+		payload, err := json.Marshal(SubtaskPayload{
+			Epoch:      epoch,
+			Shard:      i,
+			ModelFile:  "model.json",
+			ParamsFile: pf,
+			ShardFile:  shardFileName(i),
+		})
+		if err != nil {
+			return err
+		}
+		d.server.AddWorkunit(boinc.Workunit{
+			Name:       fmt.Sprintf("train_e%03d_s%03d", epoch, i),
+			InputFiles: []string{"model.json", pf, shardFileName(i)},
+			Payload:    payload,
+		})
+	}
+	return nil
+}
+
+// validate is the BOINC validator hook: an upload is acceptable if it
+// decodes to a parameter vector of the right length with finite values.
+func (d *Distributed) validate(wu *boinc.Workunit, output []byte) bool {
+	params, err := wire.DecodeParams(output)
+	if err != nil {
+		return false
+	}
+	want := nn.NewNetwork(d.cfg.Builder).ParamCount()
+	return len(params) == want
+}
+
+// assimilate is the BOINC assimilator hook: VC-ASGD update, validation
+// accuracy, epoch bookkeeping and next-epoch generation.
+func (d *Distributed) assimilate(wu *boinc.Workunit, output []byte) {
+	var p SubtaskPayload
+	if err := json.Unmarshal(wu.Payload, &p); err != nil {
+		d.fail(fmt.Errorf("core: assimilate payload: %w", err))
+		return
+	}
+	params, err := wire.DecodeParams(output)
+	if err != nil {
+		d.fail(fmt.Errorf("core: assimilate decode: %w", err))
+		return
+	}
+	srv := d.group.Pick()
+	if err := srv.Assimilate(params, p.Epoch); err != nil {
+		d.fail(err)
+		return
+	}
+	cur, err := srv.Current()
+	if err != nil {
+		d.fail(err)
+		return
+	}
+	acc := d.eval.Accuracy(cur)
+
+	d.mu.Lock()
+	summary, closed := d.tracker.Record(acc)
+	if !closed {
+		d.mu.Unlock()
+		return
+	}
+	d.result.Epochs = append(d.result.Epochs, summary)
+	d.result.Curve.Add(metrics.Point{
+		Epoch: summary.Epoch, Value: summary.Mean, Lo: summary.Lo, Hi: summary.Hi,
+	})
+	stopNow := d.stop.ShouldStop(summary)
+	if stopNow {
+		d.result.Stopped = d.cfg.TargetAccuracy > 0 && summary.Mean >= d.cfg.TargetAccuracy
+		if final, err := d.group.Current(); err == nil {
+			d.result.FinalParams = final
+		}
+	}
+	next := summary.Epoch + 1
+	d.mu.Unlock()
+
+	if stopNow {
+		close(d.done)
+		return
+	}
+	if err := d.generateEpoch(next); err != nil {
+		d.fail(err)
+	}
+}
+
+// fail records the first unrecoverable error and releases waiters.
+func (d *Distributed) fail(err error) {
+	d.mu.Lock()
+	already := d.failed != nil
+	if !already {
+		d.failed = err
+	}
+	d.mu.Unlock()
+	if !already {
+		close(d.done)
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"sync"
+
+	"vcdl/internal/data"
+	"vcdl/internal/nn"
+)
+
+// Evaluator computes validation/test accuracy of a parameter vector. The
+// parameter servers call it after each assimilation (§III-A). It keeps one
+// private network per call path, protected by a mutex: assimilations are
+// already serialized per store update, so contention is negligible.
+type Evaluator struct {
+	mu     sync.Mutex
+	net    *nn.Network
+	ds     *data.Dataset
+	batch  int
+	subset int
+}
+
+// NewEvaluator creates an evaluator over ds. subset > 0 evaluates only the
+// first subset samples (a deterministic sample for simulation speed);
+// batch controls evaluation minibatch size.
+func NewEvaluator(builder func() []nn.Layer, ds *data.Dataset, subset, batch int) *Evaluator {
+	if batch <= 0 {
+		batch = 100
+	}
+	use := ds
+	if subset > 0 && subset < ds.N() {
+		use = ds.Subset(0, subset)
+	}
+	return &Evaluator{net: nn.NewNetwork(builder), ds: use, batch: batch}
+}
+
+// N returns the number of samples the evaluator scores.
+func (e *Evaluator) N() int { return e.ds.N() }
+
+// Accuracy returns classification accuracy of params on the dataset.
+func (e *Evaluator) Accuracy(params []float64) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.net.SetParameters(params)
+	_, acc := e.net.Evaluate(e.ds.X, e.ds.Labels, e.batch)
+	return acc
+}
+
+// LossAndAccuracy returns mean loss and accuracy of params on the dataset.
+func (e *Evaluator) LossAndAccuracy(params []float64) (float64, float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.net.SetParameters(params)
+	return e.net.Evaluate(e.ds.X, e.ds.Labels, e.batch)
+}

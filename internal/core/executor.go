@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math/rand"
+
+	"vcdl/internal/data"
+	"vcdl/internal/nn"
+	"vcdl/internal/opt"
+)
+
+// ExecStats summarizes one subtask execution on a client.
+type ExecStats struct {
+	// Batches is the number of minibatch steps taken.
+	Batches int
+	// MeanLoss is the average training loss across steps.
+	MeanLoss float64
+	// TrainAccuracy is the fraction of training samples classified
+	// correctly during the pass.
+	TrainAccuracy float64
+	// Samples is the number of training samples processed (passes ×
+	// shard size).
+	Samples int
+}
+
+// Executor runs training subtasks: it is the client-side compute kernel
+// (the paper's per-client TensorFlow training step). An Executor is
+// stateless between subtasks — each Run builds a private model clone and a
+// fresh optimizer, exactly as a volunteer client that just downloaded the
+// model, parameters and data would.
+type Executor struct {
+	cfg JobConfig
+}
+
+// NewExecutor creates an executor for the job.
+func NewExecutor(cfg JobConfig) *Executor { return &Executor{cfg: cfg} }
+
+// Run trains a private copy of the model initialized from params on the
+// shard and returns the updated parameter vector. seed makes the shard
+// shuffling deterministic per (subtask, epoch).
+func (e *Executor) Run(params []float64, shard *data.Dataset, seed int64) ([]float64, ExecStats) {
+	net := nn.NewNetwork(e.cfg.Builder)
+	net.SetParameters(params)
+	optimizer := opt.NewAdam(e.cfg.LearningRate)
+	rng := rand.New(rand.NewSource(seed))
+
+	// Clients train on a private shard copy so callers can share shards.
+	local := shard.Subset(0, shard.N())
+
+	var stats ExecStats
+	lossSum := 0.0
+	correct := 0
+	for pass := 0; pass < e.cfg.LocalPasses; pass++ {
+		local.Shuffle(rng)
+		for start := 0; start < local.N(); start += e.cfg.BatchSize {
+			end := start + e.cfg.BatchSize
+			if end > local.N() {
+				end = local.N()
+			}
+			x, labels := local.Batch(start, end)
+			net.ZeroGrads()
+			loss, c := net.TrainBatch(x, labels)
+			optimizer.Step(net.ParamTensors(), net.GradTensors())
+			lossSum += loss
+			correct += c
+			stats.Batches++
+		}
+		stats.Samples += local.N()
+	}
+	if stats.Batches > 0 {
+		stats.MeanLoss = lossSum / float64(stats.Batches)
+	}
+	if stats.Samples > 0 {
+		stats.TrainAccuracy = float64(correct) / float64(stats.Samples)
+	}
+	return net.Parameters(), stats
+}
+
+// WorkCost estimates the computational weight of one subtask in abstract
+// work units (forward+backward sample-passes). The cluster simulator
+// divides it by instance speed to get virtual execution time.
+func (e *Executor) WorkCost(shardSize int) float64 {
+	return float64(e.cfg.LocalPasses) * float64(shardSize) * 3 // fwd + bwd ≈ 3× fwd
+}

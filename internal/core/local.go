@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"vcdl/internal/data"
+	"vcdl/internal/metrics"
+	"vcdl/internal/nn"
+	"vcdl/internal/ps"
+	"vcdl/internal/store"
+)
+
+// LocalConfig sizes an in-process distributed run: the paper's Pn
+// (parameter servers), Cn (clients) and Tn (simultaneous subtasks per
+// client), with clients realized as goroutine pools.
+type LocalConfig struct {
+	Clients        int
+	TasksPerClient int
+	PServers       int
+	// Store backs the shared parameter copy; nil defaults to a strong
+	// store.
+	Store store.Store
+}
+
+// RunResult is the outcome of a training run.
+type RunResult struct {
+	// Curve holds one point per epoch: mean validation accuracy with the
+	// per-epoch subtask range, against cumulative hours.
+	Curve metrics.Series
+	// Epochs are the per-epoch aggregates.
+	Epochs []ps.EpochSummary
+	// FinalParams is the server parameter copy at the end of training.
+	FinalParams []float64
+	// Stopped reports whether the accuracy target fired before the epoch
+	// budget ran out.
+	Stopped bool
+}
+
+// RunLocal executes a full data-parallel training job in-process: Cn×Tn
+// worker slots pull subtasks, train on their shards, and assimilate into a
+// VC-ASGD parameter-server group backed by the configured store. Time on
+// the curve is real wall-clock (use the vcsim package for paper-scale
+// virtual-hours experiments).
+func RunLocal(cfg JobConfig, corpus *data.Corpus, lc LocalConfig) (*RunResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if lc.Clients < 1 {
+		lc.Clients = 1
+	}
+	if lc.TasksPerClient < 1 {
+		lc.TasksPerClient = 1
+	}
+	if lc.PServers < 1 {
+		lc.PServers = 1
+	}
+	st := lc.Store
+	if st == nil {
+		st = store.NewStrong()
+	}
+
+	// Initialize the model, optionally warmstart it serially, and publish
+	// the server copy.
+	net := nn.NewNetwork(cfg.Builder)
+	net.Init(rand.New(rand.NewSource(cfg.Seed)))
+	if cfg.WarmstartEpochs > 0 {
+		Warmstart(net, cfg, corpus.Train)
+	}
+	group := ps.NewGroup(lc.PServers, st, cfg.Alpha)
+	if err := group.Publish(net.Parameters()); err != nil {
+		return nil, err
+	}
+
+	shards := cfg.SplitShards(corpus)
+	exec := NewExecutor(cfg)
+	eval := NewEvaluator(cfg.Builder, corpus.Val, cfg.ValSubset, cfg.BatchSize*4)
+	tracker := ps.NewEpochTracker(cfg.Subtasks)
+	stop := ps.StopCriterion{TargetAccuracy: cfg.TargetAccuracy, MaxEpochs: cfg.MaxEpochs}
+
+	res := &RunResult{Curve: metrics.Series{Name: fmt.Sprintf("P%dC%dT%d", lc.PServers, lc.Clients, lc.TasksPerClient)}}
+	start := time.Now()
+
+	for epoch := 1; epoch <= cfg.MaxEpochs; epoch++ {
+		snapshot, err := group.Current()
+		if err != nil {
+			return nil, err
+		}
+		// Dispatch this epoch's subtasks over Cn×Tn worker slots.
+		type job struct{ shard int }
+		jobs := make(chan job)
+		errs := make(chan error, lc.Clients*lc.TasksPerClient)
+		var wg sync.WaitGroup
+		for c := 0; c < lc.Clients; c++ {
+			for tSlot := 0; tSlot < lc.TasksPerClient; tSlot++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := range jobs {
+						seed := cfg.Seed ^ int64(epoch)<<20 ^ int64(j.shard)
+						updated, _ := exec.Run(snapshot, shards[j.shard], seed)
+						srv := group.Pick()
+						if err := srv.Assimilate(updated, epoch); err != nil {
+							errs <- err
+							return
+						}
+						cur, err := srv.Current()
+						if err != nil {
+							errs <- err
+							return
+						}
+						tracker.Record(eval.Accuracy(cur))
+					}
+				}()
+			}
+		}
+		for sIdx := range shards {
+			jobs <- job{shard: sIdx}
+		}
+		close(jobs)
+		wg.Wait()
+		select {
+		case err := <-errs:
+			return nil, err
+		default:
+		}
+		sums := tracker.Completed()
+		if len(sums) == 0 {
+			return nil, fmt.Errorf("core: epoch %d closed no summary", epoch)
+		}
+		latest := sums[len(sums)-1]
+		res.Epochs = sums
+		res.Curve.Add(metrics.Point{
+			Epoch: latest.Epoch,
+			Hours: time.Since(start).Hours(),
+			Value: latest.Mean,
+			Lo:    latest.Lo,
+			Hi:    latest.Hi,
+		})
+		if stop.ShouldStop(latest) {
+			res.Stopped = latest.Mean >= cfg.TargetAccuracy && cfg.TargetAccuracy > 0
+			break
+		}
+	}
+	final, err := group.Current()
+	if err != nil {
+		return nil, err
+	}
+	res.FinalParams = final
+	return res, nil
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"vcdl/internal/nn"
+)
+
+// ModelSpec is a serializable architecture description — the counterpart
+// of the paper's 269 KB model .json file that ships to clients with each
+// subtask. A spec is a flat list of layer specs; residual blocks nest.
+type ModelSpec struct {
+	Name   string      `json:"name"`
+	Layers []LayerSpec `json:"layers"`
+}
+
+// LayerSpec describes one layer. Kind selects which fields apply.
+type LayerSpec struct {
+	Kind string `json:"kind"`
+	// Dense: In, Out. Conv2D: In (channels), Out (channels), K, Stride,
+	// Pad. MaxPool2D: K. BatchNorm: F. Residual: Body, Proj.
+	In     int         `json:"in,omitempty"`
+	Out    int         `json:"out,omitempty"`
+	K      int         `json:"k,omitempty"`
+	Stride int         `json:"stride,omitempty"`
+	Pad    int         `json:"pad,omitempty"`
+	F      int         `json:"f,omitempty"`
+	Body   []LayerSpec `json:"body,omitempty"`
+	Proj   []LayerSpec `json:"proj,omitempty"`
+}
+
+// buildLayer instantiates one layer from its spec.
+func buildLayer(s LayerSpec) (nn.Layer, error) {
+	switch s.Kind {
+	case "dense":
+		if s.In < 1 || s.Out < 1 {
+			return nil, fmt.Errorf("core: dense needs in/out, got %+v", s)
+		}
+		return nn.NewDense(s.In, s.Out), nil
+	case "relu":
+		return nn.NewReLU(), nil
+	case "flatten":
+		return nn.NewFlatten(), nil
+	case "conv2d":
+		if s.In < 1 || s.Out < 1 || s.K < 1 {
+			return nil, fmt.Errorf("core: conv2d needs in/out/k, got %+v", s)
+		}
+		stride := s.Stride
+		if stride == 0 {
+			stride = 1
+		}
+		return nn.NewConv2D(s.In, s.Out, s.K, stride, s.Pad), nil
+	case "maxpool2d":
+		if s.K < 1 {
+			return nil, fmt.Errorf("core: maxpool2d needs k, got %+v", s)
+		}
+		return nn.NewMaxPool2D(s.K), nil
+	case "gap2d":
+		return nn.NewGlobalAvgPool2D(), nil
+	case "batchnorm":
+		if s.F < 1 {
+			return nil, fmt.Errorf("core: batchnorm needs f, got %+v", s)
+		}
+		return nn.NewBatchNorm(s.F), nil
+	case "residual":
+		body, err := buildLayers(s.Body)
+		if err != nil {
+			return nil, err
+		}
+		proj, err := buildLayers(s.Proj)
+		if err != nil {
+			return nil, err
+		}
+		return nn.NewResidualProj(proj, body...), nil
+	default:
+		return nil, fmt.Errorf("core: unknown layer kind %q", s.Kind)
+	}
+}
+
+func buildLayers(specs []LayerSpec) ([]nn.Layer, error) {
+	var out []nn.Layer
+	for _, s := range specs {
+		l, err := buildLayer(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+// Builder compiles the spec into an nn builder. It returns an error for
+// malformed specs; the returned builder never fails.
+func (m ModelSpec) Builder() (func() []nn.Layer, error) {
+	// Validate once up front.
+	if _, err := buildLayers(m.Layers); err != nil {
+		return nil, err
+	}
+	return func() []nn.Layer {
+		ls, err := buildLayers(m.Layers)
+		if err != nil {
+			panic("core: validated spec failed to build: " + err.Error())
+		}
+		return ls
+	}, nil
+}
+
+// MarshalJSON encoding is the ModelSpec's wire form; EncodeSpec and
+// DecodeSpec are convenience wrappers.
+
+// EncodeSpec serializes the spec to its JSON wire form.
+func EncodeSpec(m ModelSpec) ([]byte, error) { return json.Marshal(m) }
+
+// DecodeSpec parses a JSON model spec.
+func DecodeSpec(blob []byte) (ModelSpec, error) {
+	var m ModelSpec
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return ModelSpec{}, fmt.Errorf("core: decode model spec: %w", err)
+	}
+	return m, nil
+}
+
+// MiniResNetSpec builds the spec for the scaled-down ResNetV2 the
+// experiments train (see nn.MiniResNetV2Builder).
+func MiniResNetSpec(c, width, blocks, classes int) ModelSpec {
+	block := func() LayerSpec {
+		return LayerSpec{Kind: "residual", Body: []LayerSpec{
+			{Kind: "batchnorm", F: width},
+			{Kind: "relu"},
+			{Kind: "conv2d", In: width, Out: width, K: 3, Stride: 1, Pad: 1},
+			{Kind: "batchnorm", F: width},
+			{Kind: "relu"},
+			{Kind: "conv2d", In: width, Out: width, K: 3, Stride: 1, Pad: 1},
+		}}
+	}
+	spec := ModelSpec{Name: fmt.Sprintf("mini-resnetv2-w%d-b%d", width, blocks)}
+	spec.Layers = append(spec.Layers, LayerSpec{Kind: "conv2d", In: c, Out: width, K: 3, Stride: 1, Pad: 1})
+	for i := 0; i < blocks; i++ {
+		spec.Layers = append(spec.Layers, block())
+	}
+	spec.Layers = append(spec.Layers,
+		LayerSpec{Kind: "batchnorm", F: width},
+		LayerSpec{Kind: "relu"},
+		LayerSpec{Kind: "gap2d"},
+		LayerSpec{Kind: "dense", In: width, Out: classes},
+	)
+	return spec
+}
+
+// SmallCNNSpec builds the spec equivalent of nn.SmallCNNBuilder.
+func SmallCNNSpec(c, h, w, classes int) ModelSpec {
+	return ModelSpec{
+		Name: "small-cnn",
+		Layers: []LayerSpec{
+			{Kind: "conv2d", In: c, Out: 8, K: 3, Stride: 1, Pad: 1},
+			{Kind: "batchnorm", F: 8},
+			{Kind: "relu"},
+			{Kind: "maxpool2d", K: 2},
+			{Kind: "conv2d", In: 8, Out: 16, K: 3, Stride: 1, Pad: 1},
+			{Kind: "batchnorm", F: 16},
+			{Kind: "relu"},
+			{Kind: "maxpool2d", K: 2},
+			{Kind: "flatten"},
+			{Kind: "dense", In: 16 * (h / 4) * (w / 4), Out: classes},
+		},
+	}
+}
+
+// MLPSpec builds the spec equivalent of nn.MLPBuilder.
+func MLPSpec(in int, hidden []int, classes int) ModelSpec {
+	spec := ModelSpec{Name: "mlp"}
+	prev := in
+	for _, h := range hidden {
+		spec.Layers = append(spec.Layers,
+			LayerSpec{Kind: "dense", In: prev, Out: h},
+			LayerSpec{Kind: "relu"},
+		)
+		prev = h
+	}
+	spec.Layers = append(spec.Layers, LayerSpec{Kind: "dense", In: prev, Out: classes})
+	return spec
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"vcdl/internal/nn"
+	"vcdl/internal/tensor"
+)
+
+func randSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestModelSpecRoundTrip(t *testing.T) {
+	spec := MiniResNetSpec(3, 8, 2, 10)
+	blob, err := EncodeSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSpec(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != spec.Name || len(back.Layers) != len(spec.Layers) {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+func TestSpecBuilderMatchesNativeBuilder(t *testing.T) {
+	spec := MiniResNetSpec(3, 8, 2, 10)
+	specBuilder, err := spec.Builder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSpec := nn.NewNetwork(specBuilder)
+	native := nn.NewNetwork(nn.MiniResNetV2Builder(3, 8, 8, 8, 2, 10))
+	if fromSpec.ParamCount() != native.ParamCount() {
+		t.Fatalf("spec network has %d params, native %d", fromSpec.ParamCount(), native.ParamCount())
+	}
+	// Same parameters → same logits.
+	native.Init(randSource(5))
+	fromSpec.SetParameters(native.Parameters())
+	x := tensor.New(2, 3, 8, 8)
+	x.RandNormal(0, 1, randSource(6))
+	a := native.Forward(x, false)
+	b := fromSpec.Forward(x, false)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("spec-built network disagrees with native builder")
+		}
+	}
+}
+
+func TestSmallCNNSpecMatches(t *testing.T) {
+	spec := SmallCNNSpec(3, 8, 8, 10)
+	b, err := spec.Builder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nn.NewNetwork(b).ParamCount() != nn.NewNetwork(nn.SmallCNNBuilder(3, 8, 8, 10)).ParamCount() {
+		t.Fatal("small CNN spec param count mismatch")
+	}
+}
+
+func TestMLPSpecMatches(t *testing.T) {
+	spec := MLPSpec(10, []int{20, 20}, 4)
+	b, err := spec.Builder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nn.NewNetwork(b).ParamCount() != nn.NewNetwork(nn.MLPBuilder(10, []int{20, 20}, 4)).ParamCount() {
+		t.Fatal("MLP spec param count mismatch")
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	bad := []ModelSpec{
+		{Layers: []LayerSpec{{Kind: "warp-drive"}}},
+		{Layers: []LayerSpec{{Kind: "dense"}}},
+		{Layers: []LayerSpec{{Kind: "conv2d", In: 3}}},
+		{Layers: []LayerSpec{{Kind: "maxpool2d"}}},
+		{Layers: []LayerSpec{{Kind: "batchnorm"}}},
+		{Layers: []LayerSpec{{Kind: "residual", Body: []LayerSpec{{Kind: "nope"}}}}},
+	}
+	for i, spec := range bad {
+		if _, err := spec.Builder(); err == nil {
+			t.Fatalf("spec %d should fail to build", i)
+		}
+	}
+}
+
+func TestDecodeSpecGarbage(t *testing.T) {
+	if _, err := DecodeSpec([]byte("{nope")); err == nil {
+		t.Fatal("garbage JSON must fail")
+	}
+}
+
+func TestConvDefaultStride(t *testing.T) {
+	spec := ModelSpec{Layers: []LayerSpec{
+		{Kind: "conv2d", In: 1, Out: 1, K: 3, Pad: 1},
+		{Kind: "flatten"},
+		{Kind: "dense", In: 16, Out: 2},
+	}}
+	b, err := spec.Builder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := nn.NewNetwork(b)
+	net.Init(randSource(7))
+	x := tensor.New(1, 1, 4, 4)
+	out := net.Forward(x, false)
+	if out.Dim(1) != 2 {
+		t.Fatalf("output shape %v", out.Shape())
+	}
+}

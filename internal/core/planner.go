@@ -1,0 +1,113 @@
+package core
+
+import "fmt"
+
+// Split planning. The paper's work generator "automatically handles the
+// details of converting a training job into a data parallel training job.
+// This entails deciding the best possible split for the training dataset"
+// (§III-A). SplitPlan implements that decision: given the fleet shape and
+// dataset size, it chooses a subtask count that (a) keeps every execution
+// slot busy an integral number of waves, (b) keeps shards large enough for
+// stable gradients, and (c) keeps shards small enough that a subtask fits
+// comfortably inside the scheduler timeout.
+type SplitPlan struct {
+	// Subtasks is the chosen number of shards per epoch.
+	Subtasks int
+	// ShardSize is the resulting samples per shard (last shard may be one
+	// smaller or larger after remainder distribution).
+	ShardSize int
+	// Waves is Subtasks / total slots, the per-epoch occupancy.
+	Waves int
+}
+
+// PlanSplit chooses a data-parallel split.
+//
+//	datasetN    training-set size
+//	clients     number of client instances (Cn)
+//	tasksPer    simultaneous subtasks per client (Tn)
+//	minShard    smallest acceptable shard (gradient quality floor)
+//	maxShard    largest acceptable shard (timeout ceiling); 0 = datasetN
+func PlanSplit(datasetN, clients, tasksPer, minShard, maxShard int) (SplitPlan, error) {
+	if datasetN < 1 {
+		return SplitPlan{}, fmt.Errorf("core: empty dataset")
+	}
+	if clients < 1 {
+		clients = 1
+	}
+	if tasksPer < 1 {
+		tasksPer = 1
+	}
+	if minShard < 1 {
+		minShard = 1
+	}
+	if maxShard <= 0 || maxShard > datasetN {
+		maxShard = datasetN
+	}
+	if minShard > maxShard {
+		return SplitPlan{}, fmt.Errorf("core: minShard %d > maxShard %d", minShard, maxShard)
+	}
+	slots := clients * tasksPer
+
+	// Feasible subtask counts keep shard sizes within [minShard, maxShard].
+	loSub := (datasetN + maxShard - 1) / maxShard // smallest count
+	hiSub := datasetN / minShard                  // largest count
+	if loSub < 1 {
+		loSub = 1
+	}
+	if hiSub < loSub {
+		return SplitPlan{}, fmt.Errorf("core: no feasible split for n=%d shard∈[%d,%d]", datasetN, minShard, maxShard)
+	}
+
+	// Prefer exact multiples of the slot count (no idle slots in the last
+	// wave), the smallest such multiple ≥ loSub; otherwise fall back to
+	// the feasible count closest to a multiple.
+	best := -1
+	for s := loSub; s <= hiSub; s++ {
+		if s%slots == 0 {
+			best = s
+			break
+		}
+	}
+	if best == -1 {
+		// No exact multiple is feasible; minimize last-wave idleness.
+		bestIdle := slots + 1
+		for s := loSub; s <= hiSub; s++ {
+			idle := (slots - s%slots) % slots
+			if idle < bestIdle {
+				bestIdle, best = idle, s
+			}
+		}
+	}
+	waves := best / slots
+	if best%slots != 0 {
+		waves++
+	}
+	return SplitPlan{
+		Subtasks:  best,
+		ShardSize: datasetN / best,
+		Waves:     waves,
+	}, nil
+}
+
+// RecommendPServers applies the paper's §III-D observation ("users find it
+// difficult to determine the ratio of the number of parameter servers to
+// the number of clients"): it sizes the PS pool so aggregate assimilation
+// throughput matches the fleet's subtask completion rate, capped by the
+// server instance's vCPUs.
+//
+//	subtaskSeconds  average client-side execution time per subtask
+//	assimSeconds    server-side processing time per result
+func RecommendPServers(clients, tasksPer int, subtaskSeconds, assimSeconds float64, serverVCPU int) int {
+	if clients < 1 || tasksPer < 1 || subtaskSeconds <= 0 || assimSeconds <= 0 {
+		return 1
+	}
+	arrivalRate := float64(clients*tasksPer) / subtaskSeconds
+	need := int(arrivalRate*assimSeconds + 0.999)
+	if need < 1 {
+		need = 1
+	}
+	if serverVCPU > 0 && need > serverVCPU {
+		need = serverVCPU
+	}
+	return need
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPlanSplitPaperShape(t *testing.T) {
+	// CIFAR-10 at the paper's scale: 50,000 samples, 5 clients × 2 slots,
+	// shard between 500 and 1,000 samples → 50 subtasks of 1,000.
+	p, err := PlanSplit(50000, 5, 2, 500, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Subtasks != 50 {
+		t.Fatalf("Subtasks = %d, want 50", p.Subtasks)
+	}
+	if p.ShardSize != 1000 {
+		t.Fatalf("ShardSize = %d, want 1000", p.ShardSize)
+	}
+	if p.Waves != 5 {
+		t.Fatalf("Waves = %d, want 5", p.Waves)
+	}
+}
+
+func TestPlanSplitPrefersSlotMultiples(t *testing.T) {
+	p, err := PlanSplit(1200, 3, 4, 10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Subtasks%12 != 0 {
+		t.Fatalf("Subtasks = %d, want a multiple of 12 slots", p.Subtasks)
+	}
+}
+
+func TestPlanSplitRespectsShardBounds(t *testing.T) {
+	p, err := PlanSplit(1000, 2, 2, 100, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ShardSize < 100 || p.ShardSize > 250 {
+		t.Fatalf("ShardSize = %d outside [100,250]", p.ShardSize)
+	}
+}
+
+func TestPlanSplitInfeasible(t *testing.T) {
+	if _, err := PlanSplit(10, 1, 1, 8, 9); err == nil {
+		// 10 samples cannot split into shards of 8..9 evenly? 10/9=1.11 →
+		// loSub=2 → shard 5 < 8 → infeasible.
+		t.Fatal("expected infeasible split to error")
+	}
+	if _, err := PlanSplit(0, 1, 1, 1, 0); err == nil {
+		t.Fatal("empty dataset must error")
+	}
+	if _, err := PlanSplit(100, 1, 1, 50, 10); err == nil {
+		t.Fatal("min > max must error")
+	}
+}
+
+func TestPlanSplitDegenerateInputsClamped(t *testing.T) {
+	p, err := PlanSplit(100, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Subtasks < 1 {
+		t.Fatalf("Subtasks = %d", p.Subtasks)
+	}
+}
+
+// Property: any successful plan keeps the shard size within bounds and the
+// subtask count feasible for the dataset.
+func TestPlanSplitInvariantsProperty(t *testing.T) {
+	f := func(nRaw uint16, cRaw, tRaw, minRaw uint8) bool {
+		n := int(nRaw)%5000 + 100
+		clients := int(cRaw)%8 + 1
+		tasks := int(tRaw)%8 + 1
+		minShard := int(minRaw)%20 + 1
+		maxShard := minShard * 4
+		p, err := PlanSplit(n, clients, tasks, minShard, maxShard)
+		if err != nil {
+			return true // infeasible is a legal outcome
+		}
+		if p.Subtasks < 1 || p.Subtasks > n {
+			return false
+		}
+		size := n / p.Subtasks
+		return size >= minShard && size <= maxShard+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecommendPServers(t *testing.T) {
+	// 10 slots finishing a subtask every 144s → 0.069 results/s; at
+	// 19.2 s per assimilation the pool needs ⌈1.33⌉ = 2 servers.
+	if got := RecommendPServers(5, 2, 144, 19.2, 8); got != 2 {
+		t.Fatalf("RecommendPServers = %d, want 2", got)
+	}
+	// 24 slots at T8 with slower subtasks (389 s) → ⌈24/389×19.2⌉ = 2.
+	if got := RecommendPServers(3, 8, 389, 19.2, 8); got != 2 {
+		t.Fatalf("T8 recommendation = %d, want 2", got)
+	}
+	// Heavy assimilation saturates the server instance cap.
+	if got := RecommendPServers(10, 8, 60, 30, 8); got != 8 {
+		t.Fatalf("capped recommendation = %d, want 8", got)
+	}
+	if got := RecommendPServers(0, 0, 0, 0, 8); got != 1 {
+		t.Fatalf("degenerate recommendation = %d, want 1", got)
+	}
+}

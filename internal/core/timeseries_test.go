@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"vcdl/internal/data"
+	"vcdl/internal/nn"
+)
+
+// TestRunLocalTimeSeries exercises the §V extension end to end: the
+// distributed pipeline trains a next-step forecaster (rank-2 inputs, MLP
+// model) with a vertical fleet, exactly as the paper prescribes for small
+// time-series workloads.
+func TestRunLocalTimeSeries(t *testing.T) {
+	cfg := data.DefaultTimeSeriesConfig()
+	cfg.NTrain, cfg.NVal, cfg.NTest = 800, 160, 160
+	corpus, err := data.GenerateTimeSeries(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanSplit(corpus.Train.N(), 2, 4, 50, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := DefaultJobConfig(nn.MLPBuilder(cfg.Window, []int{24}, cfg.Buckets))
+	job.Subtasks = plan.Subtasks
+	job.MaxEpochs = 6
+	job.BatchSize = 25
+	job.LocalPasses = 2
+	job.LearningRate = 0.01
+
+	res, err := RunLocal(job, corpus, LocalConfig{Clients: 2, TasksPerClient: 4, PServers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 buckets → chance is 0.2; the forecaster must beat it clearly.
+	if res.Curve.FinalValue() < 0.3 {
+		t.Fatalf("forecaster failed to learn: %v", res.Curve.FinalValue())
+	}
+	eval := NewEvaluator(job.Builder, corpus.Test, 0, 80)
+	if acc := eval.Accuracy(res.FinalParams); acc < 0.3 {
+		t.Fatalf("test accuracy %v below threshold", acc)
+	}
+}

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"math/rand"
+
+	"vcdl/internal/data"
+	"vcdl/internal/nn"
+	"vcdl/internal/opt"
+)
+
+// Warmstart trains net serially and synchronously on the full training
+// set for cfg.WarmstartEpochs epochs, in place. Downpour SGD used this to
+// start distributed training from a partially converged model and soften
+// the delayed-gradient problem (§II-B of the paper); the runners invoke
+// it automatically when cfg.WarmstartEpochs > 0.
+func Warmstart(net *nn.Network, cfg JobConfig, train *data.Dataset) {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x57a7))
+	optimizer := opt.NewAdam(cfg.LearningRate)
+	local := train.Subset(0, train.N())
+	for e := 0; e < cfg.WarmstartEpochs; e++ {
+		local.Shuffle(rng)
+		for start := 0; start < local.N(); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > local.N() {
+				end = local.N()
+			}
+			x, labels := local.Batch(start, end)
+			net.ZeroGrads()
+			net.TrainBatch(x, labels)
+			optimizer.Step(net.ParamTensors(), net.GradTensors())
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package data provides the image-classification workload for VCDL
+// experiments: a seeded synthetic dataset ("SynthCIFAR") standing in for
+// CIFAR-10 (see DESIGN.md §1), dataset splitting into the per-subtask
+// shards the paper's work generator produces (50 shards for CIFAR-10), and
+// compressed shard serialization analogous to the paper's 3.9 MB .npz
+// shard files.
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vcdl/internal/tensor"
+)
+
+// Dataset is a labelled image set with images in NCHW layout.
+type Dataset struct {
+	X      *tensor.Tensor // [N, C, H, W]
+	Labels []int
+}
+
+// N returns the number of samples.
+func (d *Dataset) N() int { return len(d.Labels) }
+
+// Classes returns 1 + the maximum label (0 for an empty dataset).
+func (d *Dataset) Classes() int {
+	m := -1
+	for _, l := range d.Labels {
+		if l > m {
+			m = l
+		}
+	}
+	return m + 1
+}
+
+// Batch returns samples [start, end) as a view tensor plus their labels.
+func (d *Dataset) Batch(start, end int) (*tensor.Tensor, []int) {
+	if start < 0 || end > d.N() || start > end {
+		panic(fmt.Sprintf("data: batch [%d,%d) out of range [0,%d)", start, end, d.N()))
+	}
+	sample := d.X.Size() / d.N()
+	shape := append([]int{end - start}, d.X.Shape()[1:]...)
+	return tensor.FromSlice(d.X.Data[start*sample:end*sample], shape...), d.Labels[start:end]
+}
+
+// Shuffle permutes samples in place using rng.
+func (d *Dataset) Shuffle(rng *rand.Rand) {
+	n := d.N()
+	if n < 2 {
+		return
+	}
+	sample := d.X.Size() / n
+	tmp := make([]float64, sample)
+	rng.Shuffle(n, func(i, j int) {
+		d.Labels[i], d.Labels[j] = d.Labels[j], d.Labels[i]
+		a := d.X.Data[i*sample : (i+1)*sample]
+		b := d.X.Data[j*sample : (j+1)*sample]
+		copy(tmp, a)
+		copy(a, b)
+		copy(b, tmp)
+	})
+}
+
+// Subset returns a deep copy of samples [start, end).
+func (d *Dataset) Subset(start, end int) *Dataset {
+	x, labels := d.Batch(start, end)
+	return &Dataset{X: x.Clone(), Labels: append([]int(nil), labels...)}
+}
+
+// Split partitions the dataset into k shards of near-equal size (the first
+// N mod k shards receive one extra sample). This is the work generator's
+// data-parallel split: the paper splits CIFAR-10's 50,000 training images
+// into 50 subsets of 1,000.
+func (d *Dataset) Split(k int) []*Dataset {
+	if k < 1 {
+		panic("data: Split needs k >= 1")
+	}
+	n := d.N()
+	shards := make([]*Dataset, 0, k)
+	base, extra := n/k, n%k
+	start := 0
+	for i := 0; i < k; i++ {
+		sz := base
+		if i < extra {
+			sz++
+		}
+		shards = append(shards, d.Subset(start, start+sz))
+		start += sz
+	}
+	return shards
+}
+
+// Corpus bundles the train/validation/test splits of one problem.
+type Corpus struct {
+	Train, Val, Test *Dataset
+	Config           SynthConfig
+}

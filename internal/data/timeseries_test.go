@@ -1,0 +1,134 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateTimeSeriesShapes(t *testing.T) {
+	cfg := DefaultTimeSeriesConfig()
+	cfg.NTrain, cfg.NVal, cfg.NTest = 300, 60, 60
+	c, err := GenerateTimeSeries(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Train.N() != 300 || c.Val.N() != 60 || c.Test.N() != 60 {
+		t.Fatalf("split sizes %d/%d/%d", c.Train.N(), c.Val.N(), c.Test.N())
+	}
+	if c.Train.X.Rank() != 2 || c.Train.X.Dim(1) != cfg.Window {
+		t.Fatalf("train shape %v", c.Train.X.Shape())
+	}
+	for _, l := range c.Train.Labels {
+		if l < 0 || l >= cfg.Buckets {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestGenerateTimeSeriesDeterministic(t *testing.T) {
+	cfg := DefaultTimeSeriesConfig()
+	cfg.NTrain, cfg.NVal, cfg.NTest = 200, 40, 40
+	a, err := GenerateTimeSeries(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateTimeSeries(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Train.X.Data {
+		if a.Train.X.Data[i] != b.Train.X.Data[i] {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+}
+
+func TestTimeSeriesBucketsBalanced(t *testing.T) {
+	cfg := DefaultTimeSeriesConfig()
+	cfg.NTrain, cfg.NVal, cfg.NTest = 1000, 100, 100
+	c, err := GenerateTimeSeries(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, cfg.Buckets)
+	for _, l := range c.Train.Labels {
+		counts[l]++
+	}
+	// Quantile bucketing on the training next-steps must give near-equal
+	// class frequencies (within 50% of the ideal share).
+	ideal := float64(cfg.NTrain) / float64(cfg.Buckets)
+	for k, n := range counts {
+		if math.Abs(float64(n)-ideal) > ideal*0.5 {
+			t.Fatalf("bucket %d has %d samples, ideal %v", k, n, ideal)
+		}
+	}
+}
+
+func TestTimeSeriesValidateErrors(t *testing.T) {
+	bad := []TimeSeriesConfig{
+		{Window: 1, Buckets: 5, NTrain: 100, Periods: []int{24}},
+		{Window: 24, Buckets: 1, NTrain: 100, Periods: []int{24}},
+		{Window: 24, Buckets: 5, NTrain: 2, Periods: []int{24}},
+		{Window: 24, Buckets: 5, NTrain: 100, Periods: nil},
+		{Window: 24, Buckets: 5, NTrain: 100, Periods: []int{24}, NoiseStd: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("config %d should be invalid", i)
+		}
+	}
+}
+
+func TestTimeSeriesSplitsIntoShards(t *testing.T) {
+	// The paper's point: time-series training data is small, so the data
+	// parallel split yields tiny shards. The pipeline must still work.
+	cfg := DefaultTimeSeriesConfig()
+	cfg.NTrain, cfg.NVal, cfg.NTest = 200, 40, 40
+	c, err := GenerateTimeSeries(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := c.Train.Split(50)
+	if len(shards) != 50 {
+		t.Fatalf("%d shards", len(shards))
+	}
+	if shards[0].N() != 4 {
+		t.Fatalf("shard size %d, want 4", shards[0].N())
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3, 0, 9, 8, 7, 6}
+	b := quantileBounds(xs, 5)
+	if len(b) != 4 {
+		t.Fatalf("bounds %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not increasing: %v", b)
+		}
+	}
+	if bucketOf(-1, b) != 0 || bucketOf(100, b) != 4 {
+		t.Fatal("extreme values must map to edge buckets")
+	}
+}
+
+func TestTimeSeriesEncodeDecode(t *testing.T) {
+	cfg := DefaultTimeSeriesConfig()
+	cfg.NTrain, cfg.NVal, cfg.NTest = 100, 20, 20
+	c, err := GenerateTimeSeries(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := c.Train.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != c.Train.N() || back.X.Dim(1) != cfg.Window {
+		t.Fatalf("round trip shape %v", back.X.Shape())
+	}
+}

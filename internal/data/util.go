@@ -1,0 +1,15 @@
+package data
+
+import (
+	"sort"
+
+	"vcdl/internal/tensor"
+)
+
+// newMatrix wraps flat data as a rank-2 [n, w] tensor.
+func newMatrix(flat []float64, n, w int) *tensor.Tensor {
+	return tensor.FromSlice(flat, n, w)
+}
+
+// sortSlice sorts float64s ascending.
+func sortSlice(xs []float64) { sort.Float64s(xs) }

@@ -1,0 +1,230 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"vcdl/internal/tensor"
+)
+
+// Additional activations and regularization layers. The paper's CIFAR-10
+// model deliberately omits dropout and regularization (§IV-A: "to keep our
+// model simple"), but a usable library provides them; they are exercised
+// by tests and available to downstream models.
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	out *tensor.Tensor
+}
+
+// NewTanh returns a Tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return "tanh" }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	t.out = tensor.Map(x, math.Tanh)
+	return t.out
+}
+
+// Backward implements Layer: d tanh = 1 − tanh².
+func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	for i, y := range t.out.Data {
+		out.Data[i] *= 1 - y*y
+	}
+	return out
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (t *Tanh) Grads() []*tensor.Tensor { return nil }
+
+// Init implements Layer.
+func (t *Tanh) Init(*rand.Rand) {}
+
+// Sigmoid is the logistic activation.
+type Sigmoid struct {
+	out *tensor.Tensor
+}
+
+// NewSigmoid returns a Sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return "sigmoid" }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	s.out = tensor.Map(x, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	return s.out
+}
+
+// Backward implements Layer: dσ = σ(1−σ).
+func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	for i, y := range s.out.Data {
+		out.Data[i] *= y * (1 - y)
+	}
+	return out
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (s *Sigmoid) Grads() []*tensor.Tensor { return nil }
+
+// Init implements Layer.
+func (s *Sigmoid) Init(*rand.Rand) {}
+
+// Dropout zeroes activations with probability P during training and
+// rescales survivors by 1/(1−P) (inverted dropout); inference is the
+// identity.
+type Dropout struct {
+	P    float64
+	rng  *rand.Rand
+	mask []bool
+}
+
+// NewDropout creates a dropout layer with drop probability p.
+func NewDropout(p float64) *Dropout {
+	if p < 0 {
+		p = 0
+	}
+	if p >= 1 {
+		p = 0.99
+	}
+	return &Dropout{P: p, rng: rand.New(rand.NewSource(1))}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return "dropout" }
+
+// Init implements Layer: reseeds the mask source so cloned networks drop
+// independently yet reproducibly.
+func (d *Dropout) Init(rng *rand.Rand) {
+	d.rng = rand.New(rand.NewSource(rng.Int63()))
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	if !training || d.P == 0 {
+		d.mask = d.mask[:0]
+		return x
+	}
+	out := x.Clone()
+	if cap(d.mask) < x.Size() {
+		d.mask = make([]bool, x.Size())
+	}
+	d.mask = d.mask[:x.Size()]
+	scale := 1 / (1 - d.P)
+	for i := range out.Data {
+		if d.rng.Float64() < d.P {
+			d.mask[i] = false
+			out.Data[i] = 0
+		} else {
+			d.mask[i] = true
+			out.Data[i] *= scale
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if len(d.mask) == 0 {
+		return grad
+	}
+	out := grad.Clone()
+	scale := 1 / (1 - d.P)
+	for i := range out.Data {
+		if d.mask[i] {
+			out.Data[i] *= scale
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (d *Dropout) Grads() []*tensor.Tensor { return nil }
+
+// AvgPool2D downsamples NCHW activations with non-overlapping K×K mean
+// windows. H and W must be divisible by K.
+type AvgPool2D struct {
+	K       int
+	inShape []int
+}
+
+// NewAvgPool2D creates an average-pooling layer with window and stride k.
+func NewAvgPool2D(k int) *AvgPool2D { return &AvgPool2D{K: k} }
+
+// Name implements Layer.
+func (p *AvgPool2D) Name() string { return "avgpool2d" }
+
+// Forward implements Layer.
+func (p *AvgPool2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if h%p.K != 0 || w%p.K != 0 {
+		panic("nn: AvgPool2D input not divisible by window")
+	}
+	oh, ow := h/p.K, w/p.K
+	p.inShape = append(p.inShape[:0], n, c, h, w)
+	out := tensor.New(n, c, oh, ow)
+	inv := 1.0 / float64(p.K*p.K)
+	for i := 0; i < n*c; i++ {
+		plane := x.Data[i*h*w:]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				s := 0.0
+				for ky := 0; ky < p.K; ky++ {
+					for kx := 0; kx < p.K; kx++ {
+						s += plane[(oy*p.K+ky)*w+ox*p.K+kx]
+					}
+				}
+				out.Data[(i*oh+oy)*ow+ox] = s * inv
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
+	oh, ow := h/p.K, w/p.K
+	out := tensor.New(n, c, h, w)
+	inv := 1.0 / float64(p.K*p.K)
+	for i := 0; i < n*c; i++ {
+		plane := out.Data[i*h*w:]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				g := grad.Data[(i*oh+oy)*ow+ox] * inv
+				for ky := 0; ky < p.K; ky++ {
+					for kx := 0; kx < p.K; kx++ {
+						plane[(oy*p.K+ky)*w+ox*p.K+kx] += g
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (p *AvgPool2D) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (p *AvgPool2D) Grads() []*tensor.Tensor { return nil }
+
+// Init implements Layer.
+func (p *AvgPool2D) Init(*rand.Rand) {}

@@ -1,0 +1,171 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vcdl/internal/tensor"
+)
+
+func TestGradCheckTanh(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	net := NewNetwork(func() []Layer {
+		return []Layer{NewDense(4, 5), NewTanh(), NewDense(5, 3)}
+	})
+	net.Init(rng)
+	x, labels := randomBatch(rng, []int{4, 4}, 3)
+	checkGradients(t, net, x, labels, 1e-5, 1e-4)
+}
+
+func TestGradCheckSigmoid(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	net := NewNetwork(func() []Layer {
+		return []Layer{NewDense(4, 5), NewSigmoid(), NewDense(5, 3)}
+	})
+	net.Init(rng)
+	x, labels := randomBatch(rng, []int{4, 4}, 3)
+	checkGradients(t, net, x, labels, 1e-5, 1e-4)
+}
+
+func TestGradCheckAvgPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	net := NewNetwork(func() []Layer {
+		return []Layer{
+			NewConv2D(1, 2, 3, 1, 1),
+			NewAvgPool2D(2),
+			NewFlatten(),
+			NewDense(2*2*2, 3),
+		}
+	})
+	net.Init(rng)
+	x, labels := randomBatch(rng, []int{3, 1, 4, 4}, 3)
+	checkGradients(t, net, x, labels, 1e-5, 1e-4)
+}
+
+func TestTanhRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	x := tensor.New(100)
+	x.RandNormal(0, 10, rng)
+	out := NewTanh().Forward(x, true)
+	for _, v := range out.Data {
+		if v < -1 || v > 1 {
+			t.Fatalf("tanh out of range: %v", v)
+		}
+	}
+}
+
+func TestSigmoidRange(t *testing.T) {
+	x := tensor.FromSlice([]float64{-1000, 0, 1000}, 3)
+	out := NewSigmoid().Forward(x, true)
+	if out.Data[0] > 1e-6 || math.Abs(out.Data[1]-0.5) > 1e-12 || out.Data[2] < 1-1e-6 {
+		t.Fatalf("sigmoid values: %v", out.Data)
+	}
+}
+
+func TestDropoutInferenceIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	d := NewDropout(0.5)
+	d.Init(rng)
+	x := tensor.New(1000)
+	x.Fill(1)
+	out := d.Forward(x, false)
+	for _, v := range out.Data {
+		if v != 1 {
+			t.Fatal("inference dropout must be identity")
+		}
+	}
+}
+
+func TestDropoutTrainingDropsAndRescales(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	d := NewDropout(0.5)
+	d.Init(rng)
+	x := tensor.New(10000)
+	x.Fill(1)
+	out := d.Forward(x, true)
+	dropped := 0
+	for _, v := range out.Data {
+		switch v {
+		case 0:
+			dropped++
+		case 2: // 1/(1-0.5)
+		default:
+			t.Fatalf("unexpected dropout output %v", v)
+		}
+	}
+	rate := float64(dropped) / float64(x.Size())
+	if math.Abs(rate-0.5) > 0.03 {
+		t.Fatalf("drop rate %v, want ≈0.5", rate)
+	}
+	// Expectation is preserved: mean of survivors ≈ 1.
+	if m := out.Mean(); math.Abs(m-1) > 0.05 {
+		t.Fatalf("dropout mean %v, want ≈1", m)
+	}
+}
+
+func TestDropoutBackwardMatchesMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	d := NewDropout(0.3)
+	d.Init(rng)
+	x := tensor.New(500)
+	x.Fill(1)
+	out := d.Forward(x, true)
+	grad := tensor.New(500)
+	grad.Fill(1)
+	back := d.Backward(grad)
+	for i := range out.Data {
+		if (out.Data[i] == 0) != (back.Data[i] == 0) {
+			t.Fatal("backward mask disagrees with forward mask")
+		}
+	}
+}
+
+func TestDropoutProbabilityClamped(t *testing.T) {
+	if NewDropout(-1).P != 0 {
+		t.Fatal("negative p should clamp to 0")
+	}
+	if NewDropout(1.5).P >= 1 {
+		t.Fatal("p must stay below 1")
+	}
+}
+
+func TestAvgPoolValues(t *testing.T) {
+	x := tensor.FromSlice([]float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	out := NewAvgPool2D(2).Forward(x, true)
+	want := []float64{3.5, 5.5, 11.5, 13.5}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("avg pool = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestDropoutInNetworkStillLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	net := NewNetwork(func() []Layer {
+		return []Layer{NewDense(8, 16), NewReLU(), NewDropout(0.2), NewDense(16, 3)}
+	})
+	net.Init(rng)
+	x, labels := randomBatch(rng, []int{24, 8}, 3)
+	first := lossOf(net, x, labels)
+	for i := 0; i < 60; i++ {
+		net.ZeroGrads()
+		net.TrainBatch(x, labels)
+		params, grads := net.ParamTensors(), net.GradTensors()
+		for j := range params {
+			params[j].Axpy(-0.05, grads[j])
+		}
+	}
+	// Evaluate without dropout.
+	logits := net.Forward(x, false)
+	last, _, _ := net.Loss.LossAndGrad(logits, labels)
+	if last >= first {
+		t.Fatalf("dropout network did not learn: %v -> %v", first, last)
+	}
+}

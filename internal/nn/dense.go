@@ -1,0 +1,58 @@
+package nn
+
+import (
+	"math/rand"
+
+	"vcdl/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = xW + b with x of shape [N, in].
+type Dense struct {
+	In, Out int
+	W, B    *tensor.Tensor
+	dW, dB  *tensor.Tensor
+	x       *tensor.Tensor
+}
+
+// NewDense creates a Dense layer with zero parameters; call Init (or
+// Network.Init) before use.
+func NewDense(in, out int) *Dense {
+	return &Dense{
+		In: in, Out: out,
+		W:  tensor.New(in, out),
+		B:  tensor.New(out),
+		dW: tensor.New(in, out),
+		dB: tensor.New(out),
+	}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return "dense" }
+
+// Init implements Layer using He-normal initialization.
+func (d *Dense) Init(rng *rand.Rand) {
+	d.W.HeNormal(d.In, rng)
+	d.B.Zero()
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	d.x = x
+	out := tensor.MatMul(x, d.W)
+	out.AddRowVector(d.B)
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	// dW += xᵀ grad ; dB += column sums ; dX = grad Wᵀ
+	d.dW.AddInPlace(tensor.MatMulTransA(d.x, grad))
+	d.dB.AddInPlace(tensor.SumRows(grad))
+	return tensor.MatMulTransB(grad, d.W)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.W, d.B} }
+
+// Grads implements Layer.
+func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.dW, d.dB} }

@@ -1,0 +1,200 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vcdl/internal/tensor"
+)
+
+// numericalLossGrad computes the loss of net on (x, labels) — a pure
+// function of the current parameters — used for central finite differences.
+func lossOf(net *Network, x *tensor.Tensor, labels []int) float64 {
+	logits := net.Forward(x, true)
+	loss, _, _ := net.Loss.LossAndGrad(logits, labels)
+	return loss
+}
+
+// checkGradients compares analytic parameter gradients against central
+// finite differences for a batch. It checks a subsample of parameter slots
+// to keep the test fast on conv nets.
+func checkGradients(t *testing.T, net *Network, x *tensor.Tensor, labels []int, eps, tol float64) {
+	t.Helper()
+	net.ZeroGrads()
+	net.TrainBatch(x, labels)
+	params := net.ParamTensors()
+	grads := net.GradTensors()
+	rng := rand.New(rand.NewSource(99))
+	for pi, p := range params {
+		n := p.Size()
+		checks := n
+		if checks > 12 {
+			checks = 12
+		}
+		for k := 0; k < checks; k++ {
+			j := rng.Intn(n)
+			orig := p.Data[j]
+			p.Data[j] = orig + eps
+			lp := lossOf(net, x, labels)
+			p.Data[j] = orig - eps
+			lm := lossOf(net, x, labels)
+			p.Data[j] = orig
+			want := (lp - lm) / (2 * eps)
+			got := grads[pi].Data[j]
+			scale := math.Max(1, math.Max(math.Abs(want), math.Abs(got)))
+			if math.Abs(want-got)/scale > tol {
+				t.Fatalf("param %d slot %d: analytic %g vs numeric %g", pi, j, got, want)
+			}
+		}
+	}
+}
+
+func randomBatch(rng *rand.Rand, shape []int, classes int) (*tensor.Tensor, []int) {
+	x := tensor.New(shape...)
+	x.RandNormal(0, 1, rng)
+	labels := make([]int, shape[0])
+	for i := range labels {
+		labels[i] = rng.Intn(classes)
+	}
+	return x, labels
+}
+
+func TestGradCheckDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewNetwork(MLPBuilder(6, []int{5}, 3))
+	net.Init(rng)
+	x, labels := randomBatch(rng, []int{4, 6}, 3)
+	checkGradients(t, net, x, labels, 1e-5, 1e-5)
+}
+
+func TestGradCheckDeepMLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := NewNetwork(MLPBuilder(4, []int{8, 8, 8}, 4))
+	net.Init(rng)
+	x, labels := randomBatch(rng, []int{5, 4}, 4)
+	checkGradients(t, net, x, labels, 1e-5, 1e-4)
+}
+
+func TestGradCheckConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := NewNetwork(func() []Layer {
+		return []Layer{
+			NewConv2D(2, 3, 3, 1, 1),
+			NewReLU(),
+			NewFlatten(),
+			NewDense(3*4*4, 3),
+		}
+	})
+	net.Init(rng)
+	x, labels := randomBatch(rng, []int{3, 2, 4, 4}, 3)
+	checkGradients(t, net, x, labels, 1e-5, 1e-4)
+}
+
+func TestGradCheckConvStride2(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := NewNetwork(func() []Layer {
+		return []Layer{
+			NewConv2D(1, 2, 3, 2, 1),
+			NewFlatten(),
+			NewDense(2*3*3, 2),
+		}
+	})
+	net.Init(rng)
+	x, labels := randomBatch(rng, []int{2, 1, 6, 6}, 2)
+	checkGradients(t, net, x, labels, 1e-5, 1e-4)
+}
+
+func TestGradCheckMaxPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := NewNetwork(func() []Layer {
+		return []Layer{
+			NewConv2D(1, 2, 3, 1, 1),
+			NewMaxPool2D(2),
+			NewFlatten(),
+			NewDense(2*2*2, 3),
+		}
+	})
+	net.Init(rng)
+	x, labels := randomBatch(rng, []int{3, 1, 4, 4}, 3)
+	checkGradients(t, net, x, labels, 1e-5, 1e-4)
+}
+
+func TestGradCheckBatchNormDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := NewNetwork(func() []Layer {
+		return []Layer{
+			NewDense(5, 6),
+			NewBatchNorm(6),
+			NewReLU(),
+			NewDense(6, 3),
+		}
+	})
+	net.Init(rng)
+	x, labels := randomBatch(rng, []int{6, 5}, 3)
+	checkGradients(t, net, x, labels, 1e-5, 1e-3)
+}
+
+func TestGradCheckBatchNormConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := NewNetwork(func() []Layer {
+		return []Layer{
+			NewConv2D(2, 3, 3, 1, 1),
+			NewBatchNorm(3),
+			NewReLU(),
+			NewFlatten(),
+			NewDense(3*4*4, 2),
+		}
+	})
+	net.Init(rng)
+	x, labels := randomBatch(rng, []int{4, 2, 4, 4}, 2)
+	checkGradients(t, net, x, labels, 1e-5, 1e-3)
+}
+
+func TestGradCheckResidualBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	net := NewNetwork(func() []Layer {
+		return []Layer{
+			NewConv2D(1, 4, 3, 1, 1),
+			preActBlock(4),
+			NewGlobalAvgPool2D(),
+			NewDense(4, 3),
+		}
+	})
+	net.Init(rng)
+	x, labels := randomBatch(rng, []int{3, 1, 4, 4}, 3)
+	checkGradients(t, net, x, labels, 1e-5, 1e-3)
+}
+
+func TestGradCheckResidualProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := NewNetwork(func() []Layer {
+		return []Layer{
+			NewResidualProj(
+				[]Layer{NewConv2D(2, 4, 1, 1, 0)},
+				NewConv2D(2, 4, 3, 1, 1),
+				NewReLU(),
+				NewConv2D(4, 4, 3, 1, 1),
+			),
+			NewGlobalAvgPool2D(),
+			NewDense(4, 2),
+		}
+	})
+	net.Init(rng)
+	x, labels := randomBatch(rng, []int{2, 2, 4, 4}, 2)
+	checkGradients(t, net, x, labels, 1e-5, 1e-3)
+}
+
+func TestGradCheckGlobalAvgPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	net := NewNetwork(func() []Layer {
+		return []Layer{
+			NewConv2D(1, 3, 3, 1, 1),
+			NewGlobalAvgPool2D(),
+			NewDense(3, 2),
+		}
+	})
+	net.Init(rng)
+	x, labels := randomBatch(rng, []int{3, 1, 5, 5}, 2)
+	checkGradients(t, net, x, labels, 1e-5, 1e-4)
+}

@@ -1,0 +1,114 @@
+// Package nn implements the neural-network substrate of VCDL: layers with
+// explicit forward/backward passes, a sequential Network container with
+// residual blocks, a softmax cross-entropy head, and flat parameter
+// import/export so the parameter server and stores can treat a model as one
+// opaque vector (the paper stores all parameters of a model as a single
+// value).
+package nn
+
+import (
+	"math/rand"
+
+	"vcdl/internal/tensor"
+)
+
+// Layer is a differentiable network stage. Forward consumes the previous
+// activation; Backward consumes dLoss/dOutput and returns dLoss/dInput,
+// accumulating parameter gradients internally. Layers cache whatever they
+// need between the two calls and are not safe for concurrent use; each
+// training client owns a private clone of the network.
+type Layer interface {
+	// Name identifies the layer kind for debugging and serialization.
+	Name() string
+	// Forward computes the layer output. training toggles behaviour that
+	// differs between training and inference (e.g. batch-norm statistics).
+	Forward(x *tensor.Tensor, training bool) *tensor.Tensor
+	// Backward propagates the gradient and accumulates parameter grads.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the trainable parameter tensors (may be empty).
+	Params() []*tensor.Tensor
+	// Grads returns gradient tensors aligned 1:1 with Params.
+	Grads() []*tensor.Tensor
+	// Init (re)initializes parameters using rng.
+	Init(rng *rand.Rand)
+}
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	out := x.Clone()
+	if cap(r.mask) < x.Size() {
+		r.mask = make([]bool, x.Size())
+	}
+	r.mask = r.mask[:x.Size()]
+	for i, v := range out.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (r *ReLU) Grads() []*tensor.Tensor { return nil }
+
+// Init implements Layer.
+func (r *ReLU) Init(*rand.Rand) {}
+
+// Flatten reshapes [N, ...] activations to [N, features].
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "flatten" }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	f.inShape = append(f.inShape[:0], x.Shape()...)
+	return x.Reshape(x.Dim(0), -1)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (f *Flatten) Grads() []*tensor.Tensor { return nil }
+
+// Init implements Layer.
+func (f *Flatten) Init(*rand.Rand) {}

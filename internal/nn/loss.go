@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"vcdl/internal/tensor"
+)
+
+// SoftmaxCrossEntropy fuses the softmax activation with the categorical
+// cross-entropy loss, the standard classification head. Labels are class
+// indices.
+type SoftmaxCrossEntropy struct{}
+
+// LossAndGrad computes the mean cross-entropy loss over the batch, the
+// gradient with respect to the logits, and the number of correct argmax
+// predictions. logits has shape [N, classes].
+func (SoftmaxCrossEntropy) LossAndGrad(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor, correct int) {
+	if logits.Rank() != 2 {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy expects [N, classes], got %v", logits.Shape()))
+	}
+	n, c := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), n))
+	}
+	grad = tensor.New(n, c)
+	invN := 1.0 / float64(n)
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*c : (i+1)*c]
+		label := labels[i]
+		if label < 0 || label >= c {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", label, c))
+		}
+		// Numerically stable log-sum-exp.
+		maxV := row[0]
+		argmax := 0
+		for j, v := range row {
+			if v > maxV {
+				maxV, argmax = v, j
+			}
+		}
+		if argmax == label {
+			correct++
+		}
+		sumExp := 0.0
+		for _, v := range row {
+			sumExp += math.Exp(v - maxV)
+		}
+		logSumExp := maxV + math.Log(sumExp)
+		loss += (logSumExp - row[label]) * invN
+		gi := grad.Data[i*c : (i+1)*c]
+		for j, v := range row {
+			p := math.Exp(v - logSumExp)
+			gi[j] = p * invN
+		}
+		gi[label] -= invN
+	}
+	return loss, grad, correct
+}
+
+// Probabilities returns the softmax of each row of logits as a new tensor.
+func (SoftmaxCrossEntropy) Probabilities(logits *tensor.Tensor) *tensor.Tensor {
+	n, c := logits.Dim(0), logits.Dim(1)
+	out := tensor.New(n, c)
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*c : (i+1)*c]
+		maxV := row[0]
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		sumExp := 0.0
+		oi := out.Data[i*c : (i+1)*c]
+		for j, v := range row {
+			oi[j] = math.Exp(v - maxV)
+			sumExp += oi[j]
+		}
+		for j := range oi {
+			oi[j] /= sumExp
+		}
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package nn
+
+// Model builders. The paper trains a 552-layer ResNetV2 (4.97M parameters)
+// on CIFAR-10; the substitution (DESIGN.md §1) scales this to laptop size
+// while keeping the architectural family: a pre-activation residual CNN
+// with batch norm, global average pooling and a dense softmax head.
+
+// MLPBuilder returns a builder for a multilayer perceptron with the given
+// hidden widths.
+func MLPBuilder(in int, hidden []int, classes int) func() []Layer {
+	return func() []Layer {
+		var ls []Layer
+		prev := in
+		for _, h := range hidden {
+			ls = append(ls, NewDense(prev, h), NewReLU())
+			prev = h
+		}
+		ls = append(ls, NewDense(prev, classes))
+		return ls
+	}
+}
+
+// SmallCNNBuilder returns a compact conv net for [N, c, h, w] inputs:
+// two conv+BN+ReLU+pool stages followed by a dense head. h and w must be
+// divisible by 4.
+func SmallCNNBuilder(c, h, w, classes int) func() []Layer {
+	return func() []Layer {
+		return []Layer{
+			NewConv2D(c, 8, 3, 1, 1),
+			NewBatchNorm(8),
+			NewReLU(),
+			NewMaxPool2D(2),
+			NewConv2D(8, 16, 3, 1, 1),
+			NewBatchNorm(16),
+			NewReLU(),
+			NewMaxPool2D(2),
+			NewFlatten(),
+			NewDense(16*(h/4)*(w/4), classes),
+		}
+	}
+}
+
+// preActBlock builds one pre-activation residual block (BN→ReLU→Conv ×2),
+// the ResNetV2 pattern of He et al. used by the paper's model.
+func preActBlock(ch int) Layer {
+	return NewResidual(
+		NewBatchNorm(ch),
+		NewReLU(),
+		NewConv2D(ch, ch, 3, 1, 1),
+		NewBatchNorm(ch),
+		NewReLU(),
+		NewConv2D(ch, ch, 3, 1, 1),
+	)
+}
+
+// MiniResNetV2Builder returns a scaled-down ResNetV2: a conv stem, `blocks`
+// pre-activation residual blocks at constant width, global average pooling
+// and a dense classifier. Inputs are [N, c, h, w].
+func MiniResNetV2Builder(c, h, w, width, blocks, classes int) func() []Layer {
+	return func() []Layer {
+		ls := []Layer{NewConv2D(c, width, 3, 1, 1)}
+		for i := 0; i < blocks; i++ {
+			ls = append(ls, preActBlock(width))
+		}
+		ls = append(ls,
+			NewBatchNorm(width),
+			NewReLU(),
+			NewGlobalAvgPool2D(),
+			NewDense(width, classes),
+		)
+		return ls
+	}
+}

@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vcdl/internal/tensor"
+)
+
+// MaxPool2D downsamples NCHW activations with non-overlapping K×K windows
+// (stride == K). H and W must be divisible by K.
+type MaxPool2D struct {
+	K int
+
+	inShape []int
+	argmax  []int
+}
+
+// NewMaxPool2D creates a max-pooling layer with window and stride k.
+func NewMaxPool2D(k int) *MaxPool2D { return &MaxPool2D{K: k} }
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return "maxpool2d" }
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: MaxPool2D expects NCHW, got %v", x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if h%p.K != 0 || w%p.K != 0 {
+		panic(fmt.Sprintf("nn: MaxPool2D input %dx%d not divisible by %d", h, w, p.K))
+	}
+	oh, ow := h/p.K, w/p.K
+	p.inShape = append(p.inShape[:0], n, c, h, w)
+	out := tensor.New(n, c, oh, ow)
+	if cap(p.argmax) < out.Size() {
+		p.argmax = make([]int, out.Size())
+	}
+	p.argmax = p.argmax[:out.Size()]
+	for i := 0; i < n*c; i++ {
+		plane := x.Data[i*h*w:]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := plane[oy*p.K*w+ox*p.K]
+				bestIdx := oy*p.K*w + ox*p.K
+				for ky := 0; ky < p.K; ky++ {
+					for kx := 0; kx < p.K; kx++ {
+						idx := (oy*p.K+ky)*w + ox*p.K + kx
+						if plane[idx] > best {
+							best, bestIdx = plane[idx], idx
+						}
+					}
+				}
+				o := (i*oh+oy)*ow + ox
+				out.Data[o] = best
+				p.argmax[o] = i*h*w + bestIdx
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(p.inShape...)
+	for o, src := range p.argmax {
+		out.Data[src] += grad.Data[o]
+	}
+	return out
+}
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (p *MaxPool2D) Grads() []*tensor.Tensor { return nil }
+
+// Init implements Layer.
+func (p *MaxPool2D) Init(*rand.Rand) {}
+
+// GlobalAvgPool2D reduces NCHW activations to [N, C] by averaging each
+// channel plane. It is the standard classifier head reduction in ResNets.
+type GlobalAvgPool2D struct {
+	inShape []int
+}
+
+// NewGlobalAvgPool2D creates a global average pooling layer.
+func NewGlobalAvgPool2D() *GlobalAvgPool2D { return &GlobalAvgPool2D{} }
+
+// Name implements Layer.
+func (p *GlobalAvgPool2D) Name() string { return "gap2d" }
+
+// Forward implements Layer.
+func (p *GlobalAvgPool2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: GlobalAvgPool2D expects NCHW, got %v", x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	p.inShape = append(p.inShape[:0], n, c, h, w)
+	out := tensor.New(n, c)
+	hw := float64(h * w)
+	for i := 0; i < n*c; i++ {
+		plane := x.Data[i*h*w : (i+1)*h*w]
+		s := 0.0
+		for _, v := range plane {
+			s += v
+		}
+		out.Data[i] = s / hw
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *GlobalAvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
+	out := tensor.New(n, c, h, w)
+	inv := 1.0 / float64(h*w)
+	for i := 0; i < n*c; i++ {
+		g := grad.Data[i] * inv
+		plane := out.Data[i*h*w : (i+1)*h*w]
+		for j := range plane {
+			plane[j] = g
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (p *GlobalAvgPool2D) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (p *GlobalAvgPool2D) Grads() []*tensor.Tensor { return nil }
+
+// Init implements Layer.
+func (p *GlobalAvgPool2D) Init(*rand.Rand) {}

@@ -1,0 +1,149 @@
+// Package opt provides the stochastic optimizers used by training clients:
+// plain SGD, SGD with momentum, and Adam (the paper's client-side optimizer,
+// used with a constant learning rate of 0.001 and no momentum tweaks), plus
+// learning-rate schedules.
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"vcdl/internal/tensor"
+)
+
+// Optimizer updates parameter tensors in place from aligned gradient
+// tensors. Implementations keep per-slot state (momenta) keyed by position,
+// so an optimizer instance must always be stepped with the same tensor
+// lists.
+type Optimizer interface {
+	// Step applies one update. params[i] is updated using grads[i].
+	Step(params, grads []*tensor.Tensor)
+	// LR returns the current base learning rate.
+	LR() float64
+	// SetLR replaces the base learning rate (used by schedules).
+	SetLR(lr float64)
+	// Name identifies the optimizer for logs and reports.
+	Name() string
+}
+
+// SGD is plain stochastic gradient descent: p -= lr * g.
+type SGD struct {
+	Rate float64
+}
+
+// NewSGD returns plain SGD with the given learning rate.
+func NewSGD(lr float64) *SGD { return &SGD{Rate: lr} }
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// LR implements Optimizer.
+func (s *SGD) LR() float64 { return s.Rate }
+
+// SetLR implements Optimizer.
+func (s *SGD) SetLR(lr float64) { s.Rate = lr }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params, grads []*tensor.Tensor) {
+	checkAligned(params, grads)
+	for i, p := range params {
+		p.Axpy(-s.Rate, grads[i])
+	}
+}
+
+// Momentum is SGD with classical momentum: v = mu*v + g ; p -= lr*v.
+type Momentum struct {
+	Rate, Mu float64
+	vel      [][]float64
+}
+
+// NewMomentum returns SGD with momentum mu.
+func NewMomentum(lr, mu float64) *Momentum { return &Momentum{Rate: lr, Mu: mu} }
+
+// Name implements Optimizer.
+func (m *Momentum) Name() string { return "momentum" }
+
+// LR implements Optimizer.
+func (m *Momentum) LR() float64 { return m.Rate }
+
+// SetLR implements Optimizer.
+func (m *Momentum) SetLR(lr float64) { m.Rate = lr }
+
+// Step implements Optimizer.
+func (m *Momentum) Step(params, grads []*tensor.Tensor) {
+	checkAligned(params, grads)
+	if m.vel == nil {
+		m.vel = make([][]float64, len(params))
+		for i, p := range params {
+			m.vel[i] = make([]float64, p.Size())
+		}
+	}
+	for i, p := range params {
+		v := m.vel[i]
+		g := grads[i].Data
+		for j := range v {
+			v[j] = m.Mu*v[j] + g[j]
+			p.Data[j] -= m.Rate * v[j]
+		}
+	}
+}
+
+// Adam implements Kingma & Ba's Adam with bias correction.
+type Adam struct {
+	Rate, Beta1, Beta2, Eps float64
+
+	t    int
+	m, v [][]float64
+}
+
+// NewAdam returns Adam with the standard defaults (β1=0.9, β2=0.999,
+// ε=1e-8) and the given learning rate. The paper uses lr=0.001.
+func NewAdam(lr float64) *Adam {
+	return &Adam{Rate: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+// LR implements Optimizer.
+func (a *Adam) LR() float64 { return a.Rate }
+
+// SetLR implements Optimizer.
+func (a *Adam) SetLR(lr float64) { a.Rate = lr }
+
+// Step implements Optimizer.
+func (a *Adam) Step(params, grads []*tensor.Tensor) {
+	checkAligned(params, grads)
+	if a.m == nil {
+		a.m = make([][]float64, len(params))
+		a.v = make([][]float64, len(params))
+		for i, p := range params {
+			a.m[i] = make([]float64, p.Size())
+			a.v[i] = make([]float64, p.Size())
+		}
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		m, v, g := a.m[i], a.v[i], grads[i].Data
+		for j := range g {
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g[j]
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g[j]*g[j]
+			mHat := m[j] / c1
+			vHat := v[j] / c2
+			p.Data[j] -= a.Rate * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+	}
+}
+
+func checkAligned(params, grads []*tensor.Tensor) {
+	if len(params) != len(grads) {
+		panic(fmt.Sprintf("opt: %d params but %d grads", len(params), len(grads)))
+	}
+	for i := range params {
+		if params[i].Size() != grads[i].Size() {
+			panic(fmt.Sprintf("opt: param %d size %d != grad size %d", i, params[i].Size(), grads[i].Size()))
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vcdl/internal/tensor"
+)
+
+func single(v float64) []*tensor.Tensor {
+	return []*tensor.Tensor{tensor.FromSlice([]float64{v}, 1)}
+}
+
+func TestSGDStep(t *testing.T) {
+	p := single(1.0)
+	g := single(0.5)
+	NewSGD(0.1).Step(p, g)
+	if math.Abs(p[0].Data[0]-0.95) > 1e-15 {
+		t.Fatalf("p = %v, want 0.95", p[0].Data[0])
+	}
+}
+
+func TestSGDMisalignedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misaligned Step did not panic")
+		}
+	}()
+	NewSGD(0.1).Step(single(1), nil)
+}
+
+func TestSGDSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size-mismatched Step did not panic")
+		}
+	}()
+	NewSGD(0.1).Step(single(1), []*tensor.Tensor{tensor.New(2)})
+}
+
+func TestMomentumAcceleratesOnConstantGradient(t *testing.T) {
+	// With a constant gradient, momentum's effective step grows toward
+	// lr/(1-mu): successive deltas must increase.
+	p := single(0)
+	g := single(1)
+	m := NewMomentum(0.1, 0.9)
+	prev := p[0].Data[0]
+	var deltas []float64
+	for i := 0; i < 5; i++ {
+		m.Step(p, g)
+		deltas = append(deltas, prev-p[0].Data[0])
+		prev = p[0].Data[0]
+	}
+	for i := 1; i < len(deltas); i++ {
+		if deltas[i] <= deltas[i-1] {
+			t.Fatalf("momentum deltas not increasing: %v", deltas)
+		}
+	}
+}
+
+func TestAdamFirstStepIsLR(t *testing.T) {
+	// With bias correction, Adam's first step magnitude ≈ lr regardless of
+	// gradient scale.
+	for _, scale := range []float64{1e-4, 1.0, 1e4} {
+		p := single(0)
+		g := single(scale)
+		NewAdam(0.001).Step(p, g)
+		if math.Abs(math.Abs(p[0].Data[0])-0.001) > 1e-6 {
+			t.Fatalf("first Adam step for grad %v = %v, want ≈0.001", scale, p[0].Data[0])
+		}
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize f(x) = (x-3)^2 ; gradient 2(x-3).
+	p := single(-5)
+	a := NewAdam(0.1)
+	g := single(0)
+	for i := 0; i < 2000; i++ {
+		g[0].Data[0] = 2 * (p[0].Data[0] - 3)
+		a.Step(p, g)
+	}
+	if math.Abs(p[0].Data[0]-3) > 1e-3 {
+		t.Fatalf("Adam converged to %v, want 3", p[0].Data[0])
+	}
+}
+
+func TestMomentumConvergesOnQuadratic(t *testing.T) {
+	p := single(-5)
+	m := NewMomentum(0.05, 0.9)
+	g := single(0)
+	for i := 0; i < 2000; i++ {
+		g[0].Data[0] = 2 * (p[0].Data[0] - 3)
+		m.Step(p, g)
+	}
+	if math.Abs(p[0].Data[0]-3) > 1e-3 {
+		t.Fatalf("momentum converged to %v, want 3", p[0].Data[0])
+	}
+}
+
+func TestOptimizerLRAccessors(t *testing.T) {
+	for _, o := range []Optimizer{NewSGD(0.1), NewMomentum(0.1, 0.9), NewAdam(0.1)} {
+		if o.LR() != 0.1 {
+			t.Fatalf("%s LR = %v", o.Name(), o.LR())
+		}
+		o.SetLR(0.2)
+		if o.LR() != 0.2 {
+			t.Fatalf("%s SetLR failed", o.Name())
+		}
+	}
+}
+
+func TestAdamStatePerSlot(t *testing.T) {
+	// Two parameters with different gradients must evolve independently.
+	p := []*tensor.Tensor{tensor.FromSlice([]float64{0, 0}, 2)}
+	g := []*tensor.Tensor{tensor.FromSlice([]float64{1, -1}, 2)}
+	a := NewAdam(0.01)
+	for i := 0; i < 10; i++ {
+		a.Step(p, g)
+	}
+	if p[0].Data[0] >= 0 || p[0].Data[1] <= 0 {
+		t.Fatalf("Adam slots not independent: %v", p[0].Data)
+	}
+	if math.Abs(p[0].Data[0]+p[0].Data[1]) > 1e-12 {
+		t.Fatalf("symmetric gradients should give symmetric params: %v", p[0].Data)
+	}
+}
+
+func TestConstantSchedule(t *testing.T) {
+	s := Constant{0.95}
+	for _, e := range []int{1, 10, 1000} {
+		if s.At(e) != 0.95 {
+			t.Fatalf("Constant.At(%d) = %v", e, s.At(e))
+		}
+	}
+}
+
+func TestStepDecay(t *testing.T) {
+	s := StepDecay{Base: 1.0, Factor: 0.5, Every: 10}
+	if s.At(1) != 1.0 || s.At(10) != 1.0 {
+		t.Fatal("no decay expected in first window")
+	}
+	if s.At(11) != 0.5 {
+		t.Fatalf("At(11) = %v, want 0.5", s.At(11))
+	}
+	if s.At(21) != 0.25 {
+		t.Fatalf("At(21) = %v, want 0.25", s.At(21))
+	}
+}
+
+func TestStepDecayZeroEvery(t *testing.T) {
+	s := StepDecay{Base: 2.0, Factor: 0.5, Every: 0}
+	if s.At(100) != 2.0 {
+		t.Fatal("Every=0 must mean no decay")
+	}
+}
+
+func TestExpDecay(t *testing.T) {
+	s := ExpDecay{Base: 1.0, Gamma: 0.9}
+	if s.At(1) != 1.0 {
+		t.Fatalf("At(1) = %v", s.At(1))
+	}
+	if math.Abs(s.At(3)-0.81) > 1e-12 {
+		t.Fatalf("At(3) = %v, want 0.81", s.At(3))
+	}
+}
+
+// TestEpochFractionMatchesPaper checks the paper's Var schedule: α rises
+// from 0.5 (e=1) to ≈0.98 (e=40).
+func TestEpochFractionMatchesPaper(t *testing.T) {
+	s := EpochFraction{}
+	if s.At(1) != 0.5 {
+		t.Fatalf("At(1) = %v, want 0.5", s.At(1))
+	}
+	if math.Abs(s.At(40)-40.0/41.0) > 1e-15 {
+		t.Fatalf("At(40) = %v, want %v", s.At(40), 40.0/41.0)
+	}
+	if s.At(40) < 0.97 || s.At(40) > 0.99 {
+		t.Fatalf("At(40) = %v, want ≈0.98", s.At(40))
+	}
+	if s.At(0) != 0.5 {
+		t.Fatalf("At(0) should clamp to epoch 1, got %v", s.At(0))
+	}
+}
+
+// Property: EpochFraction is monotonically increasing and bounded by 1.
+func TestEpochFractionMonotoneProperty(t *testing.T) {
+	s := EpochFraction{}
+	f := func(e uint8) bool {
+		x := int(e) + 1
+		return s.At(x) < s.At(x+1) && s.At(x+1) < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: one SGD step on a positive-definite quadratic with a small
+// enough rate never increases distance to the optimum.
+func TestSGDContractionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x0 := rng.Float64()*20 - 10
+		p := single(x0)
+		g := single(2 * (x0 - 3))
+		NewSGD(0.1).Step(p, g)
+		return math.Abs(p[0].Data[0]-3) <= math.Abs(x0-3)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

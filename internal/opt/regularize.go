@@ -1,0 +1,67 @@
+package opt
+
+import (
+	"math"
+
+	"vcdl/internal/tensor"
+)
+
+// Regularization utilities. The paper's experiments deliberately avoid
+// regularization (§IV-A), but the library offers the standard tools for
+// downstream models: decoupled weight decay and global-norm gradient
+// clipping.
+
+// WeightDecay wraps an optimizer with decoupled weight decay (AdamW
+// style): parameters shrink by rate·decay before the inner update. The
+// inner optimizer's learning rate is used as the decay step scale.
+type WeightDecay struct {
+	Inner Optimizer
+	Decay float64
+}
+
+// NewWeightDecay wraps inner with decay coefficient d.
+func NewWeightDecay(inner Optimizer, d float64) *WeightDecay {
+	return &WeightDecay{Inner: inner, Decay: d}
+}
+
+// Name implements Optimizer.
+func (w *WeightDecay) Name() string { return w.Inner.Name() + "+wd" }
+
+// LR implements Optimizer.
+func (w *WeightDecay) LR() float64 { return w.Inner.LR() }
+
+// SetLR implements Optimizer.
+func (w *WeightDecay) SetLR(lr float64) { w.Inner.SetLR(lr) }
+
+// Step implements Optimizer.
+func (w *WeightDecay) Step(params, grads []*tensor.Tensor) {
+	shrink := 1 - w.Inner.LR()*w.Decay
+	if shrink < 0 {
+		shrink = 0
+	}
+	for _, p := range params {
+		p.Scale(shrink)
+	}
+	w.Inner.Step(params, grads)
+}
+
+// ClipGradNorm scales all gradients in place so their global Euclidean
+// norm does not exceed maxNorm, returning the pre-clip norm. A maxNorm
+// <= 0 is a no-op.
+func ClipGradNorm(grads []*tensor.Tensor, maxNorm float64) float64 {
+	total := 0.0
+	for _, g := range grads {
+		for _, v := range g.Data {
+			total += v * v
+		}
+	}
+	norm := math.Sqrt(total)
+	if maxNorm <= 0 || norm <= maxNorm || norm == 0 {
+		return norm
+	}
+	scale := maxNorm / norm
+	for _, g := range grads {
+		g.Scale(scale)
+	}
+	return norm
+}

@@ -1,0 +1,87 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"vcdl/internal/tensor"
+)
+
+func TestWeightDecayShrinksWithoutGradient(t *testing.T) {
+	p := single(10)
+	g := single(0)
+	wd := NewWeightDecay(NewSGD(0.1), 0.5)
+	wd.Step(p, g)
+	// shrink = 1 − 0.1·0.5 = 0.95 → 9.5; zero gradient adds nothing.
+	if math.Abs(p[0].Data[0]-9.5) > 1e-12 {
+		t.Fatalf("p = %v, want 9.5", p[0].Data[0])
+	}
+}
+
+func TestWeightDecayComposesWithUpdate(t *testing.T) {
+	p := single(1)
+	g := single(1)
+	wd := NewWeightDecay(NewSGD(0.1), 1.0)
+	wd.Step(p, g)
+	// 1·0.9 − 0.1·1 = 0.8.
+	if math.Abs(p[0].Data[0]-0.8) > 1e-12 {
+		t.Fatalf("p = %v, want 0.8", p[0].Data[0])
+	}
+}
+
+func TestWeightDecayAccessors(t *testing.T) {
+	wd := NewWeightDecay(NewAdam(0.01), 0.1)
+	if wd.Name() != "adam+wd" {
+		t.Fatalf("Name = %q", wd.Name())
+	}
+	wd.SetLR(0.02)
+	if wd.LR() != 0.02 {
+		t.Fatal("SetLR not forwarded")
+	}
+}
+
+func TestWeightDecayNeverFlipsSign(t *testing.T) {
+	// Even absurd decay cannot scale parameters negative.
+	p := single(5)
+	g := single(0)
+	wd := NewWeightDecay(NewSGD(1), 100)
+	wd.Step(p, g)
+	if p[0].Data[0] < 0 {
+		t.Fatalf("decay flipped sign: %v", p[0].Data[0])
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	g := []*tensor.Tensor{tensor.FromSlice([]float64{3, 0}, 2), tensor.FromSlice([]float64{0, 4}, 2)}
+	norm := ClipGradNorm(g, 1)
+	if norm != 5 {
+		t.Fatalf("pre-clip norm = %v, want 5", norm)
+	}
+	total := 0.0
+	for _, t := range g {
+		for _, v := range t.Data {
+			total += v * v
+		}
+	}
+	if math.Abs(math.Sqrt(total)-1) > 1e-12 {
+		t.Fatalf("post-clip norm = %v, want 1", math.Sqrt(total))
+	}
+}
+
+func TestClipGradNormNoOpCases(t *testing.T) {
+	g := []*tensor.Tensor{tensor.FromSlice([]float64{0.3, 0.4}, 2)}
+	if norm := ClipGradNorm(g, 10); norm != 0.5 {
+		t.Fatalf("norm = %v", norm)
+	}
+	if g[0].Data[0] != 0.3 {
+		t.Fatal("under-norm gradients must be untouched")
+	}
+	ClipGradNorm(g, 0) // maxNorm 0 disables clipping
+	if g[0].Data[0] != 0.3 {
+		t.Fatal("maxNorm=0 must be a no-op")
+	}
+	zero := []*tensor.Tensor{tensor.New(3)}
+	if norm := ClipGradNorm(zero, 1); norm != 0 {
+		t.Fatalf("zero-grad norm = %v", norm)
+	}
+}

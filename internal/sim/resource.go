@@ -1,0 +1,88 @@
+package sim
+
+// Server models a processor pool with a fixed number of slots and a FIFO
+// queue: jobs request a slot, hold it for a service time, and release it.
+// VCDL uses Servers for client vCPU slots and for parameter-server
+// assimilation capacity; the queueing delay they introduce is what
+// produces the client/server imbalance of the paper's Figure 3.
+type Server struct {
+	eng   *Engine
+	slots int
+	busy  int
+	queue []*job
+
+	// BusyTime integrates slot-seconds of service for utilization reports.
+	BusyTime float64
+	// MaxQueue records the deepest backlog observed.
+	MaxQueue int
+}
+
+type job struct {
+	service float64
+	done    func()
+}
+
+// NewServer creates a pool with the given number of parallel slots.
+func NewServer(eng *Engine, slots int) *Server {
+	if slots < 1 {
+		panic("sim: server needs at least one slot")
+	}
+	return &Server{eng: eng, slots: slots}
+}
+
+// Submit enqueues a job with the given service time; done runs when the
+// job completes. Jobs start immediately when a slot is free, otherwise
+// they wait FIFO.
+func (s *Server) Submit(service float64, done func()) {
+	if service < 0 {
+		service = 0
+	}
+	j := &job{service: service, done: done}
+	if s.busy < s.slots {
+		s.start(j)
+		return
+	}
+	s.queue = append(s.queue, j)
+	if len(s.queue) > s.MaxQueue {
+		s.MaxQueue = len(s.queue)
+	}
+}
+
+func (s *Server) start(j *job) {
+	s.busy++
+	s.BusyTime += j.service
+	s.eng.Schedule(j.service, func() {
+		s.busy--
+		if j.done != nil {
+			j.done()
+		}
+		if len(s.queue) > 0 && s.busy < s.slots {
+			next := s.queue[0]
+			s.queue = s.queue[1:]
+			s.start(next)
+		}
+	})
+}
+
+// Busy returns the number of occupied slots.
+func (s *Server) Busy() int { return s.busy }
+
+// QueueLen returns the number of waiting jobs.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Slots returns the current parallelism.
+func (s *Server) Slots() int { return s.slots }
+
+// SetSlots resizes the pool. Growing starts queued jobs immediately;
+// shrinking lets running jobs finish (capacity drains naturally).
+func (s *Server) SetSlots(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.slots = n
+	for len(s.queue) > 0 && s.busy < s.slots {
+		next := s.queue[0]
+		s.queue = s.queue[1:]
+		s.start(next)
+	}
+}

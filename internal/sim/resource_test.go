@@ -1,0 +1,58 @@
+package sim
+
+import "testing"
+
+func TestSetSlotsGrowStartsQueuedJobs(t *testing.T) {
+	e := NewEngine(1)
+	s := NewServer(e, 1)
+	var done []float64
+	for i := 0; i < 4; i++ {
+		s.Submit(10, func() { done = append(done, e.Now()) })
+	}
+	// Grow the pool mid-run: at t=5 add three slots; the three queued jobs
+	// start immediately and finish at t=15 while job 1 finishes at t=10.
+	e.Schedule(5, func() { s.SetSlots(4) })
+	e.Run()
+	if len(done) != 4 {
+		t.Fatalf("done = %v", done)
+	}
+	if done[0] != 10 {
+		t.Fatalf("first job at %v, want 10", done[0])
+	}
+	for _, d := range done[1:] {
+		if d != 15 {
+			t.Fatalf("grown jobs = %v, want 15", done)
+		}
+	}
+	if s.Slots() != 4 {
+		t.Fatalf("Slots = %d", s.Slots())
+	}
+}
+
+func TestSetSlotsShrinkDrains(t *testing.T) {
+	e := NewEngine(1)
+	s := NewServer(e, 4)
+	count := 0
+	for i := 0; i < 8; i++ {
+		s.Submit(10, func() { count++ })
+	}
+	// Shrink to 1 immediately: the 4 running jobs finish, then the
+	// remaining 4 run one at a time.
+	s.SetSlots(1)
+	e.Run()
+	if count != 8 {
+		t.Fatalf("count = %d", count)
+	}
+	if e.Now() != 10+4*10 {
+		t.Fatalf("makespan = %v, want 50", e.Now())
+	}
+}
+
+func TestSetSlotsClampsToOne(t *testing.T) {
+	e := NewEngine(1)
+	s := NewServer(e, 2)
+	s.SetSlots(0)
+	if s.Slots() != 1 {
+		t.Fatalf("Slots = %d, want 1", s.Slots())
+	}
+}

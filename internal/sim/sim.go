@@ -1,0 +1,133 @@
+// Package sim is a deterministic discrete-event simulation engine. VCDL
+// uses it to run paper-scale experiments — fleets of heterogeneous clients
+// training for virtual hours — in milliseconds of wall-clock time while the
+// actual gradient mathematics still executes for real inside event
+// callbacks (DESIGN.md §4, "virtual time, real math").
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Engine owns a virtual clock and an ordered event queue. It is
+// single-threaded: events run one at a time in (time, sequence) order, so
+// simulations are fully deterministic for a given seed.
+type Engine struct {
+	now   float64
+	seq   uint64
+	queue eventHeap
+	rng   *rand.Rand
+
+	executed uint64
+}
+
+// NewEngine creates an engine at virtual time zero with a seeded RNG.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// NowHours returns the current virtual time in hours, the unit the paper's
+// figures use.
+func (e *Engine) NowHours() float64 { return e.now / 3600 }
+
+// Rand returns the engine's seeded RNG. All stochastic simulation inputs
+// (latency jitter, preemption draws) must come from here to preserve
+// determinism.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Executed returns the number of events processed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Schedule enqueues fn to run delay seconds from now. Negative delays are
+// clamped to zero (run "immediately", after already-queued events at the
+// current instant).
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if fn == nil {
+		panic("sim: Schedule with nil callback")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// ScheduleAt enqueues fn at absolute virtual time t (clamped to now).
+func (e *Engine) ScheduleAt(t float64, fn func()) {
+	e.Schedule(t-e.now, fn)
+}
+
+// Step runs the next event, if any, and reports whether one ran.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	if ev.at < e.now {
+		panic(fmt.Sprintf("sim: event at %v scheduled before now %v", ev.at, e.now))
+	}
+	e.now = ev.at
+	e.executed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to t (if t is beyond the last event).
+func (e *Engine) RunUntil(t float64) {
+	for e.queue.Len() > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunWhile executes events while cond() holds and events remain.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.Step() {
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// event is one scheduled callback. seq breaks timestamp ties FIFO.
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", e.Now())
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var times []float64
+	e.Schedule(1, func() {
+		times = append(times, e.Now())
+		e.Schedule(2, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.Schedule(5, func() {
+		e.Schedule(-10, func() { ran = true })
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("negative-delay event did not run")
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now = %v, want 5 (no time travel)", e.Now())
+	}
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil callback did not panic")
+		}
+	}()
+	e.Schedule(1, nil)
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(float64(i), func() { count++ })
+	}
+	e.RunUntil(5)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now = %v, want 5", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", e.Pending())
+	}
+}
+
+func TestRunUntilAdvancesPastLastEvent(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(1, func() {})
+	e.RunUntil(100)
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", e.Now())
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(float64(i), func() { count++ })
+	}
+	e.RunWhile(func() bool { return count < 3 })
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	e := NewEngine(1)
+	var at float64
+	e.ScheduleAt(7.5, func() { at = e.Now() })
+	e.Run()
+	if at != 7.5 {
+		t.Fatalf("ran at %v, want 7.5", at)
+	}
+}
+
+func TestNowHours(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(7200, func() {})
+	e.Run()
+	if e.NowHours() != 2 {
+		t.Fatalf("NowHours = %v, want 2", e.NowHours())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		e := NewEngine(42)
+		var stamps []float64
+		var recurse func(depth int)
+		recurse = func(depth int) {
+			stamps = append(stamps, e.Now())
+			if depth < 5 {
+				e.Schedule(e.Rand().Float64(), func() { recurse(depth + 1) })
+				e.Schedule(e.Rand().Float64(), func() { recurse(depth + 1) })
+			}
+		}
+		e.Schedule(0, func() { recurse(0) })
+		e.Run()
+		return stamps
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestServerSerializesBeyondSlots(t *testing.T) {
+	e := NewEngine(1)
+	s := NewServer(e, 2)
+	var done []float64
+	for i := 0; i < 4; i++ {
+		s.Submit(10, func() { done = append(done, e.Now()) })
+	}
+	e.Run()
+	// 2 slots, 4 jobs of 10s: first two at t=10, second two at t=20.
+	want := []float64{10, 10, 20, 20}
+	if len(done) != 4 {
+		t.Fatalf("done = %v", done)
+	}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("done = %v, want %v", done, want)
+		}
+	}
+	if s.MaxQueue != 2 {
+		t.Fatalf("MaxQueue = %d, want 2", s.MaxQueue)
+	}
+}
+
+func TestServerUtilization(t *testing.T) {
+	e := NewEngine(1)
+	s := NewServer(e, 1)
+	s.Submit(5, nil)
+	s.Submit(5, nil)
+	e.Run()
+	if s.BusyTime != 10 {
+		t.Fatalf("BusyTime = %v, want 10", s.BusyTime)
+	}
+	if s.Busy() != 0 || s.QueueLen() != 0 {
+		t.Fatal("server not drained")
+	}
+}
+
+func TestServerZeroServiceJob(t *testing.T) {
+	e := NewEngine(1)
+	s := NewServer(e, 1)
+	ran := false
+	s.Submit(0, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("zero-service job did not complete")
+	}
+}
+
+func TestServerNeedsSlotPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewServer(0) did not panic")
+		}
+	}()
+	NewServer(e, 0)
+}
+
+// Property: the virtual clock never goes backwards, for arbitrary delay
+// sequences.
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(delays []float64) bool {
+		e := NewEngine(1)
+		prev := 0.0
+		ok := true
+		for _, d := range delays {
+			e.Schedule(d, func() {
+				if e.Now() < prev {
+					ok = false
+				}
+				prev = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a k-slot server completes n identical jobs in
+// ceil(n/k)*service time.
+func TestServerMakespanProperty(t *testing.T) {
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw)%20 + 1
+		k := int(kRaw)%5 + 1
+		e := NewEngine(1)
+		s := NewServer(e, k)
+		for i := 0; i < n; i++ {
+			s.Submit(7, nil)
+		}
+		e.Run()
+		waves := (n + k - 1) / k
+		return e.Now() == float64(waves*7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+package store
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Eventual is the Redis stand-in: a main-memory key-value store with a
+// primary and ReplicaCount asynchronously updated replicas. A read is
+// served by a randomly chosen replica; replica i trails the primary by
+// i·ReplicaLagOps/ReplicaCount committed writes, so reads may observe
+// stale versions. Update performs an optimistic, lock-free
+// read-modify-write: under concurrency, two updates may read the same base
+// version and the second write silently discards the first (a lost
+// update), which is exactly the behaviour the paper accepts in exchange
+// for scalability (§III-D).
+type Eventual struct {
+	Profile       LatencyProfile
+	ReplicaCount  int
+	ReplicaLagOps int
+
+	mu      sync.RWMutex
+	history map[string][]entry // most recent last; trimmed to max lag+1
+	rng     *rand.Rand
+	rngMu   sync.Mutex
+
+	counter counter
+}
+
+// NewEventual creates an eventual-consistency store with the given replica
+// topology. lagOps is how many committed writes the slowest replica may
+// trail by; 0 keeps all replicas synchronous (useful in tests).
+func NewEventual(replicas, lagOps int, seed int64) *Eventual {
+	if replicas < 1 {
+		replicas = 1
+	}
+	if lagOps < 0 {
+		lagOps = 0
+	}
+	return &Eventual{
+		Profile:       EventualProfile,
+		ReplicaCount:  replicas,
+		ReplicaLagOps: lagOps,
+		history:       make(map[string][]entry),
+		rng:           rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Name implements Store.
+func (e *Eventual) Name() string { return "eventual" }
+
+// replicaLag returns the write-lag of replica i.
+func (e *Eventual) replicaLag(i int) int {
+	return i * e.ReplicaLagOps / e.ReplicaCount
+}
+
+// Get implements Store: it reads from a random replica, which may serve a
+// version up to its lag behind the primary.
+func (e *Eventual) Get(key string) ([]byte, uint64, error) {
+	e.rngMu.Lock()
+	lag := e.replicaLag(e.rng.Intn(e.ReplicaCount))
+	e.rngMu.Unlock()
+
+	e.mu.RLock()
+	hist := e.history[key]
+	var ent entry
+	var ok, stale bool
+	if len(hist) > 0 {
+		idx := len(hist) - 1 - lag
+		if idx < 0 {
+			idx = 0
+		}
+		ent, ok = hist[idx], true
+		stale = idx != len(hist)-1
+	}
+	e.mu.RUnlock()
+	if !ok {
+		return nil, 0, ErrNotFound
+	}
+	e.counter.add(func(s *Stats) {
+		s.Gets++
+		if stale {
+			s.StaleReads++
+		}
+		s.BytesRead += uint64(len(ent.value))
+		s.ModeledTime += e.Profile.Cost(len(ent.value))
+	})
+	return append([]byte(nil), ent.value...), ent.version, nil
+}
+
+// Set implements Store. The write commits on the primary immediately;
+// replicas observe it later through the retained version history.
+func (e *Eventual) Set(key string, value []byte) error {
+	e.commit(key, value, nil)
+	return nil
+}
+
+// commit appends a new version. If base is non-nil it is the version the
+// caller's read observed; a mismatch with the current head means a
+// concurrent commit slipped in between and is being clobbered — a lost
+// update.
+func (e *Eventual) commit(key string, value []byte, base *uint64) {
+	v := append([]byte(nil), value...)
+	var lost bool
+	e.mu.Lock()
+	hist := e.history[key]
+	var cur uint64
+	if len(hist) > 0 {
+		cur = hist[len(hist)-1].version
+	}
+	if base != nil && cur != *base {
+		lost = true
+	}
+	hist = append(hist, entry{value: v, version: cur + 1})
+	if max := e.ReplicaLagOps + 1; len(hist) > max {
+		hist = hist[len(hist)-max:]
+	}
+	e.history[key] = hist
+	e.mu.Unlock()
+	e.counter.add(func(s *Stats) {
+		s.Sets++
+		s.BytesWritten += uint64(len(v))
+		if lost {
+			s.LostUpdates++
+		}
+		s.ModeledTime += e.Profile.Cost(len(v))
+	})
+}
+
+// Update implements Store with optimistic, lossy read-modify-write.
+func (e *Eventual) Update(key string, f func(old []byte) []byte) error {
+	old, base, err := e.Get(key)
+	if err != nil && err != ErrNotFound {
+		return err
+	}
+	e.commit(key, f(old), &base)
+	e.counter.add(func(s *Stats) { s.Updates++ })
+	return nil
+}
+
+// Stats implements Store.
+func (e *Eventual) Stats() Stats { return e.counter.snapshot() }

@@ -1,0 +1,101 @@
+package tensor
+
+import "fmt"
+
+// ConvDims describes a 2-D convolution geometry on NCHW tensors.
+type ConvDims struct {
+	Batch, InC, InH, InW int
+	OutC, KH, KW         int
+	Stride, Pad          int
+	OutH, OutW           int
+}
+
+// NewConvDims validates and completes a convolution geometry.
+func NewConvDims(batch, inC, inH, inW, outC, kh, kw, stride, pad int) (ConvDims, error) {
+	d := ConvDims{Batch: batch, InC: inC, InH: inH, InW: inW, OutC: outC, KH: kh, KW: kw, Stride: stride, Pad: pad}
+	if stride < 1 {
+		return d, fmt.Errorf("tensor: conv stride %d < 1", stride)
+	}
+	if pad < 0 {
+		return d, fmt.Errorf("tensor: conv pad %d < 0", pad)
+	}
+	oh := (inH+2*pad-kh)/stride + 1
+	ow := (inW+2*pad-kw)/stride + 1
+	if oh < 1 || ow < 1 {
+		return d, fmt.Errorf("tensor: conv output %dx%d not positive for input %dx%d kernel %dx%d stride %d pad %d",
+			oh, ow, inH, inW, kh, kw, stride, pad)
+	}
+	d.OutH, d.OutW = oh, ow
+	return d, nil
+}
+
+// Im2Col unrolls input x of shape [N, C, H, W] into a matrix of shape
+// [N*OutH*OutW, C*KH*KW] so convolution becomes a single MatMul with the
+// reshaped kernel.
+func Im2Col(x *Tensor, d ConvDims) *Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col wants NCHW rank-4 input, got %v", x.shape))
+	}
+	cols := New(d.Batch*d.OutH*d.OutW, d.InC*d.KH*d.KW)
+	chw := d.InC * d.InH * d.InW
+	hw := d.InH * d.InW
+	colW := d.InC * d.KH * d.KW
+	for n := 0; n < d.Batch; n++ {
+		img := x.Data[n*chw : (n+1)*chw]
+		for oy := 0; oy < d.OutH; oy++ {
+			for ox := 0; ox < d.OutW; ox++ {
+				row := cols.Data[((n*d.OutH+oy)*d.OutW+ox)*colW:]
+				ci := 0
+				for c := 0; c < d.InC; c++ {
+					ch := img[c*hw : (c+1)*hw]
+					for ky := 0; ky < d.KH; ky++ {
+						iy := oy*d.Stride + ky - d.Pad
+						for kx := 0; kx < d.KW; kx++ {
+							ix := ox*d.Stride + kx - d.Pad
+							if iy >= 0 && iy < d.InH && ix >= 0 && ix < d.InW {
+								row[ci] = ch[iy*d.InW+ix]
+							} else {
+								row[ci] = 0
+							}
+							ci++
+						}
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im scatters the column matrix (shape [N*OutH*OutW, C*KH*KW]) back into
+// an NCHW image tensor, accumulating overlapping contributions. It is the
+// adjoint of Im2Col and is used for the convolution input gradient.
+func Col2Im(cols *Tensor, d ConvDims) *Tensor {
+	x := New(d.Batch, d.InC, d.InH, d.InW)
+	chw := d.InC * d.InH * d.InW
+	hw := d.InH * d.InW
+	colW := d.InC * d.KH * d.KW
+	for n := 0; n < d.Batch; n++ {
+		img := x.Data[n*chw : (n+1)*chw]
+		for oy := 0; oy < d.OutH; oy++ {
+			for ox := 0; ox < d.OutW; ox++ {
+				row := cols.Data[((n*d.OutH+oy)*d.OutW+ox)*colW:]
+				ci := 0
+				for c := 0; c < d.InC; c++ {
+					ch := img[c*hw : (c+1)*hw]
+					for ky := 0; ky < d.KH; ky++ {
+						iy := oy*d.Stride + ky - d.Pad
+						for kx := 0; kx < d.KW; kx++ {
+							ix := ox*d.Stride + kx - d.Pad
+							if iy >= 0 && iy < d.InH && ix >= 0 && ix < d.InW {
+								ch[iy*d.InW+ix] += row[ci]
+							}
+							ci++
+						}
+					}
+				}
+			}
+		}
+	}
+	return x
+}

@@ -1,0 +1,132 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// matmulParallelThreshold is the minimum number of result elements before
+// MatMul fans out across goroutines. Below this, goroutine overhead
+// dominates.
+const matmulParallelThreshold = 64 * 64
+
+// MatMul returns a @ b for rank-2 tensors a [m,k] and b [k,n].
+// The kernel is an ikj loop (streaming through b rows) which is cache
+// friendly for row-major data, and splits rows of a across goroutines for
+// large products.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul wants rank-2 operands, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	matMulInto(out.Data, a.Data, b.Data, m, k, n)
+	return out
+}
+
+func matMulInto(dst, a, b []float64, m, k, n int) {
+	workers := runtime.GOMAXPROCS(0)
+	if m*n < matmulParallelThreshold || workers <= 1 || m < 2 {
+		matMulRange(dst, a, b, 0, m, k, n)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRange(dst, a, b, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matMulRange computes rows [lo,hi) of dst = a @ b.
+func matMulRange(dst, a, b []float64, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		di := dst[i*n : (i+1)*n]
+		ai := a[i*k : (i+1)*k]
+		for p, av := range ai {
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				di[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransA returns aᵀ @ b for a [k,m] and b [k,n], without materialising
+// the transpose. Used by Dense backward for the weight gradient.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA wants rank-2 operands, got %v and %v", a.shape, b.shape))
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA outer dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	// outᵀ[m,n] = sum_p a[p,m] * b[p,n]
+	for p := 0; p < k; p++ {
+		ap := a.Data[p*m : (p+1)*m]
+		bp := b.Data[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			di := out.Data[i*n : (i+1)*n]
+			for j, bv := range bp {
+				di[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB returns a @ bᵀ for a [m,k] and b [n,k], without materialising
+// the transpose. Used by Dense backward for the input gradient.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB wants rank-2 operands, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		di := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.Data[j*k : (j+1)*k]
+			s := 0.0
+			for p := range ai {
+				s += ai[p] * bj[p]
+			}
+			di[j] = s
+		}
+	}
+	return out
+}

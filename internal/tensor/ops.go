@@ -1,0 +1,220 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns t + u elementwise as a new tensor.
+func Add(t, u *Tensor) *Tensor {
+	checkSameShape("Add", t, u)
+	out := New(t.shape...)
+	for i := range t.Data {
+		out.Data[i] = t.Data[i] + u.Data[i]
+	}
+	return out
+}
+
+// Sub returns t - u elementwise as a new tensor.
+func Sub(t, u *Tensor) *Tensor {
+	checkSameShape("Sub", t, u)
+	out := New(t.shape...)
+	for i := range t.Data {
+		out.Data[i] = t.Data[i] - u.Data[i]
+	}
+	return out
+}
+
+// Mul returns the elementwise (Hadamard) product as a new tensor.
+func Mul(t, u *Tensor) *Tensor {
+	checkSameShape("Mul", t, u)
+	out := New(t.shape...)
+	for i := range t.Data {
+		out.Data[i] = t.Data[i] * u.Data[i]
+	}
+	return out
+}
+
+// AddInPlace sets t += u.
+func (t *Tensor) AddInPlace(u *Tensor) {
+	checkSameShape("AddInPlace", t, u)
+	for i := range t.Data {
+		t.Data[i] += u.Data[i]
+	}
+}
+
+// SubInPlace sets t -= u.
+func (t *Tensor) SubInPlace(u *Tensor) {
+	checkSameShape("SubInPlace", t, u)
+	for i := range t.Data {
+		t.Data[i] -= u.Data[i]
+	}
+}
+
+// Scale multiplies every element by a in place.
+func (t *Tensor) Scale(a float64) {
+	for i := range t.Data {
+		t.Data[i] *= a
+	}
+}
+
+// Axpy sets t += a*u (BLAS axpy).
+func (t *Tensor) Axpy(a float64, u *Tensor) {
+	checkSameShape("Axpy", t, u)
+	for i := range t.Data {
+		t.Data[i] += a * u.Data[i]
+	}
+}
+
+// Lerp sets t = alpha*t + (1-alpha)*u. This is the VC-ASGD server update
+// (Equation 1 of the paper) applied to a raw vector.
+func (t *Tensor) Lerp(alpha float64, u *Tensor) {
+	checkSameShape("Lerp", t, u)
+	for i := range t.Data {
+		t.Data[i] = alpha*t.Data[i] + (1-alpha)*u.Data[i]
+	}
+}
+
+// Apply replaces each element x with f(x).
+func (t *Tensor) Apply(f func(float64) float64) {
+	for i, v := range t.Data {
+		t.Data[i] = f(v)
+	}
+}
+
+// Map returns a new tensor whose elements are f(x) for each element x of t.
+func Map(t *Tensor, f func(float64) float64) *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty tensors).
+func (t *Tensor) Mean() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.Data))
+}
+
+// Max returns the maximum element. It panics on an empty tensor.
+func (t *Tensor) Max() float64 {
+	if len(t.Data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element. It panics on an empty tensor.
+func (t *Tensor) Min() float64 {
+	if len(t.Data) == 0 {
+		panic("tensor: Min of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the flat index of the maximum element. It panics on an
+// empty tensor.
+func (t *Tensor) ArgMax() int {
+	if len(t.Data) == 0 {
+		panic("tensor: ArgMax of empty tensor")
+	}
+	best, bi := t.Data[0], 0
+	for i, v := range t.Data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// Dot returns the inner product of t and u viewed as flat vectors.
+func Dot(t, u *Tensor) float64 {
+	checkSameShape("Dot", t, u)
+	s := 0.0
+	for i := range t.Data {
+		s += t.Data[i] * u.Data[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of the tensor viewed as a flat vector.
+func (t *Tensor) Norm2() float64 {
+	return math.Sqrt(Dot(t, t))
+}
+
+// SumRows reduces a [rows, cols] matrix along rows, returning a [cols]
+// vector. Used for bias gradients.
+func SumRows(t *Tensor) *Tensor {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: SumRows wants rank 2, got %v", t.shape))
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	out := New(cols)
+	for r := 0; r < rows; r++ {
+		row := t.Data[r*cols : (r+1)*cols]
+		for c, v := range row {
+			out.Data[c] += v
+		}
+	}
+	return out
+}
+
+// AddRowVector adds vector v (shape [cols]) to every row of the
+// [rows, cols] matrix t in place. Used for bias addition.
+func (t *Tensor) AddRowVector(v *Tensor) {
+	if t.Rank() != 2 || v.Rank() != 1 || t.shape[1] != v.shape[0] {
+		panic(fmt.Sprintf("tensor: AddRowVector shapes %v and %v incompatible", t.shape, v.shape))
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	for r := 0; r < rows; r++ {
+		row := t.Data[r*cols : (r+1)*cols]
+		for c := range row {
+			row[c] += v.Data[c]
+		}
+	}
+}
+
+// Transpose returns the transpose of a rank-2 tensor as a new tensor.
+func Transpose(t *Tensor) *Tensor {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose wants rank 2, got %v", t.shape))
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	out := New(cols, rows)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			out.Data[c*rows+r] = t.Data[r*cols+c]
+		}
+	}
+	return out
+}
+
+func checkSameShape(op string, t, u *Tensor) {
+	if !t.SameShape(u) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, t.shape, u.shape))
+	}
+}

@@ -1,0 +1,183 @@
+// Package tensor provides dense multi-dimensional arrays of float64 and the
+// numeric kernels (matmul, convolution via im2col, reductions, elementwise
+// arithmetic) used by the neural-network layers in internal/nn.
+//
+// The package is deliberately small and allocation-conscious: tensors are a
+// shape plus a flat backing slice in row-major order, and the hot kernels
+// (MatMul, im2col) are blocked and can fan out across goroutines.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major array. The zero value is an empty tensor.
+type Tensor struct {
+	shape  []int
+	stride []int
+	Data   []float64
+}
+
+// New creates a zero-filled tensor with the given shape. It panics if any
+// dimension is negative.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	t := &Tensor{
+		shape: append([]int(nil), shape...),
+		Data:  make([]float64, n),
+	}
+	t.computeStrides()
+	return t
+}
+
+// FromSlice wraps data in a tensor with the given shape. The slice is used
+// directly (not copied). It panics if len(data) does not match the shape.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (want %d)", len(data), shape, n))
+	}
+	t := &Tensor{shape: append([]int(nil), shape...), Data: data}
+	t.computeStrides()
+	return t
+}
+
+func (t *Tensor) computeStrides() {
+	t.stride = make([]int, len(t.shape))
+	s := 1
+	for i := len(t.shape) - 1; i >= 0; i-- {
+		t.stride[i] = s
+		s *= t.shape[i]
+	}
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.Data) }
+
+// At returns the element at the given indices.
+func (t *Tensor) At(idx ...int) float64 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set stores v at the given indices.
+func (t *Tensor) Set(v float64, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: got %d indices for rank-%d tensor", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range [0,%d) in dim %d", x, t.shape[i], i))
+		}
+		off += x * t.stride[i]
+	}
+	return off
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view of the same data with a new shape. One dimension
+// may be -1, in which case it is inferred. It panics if the element count
+// does not match.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	shape = append([]int(nil), shape...)
+	infer := -1
+	n := 1
+	for i, d := range shape {
+		if d == -1 {
+			if infer >= 0 {
+				panic("tensor: multiple -1 dimensions in Reshape")
+			}
+			infer = i
+			continue
+		}
+		n *= d
+	}
+	if infer >= 0 {
+		if n == 0 || len(t.Data)%n != 0 {
+			panic(fmt.Sprintf("tensor: cannot infer dimension reshaping %v to %v", t.shape, shape))
+		}
+		shape[infer] = len(t.Data) / n
+		n *= shape[infer]
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.shape, len(t.Data), shape, n))
+	}
+	v := &Tensor{shape: shape, Data: t.Data}
+	v.computeStrides()
+	return v
+}
+
+// SameShape reports whether t and u have identical shapes.
+func (t *Tensor) SameShape(u *Tensor) bool {
+	if len(t.shape) != len(u.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != u.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// String renders a compact description, useful in test failures.
+func (t *Tensor) String() string {
+	if t.Size() <= 8 {
+		return fmt.Sprintf("Tensor%v%v", t.shape, t.Data)
+	}
+	return fmt.Sprintf("Tensor%v[%d elems]", t.shape, t.Size())
+}
+
+// AllFinite reports whether every element is finite (no NaN or Inf).
+func (t *Tensor) AllFinite() bool {
+	for _, v := range t.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

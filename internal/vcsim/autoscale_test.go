@@ -1,0 +1,71 @@
+package vcsim
+
+import "testing"
+
+// TestAutoScalePSRelievesBottleneck exercises the §III-D extension: a
+// single configured PS under a T8 flood autoscales up and finishes faster
+// than the fixed-size pool.
+func TestAutoScalePSRelievesBottleneck(t *testing.T) {
+	job, corpus := quickSetup(t)
+	job.MaxEpochs = 2
+	fixed := DefaultConfig(job, corpus, 1, 3, 8)
+	fixed.AssimSeconds = 60
+	rFixed, err := Run(fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto := fixed
+	auto.AutoScalePS = true
+	auto.MaxPServers = 6
+	rAuto, err := Run(auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rAuto.Hours >= rFixed.Hours {
+		t.Fatalf("autoscaled run (%vh) not faster than fixed P1 (%vh)", rAuto.Hours, rFixed.Hours)
+	}
+	if rAuto.PSScaleUps == 0 {
+		t.Fatal("autoscaler never scaled up under load")
+	}
+	if rAuto.MaxPSUsed <= 1 || rAuto.MaxPSUsed > 6 {
+		t.Fatalf("MaxPSUsed = %d", rAuto.MaxPSUsed)
+	}
+	// Accuracy bookkeeping must be unaffected.
+	if len(rAuto.Curve.Points) != 2 {
+		t.Fatalf("curve points = %d", len(rAuto.Curve.Points))
+	}
+}
+
+// TestAutoScaleRespectsCap keeps the pool within MaxPServers.
+func TestAutoScaleRespectsCap(t *testing.T) {
+	job, corpus := quickSetup(t)
+	job.MaxEpochs = 2
+	cfg := DefaultConfig(job, corpus, 1, 3, 8)
+	cfg.AssimSeconds = 120
+	cfg.AutoScalePS = true
+	cfg.MaxPServers = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxPSUsed > 2 {
+		t.Fatalf("MaxPSUsed = %d exceeds cap 2", res.MaxPSUsed)
+	}
+}
+
+// TestAutoScaleOffByDefault ensures the default path never scales.
+func TestAutoScaleOffByDefault(t *testing.T) {
+	job, corpus := quickSetup(t)
+	job.MaxEpochs = 2
+	cfg := DefaultConfig(job, corpus, 2, 3, 4)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PSScaleUps != 0 || res.PSScaleDowns != 0 {
+		t.Fatal("autoscaler acted while disabled")
+	}
+	if res.MaxPSUsed != 2 {
+		t.Fatalf("MaxPSUsed = %d, want configured 2", res.MaxPSUsed)
+	}
+}

@@ -1,0 +1,40 @@
+package vcsim
+
+import (
+	"testing"
+
+	"vcdl/internal/baseline"
+	"vcdl/internal/core"
+	"vcdl/internal/data"
+	"vcdl/internal/nn"
+)
+
+// TestDifficultyProbe sweeps generator difficulty against the serial
+// baseline to locate the paper's accuracy band. Manual tool; skipped in
+// -short mode.
+func TestDifficultyProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("difficulty probe skipped in -short mode")
+	}
+	for _, tc := range []struct {
+		sigma, q float64
+	}{
+		{2.0, 0.12},
+	} {
+		dc := data.DefaultSynthConfig()
+		dc.NoiseStd = tc.sigma
+		dc.LabelNoise = tc.q
+		corpus, err := data.GenerateSynth(dc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job := core.DefaultJobConfig(nn.MiniResNetV2Builder(3, 8, 8, 8, 1, 10))
+		job.BatchSize = 25
+		job.LearningRate = 0.01
+		res, err := baseline.TrainSerial(job, corpus, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("sigma=%.1f q=%.2f serial val: %.3v", tc.sigma, tc.q, res.ValAcc)
+	}
+}

@@ -1,0 +1,104 @@
+package vcsim
+
+import (
+	"math"
+	"testing"
+
+	"vcdl/internal/metrics"
+)
+
+func TestCompareStoresMatchesPaper(t *testing.T) {
+	c := CompareStores()
+	if math.Abs(c.EventualUpdateSec-0.87) > 0.07 {
+		t.Fatalf("eventual update %.3fs, want ≈0.87s", c.EventualUpdateSec)
+	}
+	if math.Abs(c.StrongUpdateSec-1.29) > 0.09 {
+		t.Fatalf("strong update %.3fs, want ≈1.29s", c.StrongUpdateSec)
+	}
+	if c.Ratio < 1.4 || c.Ratio > 1.6 {
+		t.Fatalf("ratio %.2f, want ≈1.5", c.Ratio)
+	}
+	// Paper: ~14 minutes over 2,000 CIFAR-10 updates.
+	if c.CIFAR10OverheadMin < 10 || c.CIFAR10OverheadMin > 20 {
+		t.Fatalf("CIFAR10 overhead %.1f min, want ≈14", c.CIFAR10OverheadMin)
+	}
+	// Paper: ~187 hours over 1.6M ImageNet updates.
+	if c.ImageNetOverheadH < 150 || c.ImageNetOverheadH > 230 {
+		t.Fatalf("ImageNet overhead %.0f h, want ≈187", c.ImageNetOverheadH)
+	}
+}
+
+func TestFig4VariantsMatchPaper(t *testing.T) {
+	vs := Fig4Variants()
+	if len(vs) != 4 {
+		t.Fatalf("%d variants, want 4", len(vs))
+	}
+	if vs[0].Schedule.At(1) != 0.70 || vs[1].Schedule.At(1) != 0.95 || vs[2].Schedule.At(1) != 0.999 {
+		t.Fatal("constant alphas wrong")
+	}
+	// Var: αe = e/(e+1).
+	if vs[3].Schedule.At(1) != 0.5 || math.Abs(vs[3].Schedule.At(40)-40.0/41.0) > 1e-15 {
+		t.Fatal("Var schedule wrong")
+	}
+}
+
+func TestZoomWindow(t *testing.T) {
+	s := metrics.Series{Name: "x"}
+	for i := 1; i <= 10; i++ {
+		s.Add(metrics.Point{Epoch: i, Hours: float64(i), Value: float64(i) / 10})
+	}
+	z := ZoomWindow(s, 3, 6)
+	if len(z.Points) != 4 {
+		t.Fatalf("zoom kept %d points, want 4", len(z.Points))
+	}
+	if z.Points[0].Hours != 3 || z.Points[3].Hours != 6 {
+		t.Fatalf("zoom bounds wrong: %+v", z.Points)
+	}
+	if ZoomWindow(s, 20, 30).Points != nil {
+		t.Fatal("out-of-range zoom must be empty")
+	}
+}
+
+func TestAblationRules(t *testing.T) {
+	rules := AblationRules(50)
+	if len(rules) != 3 {
+		t.Fatalf("%d rules", len(rules))
+	}
+	names := map[string]bool{}
+	for _, r := range rules {
+		names[r.Name()] = true
+	}
+	if len(names) != 3 {
+		t.Fatal("rule names must be distinct")
+	}
+	// Exactly one rule (EASGD) is synchronous.
+	sync := 0
+	for _, r := range rules {
+		if r.Synchronous() {
+			sync++
+		}
+	}
+	if sync != 1 {
+		t.Fatalf("%d synchronous rules, want 1", sync)
+	}
+}
+
+func TestNewPaperSetupShape(t *testing.T) {
+	s, err := NewPaperSetup(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Job.Subtasks != 50 {
+		t.Fatalf("Subtasks = %d, want the paper's 50", s.Job.Subtasks)
+	}
+	if s.Job.MaxEpochs != 5 {
+		t.Fatalf("MaxEpochs = %d", s.Job.MaxEpochs)
+	}
+	if s.Corpus.Train.N()%50 != 0 {
+		t.Fatal("training set must split evenly into 50 shards")
+	}
+	cfg := s.Config(3, 3, 4, s.Job.Alpha)
+	if cfg.PServers != 3 || len(cfg.ClientInstances) != 3 || cfg.TasksPerClient != 4 {
+		t.Fatalf("config shape wrong: %+v", cfg)
+	}
+}

@@ -1,0 +1,27 @@
+package vcsim
+
+import (
+	"math"
+	"math/rand"
+
+	"vcdl/internal/nn"
+)
+
+func mathPow(x, e float64) float64 { return math.Pow(x, e) }
+
+// newInitializedNet builds and seeds the job's model.
+func newInitializedNet(cfg Config) *nn.Network {
+	net := nn.NewNetwork(cfg.Job.Builder)
+	net.Init(rand.New(rand.NewSource(cfg.Job.Seed)))
+	return net
+}
+
+// SerialSecondsPerEpoch is the virtual duration of one full-dataset epoch
+// on the single server instance for the Figure 6 baseline: the instance
+// processes the same total work as all subtasks of an epoch, serially, but
+// with the full machine behind each training step (no slot contention and
+// roughly 2× the per-task thread budget).
+func SerialSecondsPerEpoch(cfg Config) float64 {
+	perSubtask := cfg.BaseSubtaskSeconds * (refClockGHz / 2.3) // server clock, Table I
+	return float64(cfg.Job.Subtasks) * perSubtask / 2
+}

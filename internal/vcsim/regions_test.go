@@ -1,0 +1,32 @@
+package vcsim
+
+import (
+	"testing"
+
+	"vcdl/internal/cloud"
+)
+
+// TestRegionalFleetPaysLatency: spreading the fleet across regions adds
+// per-transfer round trips, so the geographically spread run takes longer
+// at identical compute.
+func TestRegionalFleetPaysLatency(t *testing.T) {
+	job, corpus := quickSetup(t)
+	job.MaxEpochs = 2
+	local := DefaultConfig(job, corpus, 2, 3, 2)
+	rLocal, err := Run(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := local
+	spread.Regions = []cloud.Region{cloud.USEast, cloud.Europe, cloud.APac}
+	rSpread, err := Run(spread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSpread.Hours <= rLocal.Hours {
+		t.Fatalf("regional spread (%vh) should cost time vs local (%vh)", rSpread.Hours, rLocal.Hours)
+	}
+	if len(rSpread.Curve.Points) != 2 {
+		t.Fatal("regional run did not complete all epochs")
+	}
+}

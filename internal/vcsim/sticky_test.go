@@ -1,0 +1,31 @@
+package vcsim
+
+import "testing"
+
+// TestDisableStickyIncreasesDownloads checks the A2 ablation mechanics:
+// without sticky files, shards and the model are re-fetched every epoch,
+// inflating downloaded bytes while leaving training results identical.
+func TestDisableStickyIncreasesDownloads(t *testing.T) {
+	job, corpus := quickSetup(t)
+	job.MaxEpochs = 3
+	on := DefaultConfig(job, corpus, 1, 3, 2)
+	rOn, err := Run(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := on
+	off.DisableSticky = true
+	rOff, err := Run(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rOff.BytesDownloaded <= rOn.BytesDownloaded {
+		t.Fatalf("sticky-off downloads %d <= sticky-on %d", rOff.BytesDownloaded, rOn.BytesDownloaded)
+	}
+	// Caching is a transport optimization: the learning curves must match
+	// epoch counts regardless (values can differ because assignment order
+	// shifts with affinity).
+	if len(rOff.Curve.Points) != len(rOn.Curve.Points) {
+		t.Fatal("epoch counts differ across sticky setting")
+	}
+}

@@ -1,0 +1,595 @@
+// Package vcsim runs paper-scale VCDL experiments inside the
+// discrete-event simulator: fleets of heterogeneous preemptible clients,
+// multiple parameter servers sharing a store, WAN transfer times and
+// BOINC timeout/reissue fault tolerance — with the gradient mathematics
+// executing for real so the accuracy curves are genuine, while durations
+// come from a calibrated cost model ("virtual time, real math",
+// DESIGN.md §4). Every figure of the paper's evaluation is regenerated
+// through this package.
+package vcsim
+
+import (
+	"fmt"
+
+	"vcdl/internal/baseline"
+	"vcdl/internal/boinc"
+	"vcdl/internal/cloud"
+	"vcdl/internal/core"
+	"vcdl/internal/data"
+	"vcdl/internal/metrics"
+	"vcdl/internal/ps"
+	"vcdl/internal/sim"
+	"vcdl/internal/store"
+	"vcdl/internal/wire"
+)
+
+// Config describes one simulated experiment. The paper's notation: Pn
+// parameter servers, Cn clients (len(ClientInstances)), Tn simultaneous
+// subtasks per client (TasksPerClient).
+type Config struct {
+	Job    core.JobConfig
+	Corpus *data.Corpus
+
+	PServers        int
+	ClientInstances []cloud.InstanceType
+	TasksPerClient  int
+	// Regions optionally spreads the fleet round-robin across geographic
+	// regions (§III-E); every transfer then pays the region's round-trip
+	// latency. Empty keeps the fleet server-local.
+	Regions []cloud.Region
+
+	// Store backs the shared server parameter copy; nil = eventual store
+	// (the paper's Redis choice).
+	Store store.Store
+	// Rule overrides the server update rule for ablations; nil = VC-ASGD
+	// with Job.Alpha via the parameter-server group (the paper path).
+	Rule baseline.UpdateRule
+	// Network is the WAN model; zero value = cloud.DefaultWAN().
+	Network cloud.Network
+
+	// BaseSubtaskSeconds is te at the reference clock with no slot
+	// contention (paper: ≤ 2.4 min → 144 s).
+	BaseSubtaskSeconds float64
+	// AssimSeconds is the parameter-server service time per result
+	// (validation + store update at paper scale).
+	AssimSeconds float64
+	// ThreadsPerTask and ContentionExp shape the client contention model:
+	// running k simultaneous subtasks on v vCPUs slows each by
+	// max(1, (k·ThreadsPerTask/v))^ContentionExp.
+	ThreadsPerTask float64
+	ContentionExp  float64
+	// PSContention models the shared 8-vCPU server instance hosting all
+	// parameter servers (plus Redis, Apache and MySQL, §IV-A): each
+	// additional PS process slows every PS by this fraction, so server
+	// throughput saturates — the paper observes it "decreases after P5".
+	PSContention float64
+	// TimeoutSeconds is the BOINC result deadline (to in §IV-E).
+	TimeoutSeconds float64
+	// PreemptProb is the per-subtask-execution probability that the
+	// preemptible instance is reclaimed before uploading (p in §IV-E).
+	PreemptProb float64
+	// RecordTest also evaluates test accuracy at each epoch (Figure 6).
+	RecordTest bool
+	// DisableSticky turns off client-side file caching (the A2 ablation:
+	// without BOINC's sticky-file feature every subtask re-downloads its
+	// inputs).
+	DisableSticky bool
+	// AutoScalePS enables the paper's §III-D idea of dynamically varying
+	// the number of parameter servers with load: when the assimilation
+	// queue exceeds the current PS count another PS process is started
+	// (up to MaxPServers); idle capacity is retired back to PServers.
+	AutoScalePS bool
+	// MaxPServers caps autoscaling (default 8, one per server vCPU).
+	MaxPServers int
+
+	Seed int64
+}
+
+// DefaultConfig returns the paper-calibrated simulation parameters for a
+// job/corpus with Cn round-robin Table-I clients.
+func DefaultConfig(job core.JobConfig, corpus *data.Corpus, pn, cn, tn int) Config {
+	return Config{
+		Job:                job,
+		Corpus:             corpus,
+		PServers:           pn,
+		ClientInstances:    cloud.DefaultFleet(cn),
+		TasksPerClient:     tn,
+		Network:            cloud.DefaultWAN(),
+		BaseSubtaskSeconds: 144,
+		AssimSeconds:       19.2,
+		ThreadsPerTask:     4,
+		ContentionExp:      0.72,
+		PSContention:       0.5,
+		TimeoutSeconds:     1800,
+		Seed:               job.Seed,
+	}
+}
+
+// refClockGHz anchors the per-task speed model (ClientB's 2.5 GHz row).
+const refClockGHz = 2.5
+
+// Result is the outcome of one simulated run.
+type Result struct {
+	Name string
+	// Curve is validation accuracy vs virtual hours, one point per epoch
+	// with the per-epoch subtask accuracy range (the paper's error bars).
+	Curve metrics.Series
+	// TestCurve is test accuracy per epoch (when RecordTest).
+	TestCurve metrics.Series
+	// Hours is total virtual training time.
+	Hours float64
+	// Epochs holds per-epoch aggregates.
+	Epochs []ps.EpochSummary
+
+	// Fault-tolerance and traffic accounting.
+	Issued, Reissued, Timeouts int
+	BytesDownloaded            int64
+	BytesUploaded              int64
+	StoreStats                 store.Stats
+
+	// Cost of the fleet (server + clients) for the run duration.
+	CostStandardUSD    float64
+	CostPreemptibleUSD float64
+
+	// Autoscaler telemetry (when AutoScalePS is on).
+	PSScaleUps, PSScaleDowns int
+	MaxPSUsed                int
+}
+
+// simClient is one simulated client instance.
+type simClient struct {
+	id    string
+	inst  cloud.PlacedInstance
+	slots int
+	busy  int
+	cache map[string]bool
+}
+
+// contention returns the per-task slowdown with k busy slots.
+func (c *Config) contention(k int, inst cloud.InstanceType) float64 {
+	load := float64(k) * c.ThreadsPerTask / float64(inst.VCPU)
+	if load <= 1 {
+		return 1
+	}
+	return pow(load, c.ContentionExp)
+}
+
+func pow(x, e float64) float64 {
+	// local wrapper: math.Pow via import would be fine; kept explicit.
+	return mathPow(x, e)
+}
+
+// Run executes the simulated experiment.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Job.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PServers < 1 {
+		cfg.PServers = 1
+	}
+	if cfg.TasksPerClient < 1 {
+		cfg.TasksPerClient = 1
+	}
+	if len(cfg.ClientInstances) == 0 {
+		cfg.ClientInstances = cloud.DefaultFleet(3)
+	}
+	if cfg.BaseSubtaskSeconds <= 0 {
+		cfg.BaseSubtaskSeconds = 144
+	}
+	if cfg.AssimSeconds <= 0 {
+		cfg.AssimSeconds = 19.2
+	}
+	if cfg.ThreadsPerTask <= 0 {
+		cfg.ThreadsPerTask = 4
+	}
+	if cfg.ContentionExp <= 0 {
+		cfg.ContentionExp = 0.72
+	}
+	if cfg.TimeoutSeconds <= 0 {
+		cfg.TimeoutSeconds = 1800
+	}
+	st := cfg.Store
+	if st == nil {
+		st = store.NewEventual(1, 0, cfg.Seed)
+	}
+
+	r := newRun(cfg, st)
+	if err := r.start(); err != nil {
+		return nil, err
+	}
+	r.eng.RunWhile(func() bool { return !r.finished })
+	return r.finish()
+}
+
+// run carries the mutable state of one simulation.
+type run struct {
+	cfg   Config
+	eng   *sim.Engine
+	sched *boinc.Scheduler
+	group *ps.Group
+	st    store.Store
+	assim *sim.Server
+
+	exec    *core.Executor
+	eval    *core.Evaluator
+	testEv  *core.Evaluator
+	shards  []*data.Dataset
+	clients []*simClient
+	preempt *cloud.PreemptionProcess
+
+	// rule-based (ablation) server state; nil when using the ps.Group.
+	rule         baseline.UpdateRule
+	ruleServer   []float64
+	syncBuffer   [][]float64
+	epochParams  map[int][]float64
+	paramBytes   int
+	shardBytes   []int
+	modelBytes   int
+	tracker      *ps.EpochTracker
+	stop         ps.StopCriterion
+	res          *Result
+	finished     bool
+	sweepPending bool
+}
+
+func newRun(cfg Config, st store.Store) *run {
+	name := fmt.Sprintf("P%dC%dT%d", cfg.PServers, len(cfg.ClientInstances), cfg.TasksPerClient)
+	schedCfg := boinc.DefaultSchedulerConfig()
+	schedCfg.DefaultTimeout = cfg.TimeoutSeconds
+	schedCfg.DefaultMaxErrors = 1 << 20 // experiments never abandon a subtask
+	schedCfg.StickyAffinity = !cfg.DisableSticky
+	r := &run{
+		cfg:         cfg,
+		eng:         sim.NewEngine(cfg.Seed),
+		sched:       boinc.NewScheduler(schedCfg),
+		st:          st,
+		exec:        core.NewExecutor(cfg.Job),
+		shards:      cfg.Job.SplitShards(cfg.Corpus),
+		epochParams: make(map[int][]float64),
+		tracker:     ps.NewEpochTracker(cfg.Job.Subtasks),
+		stop:        ps.StopCriterion{TargetAccuracy: cfg.Job.TargetAccuracy, MaxEpochs: cfg.Job.MaxEpochs},
+		rule:        cfg.Rule,
+		preempt:     cloud.NewPreemptionProcess(cfg.Seed + 7),
+		res:         &Result{Name: name},
+	}
+	r.res.Curve.Name = name
+	r.res.TestCurve.Name = name + "-test"
+	return r
+}
+
+func (r *run) start() error {
+	cfg := r.cfg
+	r.group = ps.NewGroup(cfg.PServers, r.st, cfg.Job.Alpha)
+	r.assim = sim.NewServer(r.eng, cfg.PServers)
+	r.eval = core.NewEvaluator(cfg.Job.Builder, cfg.Corpus.Val, cfg.Job.ValSubset, cfg.Job.BatchSize*4)
+	if cfg.RecordTest {
+		r.testEv = core.NewEvaluator(cfg.Job.Builder, cfg.Corpus.Test, cfg.Job.ValSubset, cfg.Job.BatchSize*4)
+	}
+
+	// Initialize the model (with optional serial warmstarting, §II-B) and
+	// size the transfer payloads.
+	net := newInitializedNet(cfg)
+	warmSeconds := 0.0
+	if cfg.Job.WarmstartEpochs > 0 {
+		core.Warmstart(net, cfg.Job, cfg.Corpus.Train)
+		warmSeconds = float64(cfg.Job.WarmstartEpochs) * SerialSecondsPerEpoch(cfg)
+	}
+	params := net.Parameters()
+	r.paramBytes = wire.RawSize(len(params))
+	r.modelBytes = 4096 // model .json spec; small, like the paper's 269 KB
+	r.shardBytes = make([]int, len(r.shards))
+	for i, s := range r.shards {
+		// Approximate the compressed shard size without running gzip for
+		// every shard: raw float64 payload × a typical compression factor.
+		r.shardBytes[i] = int(float64(wire.RawSize(s.X.Size())) * 0.8)
+	}
+	if r.rule == nil {
+		if err := r.group.Publish(params); err != nil {
+			return err
+		}
+	} else {
+		r.ruleServer = append([]float64(nil), params...)
+	}
+
+	for i, inst := range cloud.Place(cfg.ClientInstances, cfg.Regions) {
+		r.clients = append(r.clients, &simClient{
+			id:    fmt.Sprintf("client-%02d-%s", i, inst.Name),
+			inst:  inst,
+			slots: cfg.TasksPerClient,
+			cache: make(map[string]bool),
+		})
+	}
+	if warmSeconds > 0 {
+		// The serial warmstart occupies the fleet's clock before any
+		// subtask is generated.
+		r.eng.Schedule(warmSeconds, func() {
+			if err := r.generateEpoch(1); err != nil {
+				panic("vcsim: generate epoch 1: " + err.Error())
+			}
+			r.wakeClients()
+		})
+		return nil
+	}
+	if err := r.generateEpoch(1); err != nil {
+		return err
+	}
+	r.wakeClients()
+	return nil
+}
+
+// currentServer returns the live server parameter vector.
+func (r *run) currentServer() ([]float64, error) {
+	if r.rule != nil {
+		return append([]float64(nil), r.ruleServer...), nil
+	}
+	return r.group.Current()
+}
+
+// generateEpoch snapshots the server copy and queues the epoch's subtasks.
+func (r *run) generateEpoch(epoch int) error {
+	snapshot, err := r.currentServer()
+	if err != nil {
+		return err
+	}
+	r.epochParams[epoch] = snapshot
+	delete(r.epochParams, epoch-1)
+	if r.rule != nil && r.rule.Synchronous() {
+		r.syncBuffer = r.syncBuffer[:0]
+	}
+	pf := fmt.Sprintf("params_e%03d", epoch)
+	for i := range r.shards {
+		r.sched.AddWorkunit(boinc.Workunit{
+			Name:       fmt.Sprintf("train_e%03d_s%03d", epoch, i),
+			InputFiles: []string{"model.json", pf, fmt.Sprintf("shard_%03d", i)},
+			// Payload encodes epoch and shard compactly.
+			Payload: []byte(fmt.Sprintf("%d/%d", epoch, i)),
+			Timeout: r.cfg.TimeoutSeconds,
+		})
+	}
+	return nil
+}
+
+// wakeClients lets every client with free slots request work.
+func (r *run) wakeClients() {
+	for _, c := range r.clients {
+		r.tryAssign(c)
+	}
+}
+
+// tryAssign pulls one batch of work for an idle client. Like a BOINC
+// client's work fetch, a client requests up to Tn workunits at once and
+// only asks again when the whole batch has finished — this wave
+// granularity, combined with heterogeneous client speeds, produces the
+// straggler effects behind the paper's Figure 3.
+func (r *run) tryAssign(c *simClient) {
+	if r.finished || c.busy > 0 {
+		return
+	}
+	asns := r.sched.RequestWork(c.id, r.eng.Now(), c.slots)
+	if len(asns) == 0 {
+		return
+	}
+	for _, asn := range asns {
+		r.startSubtask(c, asn, len(asns))
+	}
+}
+
+// parsePayload decodes "epoch/shard".
+func parsePayload(p []byte) (epoch, shard int, err error) {
+	_, err = fmt.Sscanf(string(p), "%d/%d", &epoch, &shard)
+	return epoch, shard, err
+}
+
+// startSubtask models download, execution (with contention), preemption
+// and upload for one assignment. wave is the number of subtasks running
+// simultaneously in this batch, which sets the contention factor.
+func (r *run) startSubtask(c *simClient, asn boinc.Assignment, wave int) {
+	epoch, shard, err := parsePayload(asn.Payload)
+	if err != nil {
+		panic("vcsim: bad payload " + string(asn.Payload))
+	}
+	c.busy++
+	// Download whatever is not sticky-cached.
+	if r.cfg.DisableSticky {
+		c.cache = make(map[string]bool)
+	}
+	newBytes := 0
+	for _, f := range asn.InputFiles {
+		if c.cache[f] {
+			continue
+		}
+		c.cache[f] = true
+		switch {
+		case f == "model.json":
+			newBytes += r.modelBytes
+		case len(f) > 6 && f[:6] == "shard_":
+			newBytes += r.shardBytes[shard]
+		default: // params file
+			newBytes += r.paramBytes
+		}
+	}
+	r.res.BytesDownloaded += int64(newBytes)
+	dl := 0.0
+	if newBytes > 0 {
+		dl = r.cfg.Network.TransferTimeFrom(newBytes, c.inst, r.eng.Rand())
+	}
+	execT := r.cfg.BaseSubtaskSeconds * (refClockGHz / c.inst.ClockGHz) * r.cfg.contention(wave, c.inst.InstanceType)
+
+	// Preemption: the instance is reclaimed during this execution; the
+	// result never uploads and the slot is only recovered (replacement
+	// instance) at the scheduler deadline.
+	if r.cfg.PreemptProb > 0 && r.eng.Rand().Float64() < r.cfg.PreemptProb {
+		wait := asn.Deadline - r.eng.Now()
+		r.eng.Schedule(wait+1, func() {
+			c.busy--
+			c.cache = make(map[string]bool) // replacement starts cold
+			r.sweep()
+		})
+		return
+	}
+
+	r.eng.Schedule(dl+execT, func() {
+		// Real training happens here, from the epoch snapshot.
+		seed := r.cfg.Seed ^ int64(epoch)<<20 ^ int64(shard)
+		updated, _ := r.exec.Run(r.epochParams[epoch], r.shards[shard], seed)
+		c.busy--
+		r.tryAssign(c)
+		up := r.cfg.Network.TransferTimeFrom(r.paramBytes, c.inst, r.eng.Rand())
+		r.res.BytesUploaded += int64(r.paramBytes)
+		r.eng.Schedule(up, func() {
+			if _, canonical, err := r.sched.CompleteResult(asn.ResultID, true, r.eng.Now()); err == nil && canonical {
+				r.autoscale()
+				r.assim.Submit(r.assimService(), func() {
+					r.assimilate(epoch, updated)
+				})
+			}
+		})
+	})
+	r.scheduleSweep()
+}
+
+// assimService is the PS service time per result: validation plus the
+// calibrated store update cost for the parameter blob, inflated by the
+// contention of the parameter-server processes currently sharing one
+// server instance.
+func (r *run) assimService() float64 {
+	storeCost := 2 * store.EventualProfile.Cost(r.paramBytes).Seconds()
+	if _, ok := r.st.(*store.Strong); ok {
+		storeCost = 2 * store.StrongProfile.Cost(r.paramBytes).Seconds()
+	}
+	contention := 1 + r.cfg.PSContention*float64(r.assim.Slots()-1)
+	return r.cfg.AssimSeconds*contention + storeCost
+}
+
+// autoscale implements §III-D's dynamic parameter-server pool: grow when
+// the assimilation backlog exceeds the pool, shrink when the pool idles.
+func (r *run) autoscale() {
+	if !r.cfg.AutoScalePS {
+		return
+	}
+	max := r.cfg.MaxPServers
+	if max <= 0 {
+		max = 8
+	}
+	slots := r.assim.Slots()
+	switch {
+	case r.assim.QueueLen() > slots && slots < max:
+		r.assim.SetSlots(slots + 1)
+		r.res.PSScaleUps++
+		if slots+1 > r.res.MaxPSUsed {
+			r.res.MaxPSUsed = slots + 1
+		}
+	case r.assim.QueueLen() == 0 && r.assim.Busy() < slots && slots > r.cfg.PServers:
+		r.assim.SetSlots(slots - 1)
+		r.res.PSScaleDowns++
+	}
+}
+
+// assimilate applies the server update and epoch bookkeeping.
+func (r *run) assimilate(epoch int, updated []float64) {
+	if r.finished {
+		return
+	}
+	var acc float64
+	switch {
+	case r.rule == nil:
+		srv := r.group.Pick()
+		if err := srv.Assimilate(updated, epoch); err != nil {
+			panic("vcsim: assimilate: " + err.Error())
+		}
+		cur, err := srv.Current()
+		if err != nil {
+			panic("vcsim: current: " + err.Error())
+		}
+		acc = r.eval.Accuracy(cur)
+	case r.rule.Synchronous():
+		r.syncBuffer = append(r.syncBuffer, updated)
+		acc = r.eval.Accuracy(r.ruleServer) // server unchanged until the barrier
+		if len(r.syncBuffer) == r.cfg.Job.Subtasks {
+			r.rule.MergeAll(r.ruleServer, r.syncBuffer, r.epochParams[epoch], epoch)
+			acc = r.eval.Accuracy(r.ruleServer)
+		}
+	default:
+		r.rule.Merge(r.ruleServer, updated, r.epochParams[epoch], epoch)
+		acc = r.eval.Accuracy(r.ruleServer)
+	}
+
+	summary, closed := r.tracker.Record(acc)
+	if !closed {
+		return
+	}
+	if r.rule != nil && r.rule.Synchronous() {
+		// For synchronous rules the epoch accuracy is the post-merge value.
+		summary.Mean, summary.Lo, summary.Hi, summary.Std = acc, acc, acc, 0
+	}
+	r.res.Epochs = append(r.res.Epochs, summary)
+	point := metrics.Point{
+		Epoch: summary.Epoch,
+		Hours: r.eng.NowHours(),
+		Value: summary.Mean,
+		Lo:    summary.Lo,
+		Hi:    summary.Hi,
+	}
+	r.res.Curve.Add(point)
+	if r.testEv != nil {
+		cur, err := r.currentServer()
+		if err == nil {
+			r.res.TestCurve.Add(metrics.Point{
+				Epoch: summary.Epoch,
+				Hours: r.eng.NowHours(),
+				Value: r.testEv.Accuracy(cur),
+			})
+		}
+	}
+	if r.stop.ShouldStop(summary) {
+		r.finished = true
+		return
+	}
+	if err := r.generateEpoch(summary.Epoch + 1); err != nil {
+		panic("vcsim: generate epoch: " + err.Error())
+	}
+	r.wakeClients()
+}
+
+// scheduleSweep arms a timeout sweep at the next outstanding deadline.
+func (r *run) scheduleSweep() {
+	if r.sweepPending || r.finished {
+		return
+	}
+	d, ok := r.sched.NextDeadline()
+	if !ok {
+		return
+	}
+	r.sweepPending = true
+	r.eng.ScheduleAt(d+0.5, func() {
+		r.sweepPending = false
+		r.sweep()
+	})
+}
+
+// sweep expires overdue results and redistributes reissued work.
+func (r *run) sweep() {
+	if r.finished {
+		return
+	}
+	if expired := r.sched.ExpireTimeouts(r.eng.Now()); len(expired) > 0 {
+		r.wakeClients()
+	}
+	r.scheduleSweep()
+}
+
+// finish assembles the Result.
+func (r *run) finish() (*Result, error) {
+	r.res.Hours = r.eng.NowHours()
+	r.res.Issued = r.sched.Issued
+	r.res.Reissued = r.sched.Reissued
+	r.res.Timeouts = r.sched.Timeouts
+	r.res.StoreStats = r.st.Stats()
+	if r.res.MaxPSUsed < r.cfg.PServers {
+		r.res.MaxPSUsed = r.cfg.PServers
+	}
+	fleet := append([]cloud.InstanceType{cloud.ServerInstance}, r.cfg.ClientInstances...)
+	r.res.CostStandardUSD = cloud.FleetCost(fleet, false) * r.res.Hours
+	r.res.CostPreemptibleUSD = cloud.FleetCost(fleet, true) * r.res.Hours
+	return r.res, nil
+}

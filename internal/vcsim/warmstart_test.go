@@ -1,0 +1,50 @@
+package vcsim
+
+import "testing"
+
+// TestWarmstartBoostsEarlyAccuracy checks the §II-B technique end to end:
+// two serial warmstart epochs must raise distributed epoch-1 accuracy and
+// shift the virtual clock by the serial training time.
+func TestWarmstartBoostsEarlyAccuracy(t *testing.T) {
+	job, corpus := quickSetup(t)
+	job.MaxEpochs = 2
+	cold := DefaultConfig(job, corpus, 2, 3, 2)
+	rCold, err := Run(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmJob := job
+	warmJob.WarmstartEpochs = 2
+	warm := DefaultConfig(warmJob, corpus, 2, 3, 2)
+	rWarm, err := Run(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rWarm.Curve.Points[0].Value <= rCold.Curve.Points[0].Value {
+		t.Fatalf("warmstart did not help epoch 1: %v vs %v",
+			rWarm.Curve.Points[0].Value, rCold.Curve.Points[0].Value)
+	}
+	wantOffset := 2 * SerialSecondsPerEpoch(warm) / 3600
+	gap := rWarm.Curve.Points[0].Hours - rCold.Curve.Points[0].Hours
+	if gap < wantOffset*0.9 || gap > wantOffset*1.2 {
+		t.Fatalf("warmstart clock offset %vh, want ≈%vh", gap, wantOffset)
+	}
+}
+
+func TestWarmstartDeterministic(t *testing.T) {
+	job, corpus := quickSetup(t)
+	job.MaxEpochs = 1
+	job.WarmstartEpochs = 1
+	cfg := DefaultConfig(job, corpus, 1, 2, 2)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Curve.Points[0].Value != b.Curve.Points[0].Value {
+		t.Fatal("warmstarted runs must be deterministic")
+	}
+}

@@ -1,0 +1,37 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Raw (uncompressed) parameter encoding, used for parameter-store blobs
+// where the store's latency model already accounts for byte volume and
+// per-update gzip would dominate simulation wall-clock time.
+
+// EncodeRaw serializes a flat parameter vector without compression.
+func EncodeRaw(params []float64) []byte {
+	out := make([]byte, 8+8*len(params))
+	binary.LittleEndian.PutUint64(out[0:], uint64(len(params)))
+	for i, v := range params {
+		binary.LittleEndian.PutUint64(out[8+8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// DecodeRaw reverses EncodeRaw.
+func DecodeRaw(blob []byte) ([]float64, error) {
+	if len(blob) < 8 {
+		return nil, fmt.Errorf("wire: raw blob too short (%d bytes)", len(blob))
+	}
+	n := int(binary.LittleEndian.Uint64(blob[0:]))
+	if len(blob) != 8+8*n {
+		return nil, fmt.Errorf("wire: raw blob length %d does not match %d params", len(blob), n)
+	}
+	params := make([]float64, n)
+	for i := range params {
+		params[i] = math.Float64frombits(binary.LittleEndian.Uint64(blob[8+8*i:]))
+	}
+	return params, nil
+}

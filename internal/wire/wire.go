@@ -1,0 +1,104 @@
+// Package wire provides the on-the-wire encodings VCDL uses to move model
+// parameters and job metadata between clients, the BOINC-style server and
+// the parameter stores. Parameter blobs are gzip-compressed with a CRC-32
+// integrity check, modelling the paper's compressed .h5 parameter files
+// (21.2 MB each for the 4.97M-parameter model) and BOINC's automatic
+// file compression feature.
+package wire
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+const paramMagic = 0x56505231 // "VPR1"
+
+// EncodeParams serializes a flat parameter vector with compression and a
+// trailing checksum.
+func EncodeParams(params []float64) ([]byte, error) {
+	var buf bytes.Buffer
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], paramMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(params)))
+	buf.Write(hdr[:])
+	zw, err := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+	if err != nil {
+		return nil, fmt.Errorf("wire: gzip init: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	w := io.MultiWriter(zw, crc)
+	chunk := make([]byte, 8*4096)
+	for off := 0; off < len(params); {
+		m := len(params) - off
+		if m > 4096 {
+			m = 4096
+		}
+		for i := 0; i < m; i++ {
+			binary.LittleEndian.PutUint64(chunk[8*i:], math.Float64bits(params[off+i]))
+		}
+		if _, err := w.Write(chunk[:8*m]); err != nil {
+			return nil, fmt.Errorf("wire: write params: %w", err)
+		}
+		off += m
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := zw.Write(sum[:]); err != nil {
+		return nil, fmt.Errorf("wire: write checksum: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("wire: close gzip: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeParams reverses EncodeParams, verifying the checksum.
+func DecodeParams(blob []byte) ([]float64, error) {
+	if len(blob) < 8 {
+		return nil, fmt.Errorf("wire: blob too short (%d bytes)", len(blob))
+	}
+	if m := binary.LittleEndian.Uint32(blob[0:]); m != paramMagic {
+		return nil, fmt.Errorf("wire: bad magic %#x", m)
+	}
+	n := int(binary.LittleEndian.Uint32(blob[4:]))
+	zr, err := gzip.NewReader(bytes.NewReader(blob[8:]))
+	if err != nil {
+		return nil, fmt.Errorf("wire: open gzip: %w", err)
+	}
+	defer zr.Close()
+	params := make([]float64, n)
+	crc := crc32.NewIEEE()
+	chunk := make([]byte, 8*4096)
+	for off := 0; off < n; {
+		m := n - off
+		if m > 4096 {
+			m = 4096
+		}
+		if _, err := io.ReadFull(zr, chunk[:8*m]); err != nil {
+			return nil, fmt.Errorf("wire: read params: %w", err)
+		}
+		crc.Write(chunk[:8*m])
+		for i := 0; i < m; i++ {
+			params[off+i] = math.Float64frombits(binary.LittleEndian.Uint64(chunk[8*i:]))
+		}
+		off += m
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(zr, sum[:]); err != nil {
+		return nil, fmt.Errorf("wire: read checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(sum[:]); got != crc.Sum32() {
+		return nil, fmt.Errorf("wire: checksum mismatch: stored %#x, computed %#x", got, crc.Sum32())
+	}
+	return params, nil
+}
+
+// RawSize returns the uncompressed byte size of a parameter vector of
+// length n — the number the latency models use for transfer-time
+// estimation.
+func RawSize(n int) int { return 8 * n }
