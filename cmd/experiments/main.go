@@ -17,8 +17,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,14 +31,28 @@ import (
 	"vcdl/internal/vcsim"
 )
 
-func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1|fig2|fig3|fig4|fig5|fig6|storedb|preempt|ablation|all)")
-	epochs := flag.Int("epochs", 40, "training epochs per run (paper: 40)")
-	seed := flag.Int64("seed", 1, "experiment seed")
-	csvDir := flag.String("csv", "", "directory to write CSV curves into (optional)")
-	flag.Parse()
+// experimentOrder lists the valid experiment names in run order.
+var experimentOrder = []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "storedb", "preempt", "ablation"}
 
-	runner := &runner{epochs: *epochs, seed: *seed, csvDir: *csvDir}
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment to run (table1|fig2|fig3|fig4|fig5|fig6|storedb|preempt|ablation|all)")
+	epochs := fs.Int("epochs", 40, "training epochs per run (paper: 40)")
+	seed := fs.Int64("seed", 1, "experiment seed")
+	csvDir := fs.String("csv", "", "directory to write CSV curves into (optional)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	runner := &runner{epochs: *epochs, seed: *seed, csvDir: *csvDir, out: stdout, errOut: stderr}
 	known := map[string]func() error{
 		"table1":   runner.table1,
 		"fig2":     runner.fig2,
@@ -48,33 +64,36 @@ func main() {
 		"preempt":  runner.preempt,
 		"ablation": runner.ablation,
 	}
-	order := []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "storedb", "preempt", "ablation"}
 
 	var toRun []string
 	if *exp == "all" {
-		toRun = order
+		toRun = experimentOrder
 	} else {
 		for _, name := range strings.Split(*exp, ",") {
 			if _, ok := known[name]; !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "unknown experiment %q\nusage: experiments -exp %s|all [-epochs N] [-seed N] [-csv DIR]\n",
+					name, strings.Join(experimentOrder, "|"))
+				return 2
 			}
 			toRun = append(toRun, name)
 		}
 	}
 	for _, name := range toRun {
-		fmt.Printf("\n================ %s ================\n", name)
+		fmt.Fprintf(stdout, "\n================ %s ================\n", name)
 		if err := known[name](); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "%s: %v\n", name, err)
+			return 1
 		}
 	}
+	return 0
 }
 
 type runner struct {
 	epochs int
 	seed   int64
 	csvDir string
+	out    io.Writer
+	errOut io.Writer
 
 	setupCache *vcsim.PaperSetup
 	fig4Cache  []*vcsim.Result
@@ -96,7 +115,7 @@ func (r *runner) writeCSV(name string, series ...metrics.Series) {
 		return
 	}
 	if err := os.MkdirAll(r.csvDir, 0o755); err != nil {
-		fmt.Fprintf(os.Stderr, "csv dir: %v\n", err)
+		fmt.Fprintf(r.errOut, "csv dir: %v\n", err)
 		return
 	}
 	var b strings.Builder
@@ -106,21 +125,21 @@ func (r *runner) writeCSV(name string, series ...metrics.Series) {
 	}
 	path := filepath.Join(r.csvDir, name+".csv")
 	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+		fmt.Fprintf(r.errOut, "write %s: %v\n", path, err)
 	}
 }
 
-func printCurve(res *vcsim.Result) {
-	fmt.Printf("-- %s  (%.2f h total, %d issued, %d reissued, %d timeouts)\n",
+func printCurve(w io.Writer, res *vcsim.Result) {
+	fmt.Fprintf(w, "-- %s  (%.2f h total, %d issued, %d reissued, %d timeouts)\n",
 		res.Name, res.Hours, res.Issued, res.Reissued, res.Timeouts)
 	for _, p := range res.Curve.Points {
-		fmt.Printf("   epoch %2d  %6.2f h  acc %.3f  [%.3f, %.3f]\n",
+		fmt.Fprintf(w, "   epoch %2d  %6.2f h  acc %.3f  [%.3f, %.3f]\n",
 			p.Epoch, p.Hours, p.Value, p.Lo, p.Hi)
 	}
 }
 
 func (r *runner) table1() error {
-	fmt.Println("Table I: server and client instance configurations")
+	fmt.Fprintln(r.out, "Table I: server and client instance configurations")
 	rows := [][]string{}
 	for _, it := range cloud.TableI() {
 		rows = append(rows, []string{
@@ -133,10 +152,10 @@ func (r *runner) table1() error {
 			fmt.Sprintf("$%.3f", it.PreemptibleUSD),
 		})
 	}
-	fmt.Print(metrics.Table(
+	fmt.Fprint(r.out, metrics.Table(
 		[]string{"instance", "vCPU", "GHz", "RAM(GB)", "net(Gbps)", "std/h", "spot/h"}, rows))
 	fleet := append([]cloud.InstanceType{cloud.ServerInstance}, cloud.DefaultFleet(4)...)
-	fmt.Printf("P5C5T2 fleet: $%.2f/h standard, $%.2f/h preemptible (%.0f%% savings)\n",
+	fmt.Fprintf(r.out, "P5C5T2 fleet: $%.2f/h standard, $%.2f/h preemptible (%.0f%% savings)\n",
 		cloud.FleetCost(fleet, false), cloud.FleetCost(fleet, true), 100*cloud.Savings(fleet))
 	return nil
 }
@@ -146,16 +165,16 @@ func (r *runner) fig2() error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("Figure 2: validation accuracy vs training time, alpha=0.95")
+	fmt.Fprintln(r.out, "Figure 2: validation accuracy vs training time, alpha=0.95")
 	results, err := vcsim.Fig2(s)
 	if err != nil {
 		return err
 	}
 	for _, res := range results {
-		printCurve(res)
+		printCurve(r.out, res)
 		r.writeCSV("fig2_"+res.Name, res.Curve)
 	}
-	fmt.Println("expected shape: all configs converge to similar accuracy; P5C5T2 fastest.")
+	fmt.Fprintln(r.out, "expected shape: all configs converge to similar accuracy; P5C5T2 fastest.")
 	return nil
 }
 
@@ -164,7 +183,7 @@ func (r *runner) fig3() error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("Figure 3: training time (hours) vs simultaneous subtasks per client, alpha=0.95")
+	fmt.Fprintln(r.out, "Figure 3: training time (hours) vs simultaneous subtasks per client, alpha=0.95")
 	rows, err := vcsim.Fig3(s)
 	if err != nil {
 		return err
@@ -177,9 +196,9 @@ func (r *runner) fig3() error {
 		}
 		table = append(table, cells)
 	}
-	fmt.Print(metrics.Table([]string{"config", "T2", "T4", "T8"}, table))
-	fmt.Println("expected shape: P1C3 dips at T4 and rises at T8; P3C3T8 beats P1C3T8 by ~3h;")
-	fmt.Println("P5C5 fastest overall with the imbalance growing toward T8.")
+	fmt.Fprint(r.out, metrics.Table([]string{"config", "T2", "T4", "T8"}, table))
+	fmt.Fprintln(r.out, "expected shape: P1C3 dips at T4 and rises at T8; P3C3T8 beats P1C3T8 by ~3h;")
+	fmt.Fprintln(r.out, "P5C5 fastest overall with the imbalance growing toward T8.")
 	return nil
 }
 
@@ -201,22 +220,22 @@ func (r *runner) fig4Results() ([]*vcsim.Result, error) {
 }
 
 func (r *runner) fig4() error {
-	fmt.Println("Figure 4: effect of VC-ASGD hyperparameter alpha on P3C3T4")
+	fmt.Fprintln(r.out, "Figure 4: effect of VC-ASGD hyperparameter alpha on P3C3T4")
 	results, err := r.fig4Results()
 	if err != nil {
 		return err
 	}
 	for _, res := range results {
-		printCurve(res)
+		printCurve(r.out, res)
 		r.writeCSV("fig4_"+res.Name, res.Curve)
 	}
-	fmt.Println("expected shape: alpha=0.7 fastest early; alpha=0.95 better late;")
-	fmt.Println("alpha=0.999 far behind; Var (e/(e+1)) best overall with smallest spread.")
+	fmt.Fprintln(r.out, "expected shape: alpha=0.7 fastest early; alpha=0.95 better late;")
+	fmt.Fprintln(r.out, "alpha=0.999 far behind; Var (e/(e+1)) best overall with smallest spread.")
 	return nil
 }
 
 func (r *runner) fig5() error {
-	fmt.Println("Figure 5: zoomed views of Figure 4 (mid-training and late-training windows)")
+	fmt.Fprintln(r.out, "Figure 5: zoomed views of Figure 4 (mid-training and late-training windows)")
 	results, err := r.fig4Results()
 	if err != nil {
 		return err
@@ -230,11 +249,11 @@ func (r *runner) fig5() error {
 	}
 	windows := [][2]float64{{0.45 * total, 0.72 * total}, {0.72 * total, total}}
 	for wi, w := range windows {
-		fmt.Printf("-- window %d: %.2f–%.2f h\n", wi+1, w[0], w[1])
+		fmt.Fprintf(r.out, "-- window %d: %.2f–%.2f h\n", wi+1, w[0], w[1])
 		for _, res := range results {
 			z := vcsim.ZoomWindow(res.Curve, w[0], w[1])
 			for _, p := range z.Points {
-				fmt.Printf("   %-12s epoch %2d  %6.2f h  acc %.3f [%.3f, %.3f]\n",
+				fmt.Fprintf(r.out, "   %-12s epoch %2d  %6.2f h  acc %.3f [%.3f, %.3f]\n",
 					res.Name, p.Epoch, p.Hours, p.Value, p.Lo, p.Hi)
 			}
 		}
@@ -247,7 +266,7 @@ func (r *runner) fig6() error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("Figure 6: distributed (P5C5T2, Var alpha) vs single-instance serial training")
+	fmt.Fprintln(r.out, "Figure 6: distributed (P5C5T2, Var alpha) vs single-instance serial training")
 	serialEpochs := r.epochs / 4
 	if serialEpochs < 2 {
 		serialEpochs = 2
@@ -256,25 +275,25 @@ func (r *runner) fig6() error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("-- validation")
-	printSeriesPair(res.DistVal, res.SerialVal)
-	fmt.Println("-- test")
-	printSeriesPair(res.DistTest, res.SerialTest)
+	fmt.Fprintln(r.out, "-- validation")
+	printSeriesPair(r.out, res.DistVal, res.SerialVal)
+	fmt.Fprintln(r.out, "-- test")
+	printSeriesPair(r.out, res.DistTest, res.SerialTest)
 	r.writeCSV("fig6_val", res.DistVal, res.SerialVal)
 	r.writeCSV("fig6_test", res.DistTest, res.SerialTest)
-	fmt.Println("expected shape: single-instance above distributed with a shrinking gap;")
-	fmt.Println("distributed curve smoother; test tracks validation.")
+	fmt.Fprintln(r.out, "expected shape: single-instance above distributed with a shrinking gap;")
+	fmt.Fprintln(r.out, "distributed curve smoother; test tracks validation.")
 	return nil
 }
 
-func printSeriesPair(dist, serial metrics.Series) {
-	fmt.Printf("   %-24s final %.3f at %.2f h\n", dist.Name, dist.FinalValue(), lastHours(dist))
-	fmt.Printf("   %-24s final %.3f at %.2f h\n", serial.Name, serial.FinalValue(), lastHours(serial))
+func printSeriesPair(w io.Writer, dist, serial metrics.Series) {
+	fmt.Fprintf(w, "   %-24s final %.3f at %.2f h\n", dist.Name, dist.FinalValue(), lastHours(dist))
+	fmt.Fprintf(w, "   %-24s final %.3f at %.2f h\n", serial.Name, serial.FinalValue(), lastHours(serial))
 	for _, p := range serial.Points {
-		fmt.Printf("   serial epoch %2d  %6.2f h  acc %.3f\n", p.Epoch, p.Hours, p.Value)
+		fmt.Fprintf(w, "   serial epoch %2d  %6.2f h  acc %.3f\n", p.Epoch, p.Hours, p.Value)
 	}
 	for _, p := range dist.Points {
-		fmt.Printf("   dist   epoch %2d  %6.2f h  acc %.3f\n", p.Epoch, p.Hours, p.Value)
+		fmt.Fprintf(w, "   dist   epoch %2d  %6.2f h  acc %.3f\n", p.Epoch, p.Hours, p.Value)
 	}
 }
 
@@ -287,18 +306,18 @@ func lastHours(s metrics.Series) float64 {
 }
 
 func (r *runner) storedb() error {
-	fmt.Println("§IV-D: eventual-consistency (Redis-like) vs strong-consistency (MySQL-like) store")
+	fmt.Fprintln(r.out, "§IV-D: eventual-consistency (Redis-like) vs strong-consistency (MySQL-like) store")
 	c := vcsim.CompareStores()
-	fmt.Printf("   per-update latency:   eventual %.2f s   strong %.2f s   ratio %.2fx\n",
+	fmt.Fprintf(r.out, "   per-update latency:   eventual %.2f s   strong %.2f s   ratio %.2fx\n",
 		c.EventualUpdateSec, c.StrongUpdateSec, c.Ratio)
-	fmt.Printf("   CIFAR10-scale (2,000 updates):     +%.0f min with the strong store\n", c.CIFAR10OverheadMin)
-	fmt.Printf("   ImageNet-scale (1,600,000 updates): +%.0f h with the strong store\n", c.ImageNetOverheadH)
-	fmt.Println("   paper: 0.87 s vs 1.29 s (1.5x), +14 min CIFAR10, +187 h ImageNet")
+	fmt.Fprintf(r.out, "   CIFAR10-scale (2,000 updates):     +%.0f min with the strong store\n", c.CIFAR10OverheadMin)
+	fmt.Fprintf(r.out, "   ImageNet-scale (1,600,000 updates): +%.0f h with the strong store\n", c.ImageNetOverheadH)
+	fmt.Fprintln(r.out, "   paper: 0.87 s vs 1.29 s (1.5x), +14 min CIFAR10, +187 h ImageNet")
 	return nil
 }
 
 func (r *runner) preempt() error {
-	fmt.Println("§IV-E: preemptible instances — binomial delay model and simulation")
+	fmt.Fprintln(r.out, "§IV-E: preemptible instances — binomial delay model and simulation")
 	m := cloud.PreemptModel{TaskExecSeconds: 2.4 * 60, TimeoutSeconds: 5 * 60}
 	var rows [][]string
 	for _, p := range []float64{0.05, 0.10, 0.15, 0.20} {
@@ -311,8 +330,8 @@ func (r *runner) preempt() error {
 			fmt.Sprintf("%.1f h", total),
 		})
 	}
-	fmt.Print(metrics.Table([]string{"p", "expected increase", "expected total"}, rows))
-	fmt.Println("   paper: +50 min at p=0.05, +200 min at p=0.20 for P5C5T2 (ns=2000, to=5 min)")
+	fmt.Fprint(r.out, metrics.Table([]string{"p", "expected increase", "expected total"}, rows))
+	fmt.Fprintln(r.out, "   paper: +50 min at p=0.05, +200 min at p=0.20 for P5C5T2 (ns=2000, to=5 min)")
 
 	// End-to-end simulation with preemptions enabled.
 	s, err := r.setup()
@@ -340,9 +359,9 @@ func (r *runner) preempt() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("   simulated %d epochs: clean %.2f h, p=5%% %.2f h (+%.0f min, %d timeouts)\n",
+	fmt.Fprintf(r.out, "   simulated %d epochs: clean %.2f h, p=5%% %.2f h (+%.0f min, %d timeouts)\n",
 		epochs, base.Hours, rough.Hours, (rough.Hours-base.Hours)*60, rough.Timeouts)
-	fmt.Printf("   cost for the run: $%.2f standard vs $%.2f preemptible (%.0f%% saved)\n",
+	fmt.Fprintf(r.out, "   cost for the run: $%.2f standard vs $%.2f preemptible (%.0f%% saved)\n",
 		rough.CostStandardUSD, rough.CostPreemptibleUSD,
 		100*(1-rough.CostPreemptibleUSD/rough.CostStandardUSD))
 	return nil
@@ -357,7 +376,7 @@ func (r *runner) ablation() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("A1: update-rule ablation on P3C3T4 with 5%% preemption (%d epochs)\n", epochs)
+	fmt.Fprintf(r.out, "A1: update-rule ablation on P3C3T4 with 5%% preemption (%d epochs)\n", epochs)
 	var rows [][]string
 	for _, rule := range vcsim.AblationRules(s.Job.Subtasks) {
 		cfg := s.Config(3, 3, 4, s.Job.Alpha)
@@ -375,9 +394,9 @@ func (r *runner) ablation() error {
 			fmt.Sprintf("%d", res.Timeouts),
 		})
 	}
-	fmt.Print(metrics.Table([]string{"rule", "final acc", "time", "timeouts"}, rows))
+	fmt.Fprint(r.out, metrics.Table([]string{"rule", "final acc", "time", "timeouts"}, rows))
 
-	fmt.Println("A2: sticky files / compression ablation (bytes downloaded)")
+	fmt.Fprintln(r.out, "A2: sticky files / compression ablation (bytes downloaded)")
 	cfgOn := s.Config(3, 3, 4, s.Job.Alpha)
 	on, err := vcsim.Run(cfgOn)
 	if err != nil {
@@ -389,8 +408,8 @@ func (r *runner) ablation() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("   sticky on:  %8.1f MB downloaded\n", float64(on.BytesDownloaded)/1e6)
-	fmt.Printf("   sticky off: %8.1f MB downloaded (%.1fx more)\n",
+	fmt.Fprintf(r.out, "   sticky on:  %8.1f MB downloaded\n", float64(on.BytesDownloaded)/1e6)
+	fmt.Fprintf(r.out, "   sticky off: %8.1f MB downloaded (%.1fx more)\n",
 		float64(off.BytesDownloaded)/1e6, float64(off.BytesDownloaded)/float64(on.BytesDownloaded))
 	return nil
 }

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-exp", "fig99"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	msg := errOut.String()
+	if !strings.Contains(msg, `unknown experiment "fig99"`) || !strings.Contains(msg, "usage: experiments") {
+		t.Fatalf("stderr = %q", msg)
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestTable1Runs(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-exp", "table1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Table I") || !strings.Contains(out.String(), "client-16x2.8") {
+		t.Fatalf("stdout = %q", out.String())
+	}
+}

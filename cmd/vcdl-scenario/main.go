@@ -1,0 +1,125 @@
+// Command vcdl-scenario runs and validates declarative fault/churn
+// scenarios against the VCDL simulator (DESIGN.md §5):
+//
+//	vcdl-scenario run [-seed N] [-trace] <scenario.txt>...
+//	vcdl-scenario validate <scenario.txt>...
+//
+// run executes each scenario and prints its assertion results; the exit
+// code is 0 when every assertion of every scenario passes, 1 otherwise.
+// validate parses and checks the files without running anything (exit 2
+// on any malformed scenario). The bundled scenario library lives in
+// examples/scenarios/.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"vcdl/internal/scenario"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage: vcdl-scenario <command> [flags] <scenario-file>...
+
+commands:
+  run       execute scenarios and check their assertions
+            flags: -seed N (override scenario seed), -trace (print event trace)
+  validate  parse and validate scenario files without running them
+`)
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:], stdout, stderr)
+	case "validate":
+		return cmdValidate(args[1:], stdout, stderr)
+	case "help", "-h", "--help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "vcdl-scenario: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+}
+
+func cmdRun(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 0, "override the scenario's seed (0 = use the file's)")
+	trace := fs.Bool("trace", false, "print the event trace while running")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		fmt.Fprintln(stderr, "vcdl-scenario run: no scenario files given")
+		usage(stderr)
+		return 2
+	}
+	exit := 0
+	for _, file := range files {
+		sc, err := scenario.Load(file)
+		if err != nil {
+			fmt.Fprintf(stderr, "vcdl-scenario: %v\n", err)
+			return 2
+		}
+		opts := scenario.Options{}
+		if *seed != 0 {
+			opts.Seed = seed
+		}
+		if *trace {
+			opts.Progress = stdout
+		}
+		fmt.Fprintf(stdout, "== %s", sc.Name)
+		if sc.Description != "" {
+			fmt.Fprintf(stdout, " — %s", sc.Description)
+		}
+		fmt.Fprintln(stdout)
+		rep, err := scenario.RunScenario(sc, opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "vcdl-scenario: %s: %v\n", file, err)
+			return 1
+		}
+		fmt.Fprint(stdout, rep.Summary())
+		if !rep.Passed {
+			exit = 1
+		}
+	}
+	return exit
+}
+
+func cmdValidate(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "vcdl-scenario validate: no scenario files given")
+		usage(stderr)
+		return 2
+	}
+	exit := 0
+	for _, file := range args {
+		sc, err := scenario.Load(file)
+		if err != nil {
+			fmt.Fprintf(stderr, "INVALID  %s\n%v\n", file, err)
+			exit = 2
+			continue
+		}
+		fmt.Fprintf(stdout, "OK       %s  (%s: %d events, %d assertions)\n",
+			file, sc.Name, len(sc.Events), len(sc.Asserts))
+	}
+	return exit
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeScenario(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const tinyScenario = `
+scenario tiny
+fleet:
+  clients 2
+  epochs 2
+  seed 4
+events:
+  at 2m preempt 0.2
+  at 6m preempt 0
+assert:
+  epochs == 2
+`
+
+func TestNoArgsPrintsUsage(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "usage: vcdl-scenario") {
+		t.Fatalf("no usage on stderr: %q", errOut.String())
+	}
+}
+
+func TestUnknownCommandRejected(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"explode"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), `unknown command "explode"`) ||
+		!strings.Contains(errOut.String(), "usage:") {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+}
+
+func TestUnknownScenarioFileRejected(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"run", "no-such-scenario.txt"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "no-such-scenario.txt") {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+}
+
+func TestValidateGoodAndBad(t *testing.T) {
+	good := writeScenario(t, "good.txt", tinyScenario)
+	var out, errOut strings.Builder
+	if code := run([]string{"validate", good}, &out, &errOut); code != 0 {
+		t.Fatalf("validate good: exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Fatalf("stdout = %q", out.String())
+	}
+
+	bad := writeScenario(t, "bad.txt", "scenario broken\nevents:\n  at 5m explode\n")
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"validate", bad}, &out, &errOut); code != 2 {
+		t.Fatalf("validate bad: exit %d", code)
+	}
+	if !strings.Contains(errOut.String(), "INVALID") || !strings.Contains(errOut.String(), `unknown event "explode"`) {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+}
+
+func TestRunTinyScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real simulation")
+	}
+	path := writeScenario(t, "tiny.txt", tinyScenario)
+	var out, errOut strings.Builder
+	if code := run([]string{"run", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "PASS  epochs == 2") {
+		t.Fatalf("stdout = %q", out.String())
+	}
+
+	// A failing assertion makes the run exit 1.
+	failing := writeScenario(t, "fail.txt", strings.Replace(tinyScenario, "epochs == 2", "epochs == 99", 1))
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"run", failing}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("stdout = %q", out.String())
+	}
+}

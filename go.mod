@@ -1,0 +1,3 @@
+module vcdl
+
+go 1.24.0

@@ -39,6 +39,10 @@ type clientState struct {
 	reliability float64
 	cached      map[string]bool
 	inFlight    int
+	// gone marks a client that left the project (volunteer churn). Gone
+	// clients no longer count as reliable-and-available, so retried
+	// workunits are not reserved for hosts that will never ask again.
+	gone bool
 }
 
 // Assignment is work handed to a client.
@@ -88,6 +92,45 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 		assignedTo: make(map[int64]map[string]bool),
 	}
 }
+
+// SetDefaultTimeout hot-changes the deadline applied to workunits added
+// from now on (already-issued results keep the deadline they were sent
+// with, like a real BOINC project reconfiguration).
+func (s *Scheduler) SetDefaultTimeout(seconds float64) {
+	if seconds > 0 {
+		s.cfg.DefaultTimeout = seconds
+	}
+}
+
+// RetimePending applies a new timeout to every workunit that has not yet
+// reached a terminal state, so future (re)issues of outstanding work use
+// the new deadline. Already-issued results keep the deadline they were
+// sent with.
+func (s *Scheduler) RetimePending(seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	for _, wu := range s.wus {
+		if wu.status != WUDone && wu.status != WUFailed {
+			wu.Timeout = seconds
+		}
+	}
+}
+
+// SetReliabilityFloor hot-changes the reliability gate for retried
+// workunits. Values outside [0,1] are clamped.
+func (s *Scheduler) SetReliabilityFloor(floor float64) {
+	if floor < 0 {
+		floor = 0
+	}
+	if floor > 1 {
+		floor = 1
+	}
+	s.cfg.ReliabilityFloor = floor
+}
+
+// Config returns the scheduler's current policy (hot changes included).
+func (s *Scheduler) Config() SchedulerConfig { return s.cfg }
 
 // AddWorkunit registers a new workunit and queues it for assignment. It
 // returns the assigned ID.
@@ -262,10 +305,18 @@ func (s *Scheduler) queuedCopies(id int64) int {
 	return n
 }
 
-// hasReliableClient reports whether any known client meets the floor.
+// DropClient marks a client as gone from the project. Its in-flight
+// results still expire normally; it just stops counting as an available
+// reliable host for retry gating.
+func (s *Scheduler) DropClient(clientID string) {
+	s.client(clientID).gone = true
+}
+
+// hasReliableClient reports whether any known, still-present client
+// meets the floor.
 func (s *Scheduler) hasReliableClient() bool {
 	for _, c := range s.clients {
-		if c.reliability >= s.cfg.ReliabilityFloor {
+		if !c.gone && c.reliability >= s.cfg.ReliabilityFloor {
 			return true
 		}
 	}

@@ -203,6 +203,54 @@ func TestRetriesGatedOnReliability(t *testing.T) {
 	}
 }
 
+func TestRetimePending(t *testing.T) {
+	s := newTestScheduler()
+	s.AddWorkunit(Workunit{Name: "a", Timeout: 1200})
+	s.AddWorkunit(Workunit{Name: "b", Timeout: 1200})
+	// "a" is issued and completes before the retime; "b" stays queued.
+	asn := s.RequestWork("c1", 0, 1)
+	if len(asn) != 1 || asn[0].Deadline != 1200 {
+		t.Fatalf("assignment = %+v", asn)
+	}
+	s.CompleteResult(asn[0].ResultID, true, 10)
+	s.RetimePending(300)
+	// The queued workunit's next issue uses the new deadline.
+	asn = s.RequestWork("c1", 100, 1)
+	if len(asn) != 1 || asn[0].Deadline != 400 {
+		t.Fatalf("retimed assignment deadline = %+v, want 400", asn)
+	}
+	// The completed workunit is untouched.
+	if wu := s.Workunit(1); wu.Timeout != 1200 {
+		t.Fatalf("done workunit retimed: %v", wu.Timeout)
+	}
+}
+
+func TestDroppedClientDoesNotGateRetries(t *testing.T) {
+	cfg := DefaultSchedulerConfig()
+	cfg.ReliabilityFloor = 0.9
+	s := NewScheduler(cfg)
+	s.AddWorkunit(Workunit{Name: "wu", Timeout: 10})
+	// "bad" sinks its own reliability failing the workunit.
+	for i := 0; i < 6; i++ {
+		asn := s.RequestWork("bad", 0, 1)
+		if len(asn) == 0 {
+			break
+		}
+		s.CompleteResult(asn[0].ResultID, false, 0)
+	}
+	// "good" is known and reliable, so the retry is reserved for it...
+	s.RequestWork("good", 0, 0)
+	if asn := s.RequestWork("bad", 2, 5); len(asn) != 0 {
+		t.Fatalf("retried workunit assigned past the gate: %v", asn)
+	}
+	// ...but once "good" leaves the project, withholding the retry would
+	// starve it forever: the gate must open for the remaining client.
+	s.DropClient("good")
+	if asn := s.RequestWork("bad", 3, 5); len(asn) == 0 {
+		t.Fatal("retry starved: every reliable client is gone but the gate stayed closed")
+	}
+}
+
 func TestStickyFileAffinity(t *testing.T) {
 	s := newTestScheduler()
 	// c1 has shardA cached (from a previous epoch).

@@ -136,6 +136,16 @@ func DefaultWAN() Network {
 	return Network{BaseLatency: 0.040, JitterStd: 0.020, Efficiency: 0.3}
 }
 
+// TransferTimeRTT is TransferTime plus an explicit round-trip latency.
+// Callers that override a region's static RTT (outage injection, scenario
+// replay) compute the effective round trip themselves and pass it here.
+func (nw Network) TransferTimeRTT(n int, rtt float64, inst InstanceType, rng *rand.Rand) float64 {
+	if rtt < 0 {
+		rtt = 0
+	}
+	return rtt + nw.TransferTime(n, inst, rng)
+}
+
 // TransferTime returns the virtual seconds needed to move n bytes to or
 // from an instance with the given nominal bandwidth.
 func (nw Network) TransferTime(n int, inst InstanceType, rng *rand.Rand) float64 {

@@ -61,11 +61,11 @@ func Place(fleet []InstanceType, regions []Region) []PlacedInstance {
 	return out
 }
 
-// TransferTime extends Network.TransferTime with the instance's regional
-// round trip: every transfer pays the region RTT in addition to the WAN
-// base latency and bandwidth time.
+// TransferTimeFrom extends Network.TransferTime with the instance's
+// regional round trip: every transfer pays the region RTT in addition to
+// the WAN base latency and bandwidth time.
 func (nw Network) TransferTimeFrom(n int, pi PlacedInstance, rng *rand.Rand) float64 {
-	return pi.Region.RTT() + nw.TransferTime(n, pi.InstanceType, rng)
+	return nw.TransferTimeRTT(n, pi.Region.RTT(), pi.InstanceType, rng)
 }
 
 // String renders the placement for fleet listings.

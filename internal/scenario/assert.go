@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"vcdl/internal/vcsim"
+)
+
+// Assertion is one metric bound checked after a scenario run, e.g.
+// "final_accuracy >= 0.35" or "accuracy@1.5h >= 0.2". Accuracy bands are
+// two assertions (>= lo, <= hi).
+type Assertion struct {
+	// Metric is the canonical metric name; parameterized metrics
+	// (accuracy@<time>, hours_to_acc@<value>) carry their parameter in Arg.
+	Metric string
+	Arg    float64
+	Op     string // <= >= < > == !=
+	Value  float64
+	Raw    string // source text for reporting
+}
+
+// knownMetrics maps plain metric names to their extractors.
+var knownMetrics = map[string]func(res *vcsim.Result, wallSec float64) float64{
+	"final_accuracy":       func(r *vcsim.Result, _ float64) float64 { return r.Curve.FinalValue() },
+	"epochs":               func(r *vcsim.Result, _ float64) float64 { return float64(len(r.Curve.Points)) },
+	"hours":                func(r *vcsim.Result, _ float64) float64 { return r.Hours },
+	"issued":               func(r *vcsim.Result, _ float64) float64 { return float64(r.Issued) },
+	"reissued":             func(r *vcsim.Result, _ float64) float64 { return float64(r.Reissued) },
+	"timeouts":             func(r *vcsim.Result, _ float64) float64 { return float64(r.Timeouts) },
+	"mb_downloaded":        func(r *vcsim.Result, _ float64) float64 { return float64(r.BytesDownloaded) / 1e6 },
+	"mb_uploaded":          func(r *vcsim.Result, _ float64) float64 { return float64(r.BytesUploaded) / 1e6 },
+	"cost_standard_usd":    func(r *vcsim.Result, _ float64) float64 { return r.CostStandardUSD },
+	"cost_preemptible_usd": func(r *vcsim.Result, _ float64) float64 { return r.CostPreemptibleUSD },
+	"max_ps":               func(r *vcsim.Result, _ float64) float64 { return float64(r.MaxPSUsed) },
+	"wallclock_seconds":    func(_ *vcsim.Result, w float64) float64 { return w },
+}
+
+// check validates the assertion's shape (used by Scenario.Validate).
+func (a Assertion) check() error {
+	switch a.Op {
+	case "<=", ">=", "<", ">", "==", "!=":
+	default:
+		return fmt.Errorf("assertion %q: unknown operator %q", a.Raw, a.Op)
+	}
+	switch a.Metric {
+	case "accuracy_at", "hours_to_acc":
+		return nil
+	}
+	if _, ok := knownMetrics[a.Metric]; !ok {
+		return fmt.Errorf("assertion %q: unknown metric %q", a.Raw, a.Metric)
+	}
+	return nil
+}
+
+// Actual extracts the metric value from a finished run. The second
+// return is false when the metric is undefined for the run (e.g.
+// hours_to_acc on a run that never reached the accuracy).
+func (a Assertion) Actual(res *vcsim.Result, wallSec float64) (float64, bool) {
+	switch a.Metric {
+	case "accuracy_at":
+		// Value of the last epoch completed at or before the given
+		// virtual time (0 if no epoch completed by then); undefined only
+		// when the run produced no epochs at all.
+		v := 0.0
+		for _, p := range res.Curve.Points {
+			if p.Hours*3600 <= a.Arg {
+				v = p.Value
+			}
+		}
+		return v, len(res.Curve.Points) > 0
+	case "hours_to_acc":
+		return res.Curve.TimeToReach(a.Arg)
+	}
+	fn, ok := knownMetrics[a.Metric]
+	if !ok {
+		return 0, false
+	}
+	return fn(res, wallSec), true
+}
+
+// holds applies the comparison.
+func (a Assertion) holds(actual float64) bool {
+	const tol = 1e-9
+	switch a.Op {
+	case "<=":
+		return actual <= a.Value+tol
+	case ">=":
+		return actual >= a.Value-tol
+	case "<":
+		return actual < a.Value
+	case ">":
+		return actual > a.Value
+	case "==":
+		return math.Abs(actual-a.Value) <= tol
+	case "!=":
+		return math.Abs(actual-a.Value) > tol
+	}
+	return false
+}
+
+// Check is the outcome of one assertion.
+type Check struct {
+	Assertion Assertion
+	Actual    float64
+	// Defined is false when the metric had no value (treated as fail).
+	Defined bool
+	Pass    bool
+}
+
+// String renders a pass/fail line.
+func (c Check) String() string {
+	status := "PASS"
+	if !c.Pass {
+		status = "FAIL"
+	}
+	if !c.Defined {
+		return fmt.Sprintf("%s  %-40s (metric undefined for this run)", status, c.Assertion.Raw)
+	}
+	return fmt.Sprintf("%s  %-40s actual %.4g", status, c.Assertion.Raw, c.Actual)
+}
+
+// evaluate runs every assertion against the finished run.
+func evaluate(asserts []Assertion, res *vcsim.Result, wallSec float64) (checks []Check, passed bool) {
+	passed = true
+	for _, a := range asserts {
+		actual, defined := a.Actual(res, wallSec)
+		c := Check{Assertion: a, Actual: actual, Defined: defined, Pass: defined && a.holds(actual)}
+		if !c.Pass {
+			passed = false
+		}
+		checks = append(checks, c)
+	}
+	return checks, passed
+}

@@ -1,0 +1,118 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"vcdl/internal/vcsim"
+)
+
+// Report is the outcome of one scenario run.
+type Report struct {
+	Scenario *Scenario
+	Result   *vcsim.Result
+	// Trace records every applied event with its virtual time, plus the
+	// run's closing summary — the determinism contract is that the same
+	// scenario and seed always produce an identical trace.
+	Trace []string
+	// WallclockSeconds is real elapsed time (excluded from Trace so the
+	// trace stays deterministic).
+	WallclockSeconds float64
+	Checks           []Check
+	Passed           bool
+}
+
+// Options tunes a scenario run.
+type Options struct {
+	// Seed overrides the scenario's fleet seed when non-nil.
+	Seed *int64
+	// Progress, when non-nil, receives trace lines as they happen.
+	Progress io.Writer
+}
+
+// RunScenario validates, compiles and runs a scenario to completion.
+func RunScenario(sc *Scenario, opts Options) (*Report, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Seed != nil {
+		sc = &Scenario{
+			Name:        sc.Name,
+			Description: sc.Description,
+			Fleet:       sc.Fleet,
+			Events:      sc.Events,
+			Asserts:     sc.Asserts,
+		}
+		sc.Fleet.Seed = *opts.Seed
+	}
+	cfg, err := sc.BuildConfig()
+	if err != nil {
+		return nil, err
+	}
+	s, err := vcsim.Start(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+
+	rep := &Report{Scenario: sc}
+	trace := func(line string) {
+		rep.Trace = append(rep.Trace, line)
+		if opts.Progress != nil {
+			fmt.Fprintln(opts.Progress, line)
+		}
+	}
+	workload := sc.Fleet.Workload
+	if workload == "" {
+		workload = "quick"
+	}
+	live := s.Config()
+	trace(fmt.Sprintf("scenario %s: P%dC%dT%d %s workload, seed %d, %d events, %d assertions",
+		sc.Name, live.PServers, len(live.ClientInstances), live.TasksPerClient,
+		workload, live.Seed, len(sc.Events), len(sc.Asserts)))
+
+	eng := s.Engine()
+	for _, ev := range sc.Events {
+		ev := ev
+		eng.ScheduleAt(ev.At(), func() {
+			trace(fmt.Sprintf("[%7.3fh] %s", eng.NowHours(), ev.Apply(s)))
+		})
+	}
+
+	start := time.Now()
+	res, err := s.Run()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	rep.WallclockSeconds = time.Since(start).Seconds()
+	rep.Result = res
+	trace(fmt.Sprintf("[%7.3fh] done: %d epochs, final accuracy %.4f, issued %d, reissued %d, timeouts %d",
+		res.Hours, len(res.Curve.Points), res.Curve.FinalValue(), res.Issued, res.Reissued, res.Timeouts))
+	rep.Checks, rep.Passed = evaluate(sc.Asserts, res, rep.WallclockSeconds)
+	return rep, nil
+}
+
+// Summary renders the post-run report (trace is printed separately, via
+// Options.Progress or Report.Trace).
+func (rep *Report) Summary() string {
+	res := rep.Result
+	s := fmt.Sprintf("scenario %-24s %2d epochs  %7.2f h virtual  acc %.4f  (%.2fs wall)\n",
+		rep.Scenario.Name, len(res.Curve.Points), res.Hours, res.Curve.FinalValue(), rep.WallclockSeconds)
+	for _, c := range rep.Checks {
+		s += "  " + c.String() + "\n"
+	}
+	if len(rep.Checks) == 0 {
+		s += "  (no assertions)\n"
+	} else if rep.Passed {
+		s += fmt.Sprintf("  %d/%d assertions passed\n", len(rep.Checks), len(rep.Checks))
+	} else {
+		n := 0
+		for _, c := range rep.Checks {
+			if c.Pass {
+				n++
+			}
+		}
+		s += fmt.Sprintf("  %d/%d assertions passed\n", n, len(rep.Checks))
+	}
+	return s
+}

@@ -1,0 +1,141 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// churnScenario exercises every event type in one short run.
+const churnScenario = `
+scenario churn-test
+description Joins, leaves, storm, outage, straggler, failover, hot config.
+
+fleet:
+  pservers 2
+  clients 3
+  tasks 2
+  epochs 3
+  seed 5
+  timeout 8m
+  regions us-east us-west
+
+events:
+  at 2m  join 2 clientB us-west
+  at 3m  slow 0 3.0
+  at 4m  preempt 0.3
+  at 5m  outage us-west 5s
+  at 6m  ps-fail 1
+  at 8m  set timeout 6m
+  at 8m  set floor 0.7
+  at 12m ps-recover 1
+  at 14m recover us-west
+  at 16m preempt 0
+  at 20m leave 2
+
+assert:
+  epochs == 3
+  final_accuracy >= 0.05
+  timeouts >= 1
+  hours <= 24
+  wallclock_seconds <= 300
+`
+
+func loadChurn(t *testing.T) *Scenario {
+	t.Helper()
+	sc, err := Parse(strings.NewReader(churnScenario), "churn.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestRunScenarioEndToEnd(t *testing.T) {
+	rep, err := RunScenario(loadChurn(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("assertions failed:\n%s", rep.Summary())
+	}
+	if len(rep.Checks) != 5 {
+		t.Fatalf("checked %d assertions, want 5", len(rep.Checks))
+	}
+	// Every event plus the header and the closing summary must be traced.
+	if len(rep.Trace) != len(rep.Scenario.Events)+2 {
+		t.Fatalf("trace has %d lines, want %d:\n%s",
+			len(rep.Trace), len(rep.Scenario.Events)+2, strings.Join(rep.Trace, "\n"))
+	}
+	for _, want := range []string{"join 2 clients", "preemption storm p=0.3", "outage", "failover", "timeout -> 6m", "leave 2 clients"} {
+		if !strings.Contains(strings.Join(rep.Trace, "\n"), want) {
+			t.Errorf("trace missing %q:\n%s", want, strings.Join(rep.Trace, "\n"))
+		}
+	}
+}
+
+// TestScenarioDeterminism is the subsystem's core contract: the same
+// scenario and seed produce an identical event trace and metrics.
+func TestScenarioDeterminism(t *testing.T) {
+	a, err := RunScenario(loadChurn(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(loadChurn(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a.Trace), len(b.Trace))
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			t.Fatalf("trace line %d differs:\n%s\n%s", i, a.Trace[i], b.Trace[i])
+		}
+	}
+	ra, rb := a.Result, b.Result
+	if ra.Hours != rb.Hours || ra.Issued != rb.Issued || ra.Reissued != rb.Reissued ||
+		ra.Timeouts != rb.Timeouts || ra.BytesDownloaded != rb.BytesDownloaded {
+		t.Fatalf("metrics differ: %+v vs %+v", ra, rb)
+	}
+	for i := range ra.Curve.Points {
+		if ra.Curve.Points[i] != rb.Curve.Points[i] {
+			t.Fatalf("curve point %d differs", i)
+		}
+	}
+
+	// A different seed must still run, and (for this workload) produce a
+	// different event interleaving somewhere in virtual time.
+	seed := int64(99)
+	c, err := RunScenario(loadChurn(t), Options{Seed: &seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Result.Hours == a.Result.Hours {
+		t.Logf("note: seeds 5 and 99 coincide on Hours=%v (unlikely but not fatal)", c.Result.Hours)
+	}
+}
+
+func TestRunScenarioFailingAssertions(t *testing.T) {
+	sc, err := Parse(strings.NewReader(`
+scenario impossible
+fleet:
+  clients 2
+  epochs 2
+assert:
+  final_accuracy >= 0.999
+  hours <= 0.001
+`), "impossible.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunScenario(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passed {
+		t.Fatal("impossible assertions passed")
+	}
+	sum := rep.Summary()
+	if !strings.Contains(sum, "FAIL") || !strings.Contains(sum, "0/2 assertions passed") {
+		t.Fatalf("summary does not report failures:\n%s", sum)
+	}
+}

@@ -1,0 +1,214 @@
+package scenario
+
+import (
+	"fmt"
+
+	"vcdl/internal/cloud"
+	"vcdl/internal/vcsim"
+)
+
+// fmtT renders an event's virtual firing time for descriptions.
+func fmtT(sec float64) string {
+	switch {
+	case sec >= 3600:
+		return fmt.Sprintf("%gh", sec/3600)
+	case sec >= 60:
+		return fmt.Sprintf("%gm", sec/60)
+	default:
+		return fmt.Sprintf("%gs", sec)
+	}
+}
+
+// joinEvent adds n clients to the pool (volunteer churn / flash crowd).
+type joinEvent struct {
+	at     float64
+	n      int
+	inst   cloud.InstanceType
+	mixed  bool // round-robin over Table I client types
+	region cloud.Region
+}
+
+func (e joinEvent) At() float64 { return e.at }
+func (e joinEvent) Desc() string {
+	name := e.inst.Name
+	if e.mixed {
+		name = "mixed"
+	}
+	return fmt.Sprintf("at %s join %d %s @%s", fmtT(e.at), e.n, name, e.region)
+}
+func (e joinEvent) Apply(s *vcsim.Sim) string {
+	types := []cloud.InstanceType{e.inst}
+	if e.mixed {
+		types = cloud.ClientTypes()
+	}
+	var first, last string
+	for i := 0; i < e.n; i++ {
+		id := s.AddClient(types[i%len(types)], e.region)
+		if i == 0 {
+			first = id
+		}
+		last = id
+	}
+	if e.n == 1 {
+		return fmt.Sprintf("join %s @%s", first, e.region)
+	}
+	return fmt.Sprintf("join %d clients (%s..%s) @%s", e.n, first, last, e.region)
+}
+
+// leaveEvent departs n clients (most recent joiners first) or one
+// specific client by ID.
+type leaveEvent struct {
+	at float64
+	n  int
+	id string // non-empty: depart this client instead of a count
+}
+
+func (e leaveEvent) At() float64 { return e.at }
+func (e leaveEvent) Desc() string {
+	if e.id != "" {
+		return fmt.Sprintf("at %s leave %s", fmtT(e.at), e.id)
+	}
+	return fmt.Sprintf("at %s leave %d", fmtT(e.at), e.n)
+}
+func (e leaveEvent) Apply(s *vcsim.Sim) string {
+	if e.id != "" {
+		if s.RemoveClient(e.id) {
+			return "leave " + e.id
+		}
+		return fmt.Sprintf("leave %s (no such active client)", e.id)
+	}
+	gone := s.RemoveClients(e.n)
+	return fmt.Sprintf("leave %d clients %v (%d active remain)", len(gone), gone, len(s.ActiveClients()))
+}
+
+// preemptEvent hot-changes the preemption probability; p > 0 starts a
+// storm, p = 0 ends it. The trace reports the §IV-E binomial prediction
+// for the storm's expected training-time increase.
+type preemptEvent struct {
+	at float64
+	p  float64
+}
+
+func (e preemptEvent) At() float64 { return e.at }
+func (e preemptEvent) Desc() string {
+	return fmt.Sprintf("at %s preempt %g", fmtT(e.at), e.p)
+}
+func (e preemptEvent) Apply(s *vcsim.Sim) string {
+	s.SetPreemptProb(e.p)
+	if e.p == 0 {
+		return "preemption storm ends (p=0)"
+	}
+	cfg := s.Config()
+	m := s.PreemptModel(e.p)
+	ns := cfg.Job.Subtasks
+	nc := len(s.ActiveClients())
+	inc := m.ExpectedIncreaseSeconds(ns, nc, cfg.TasksPerClient)
+	return fmt.Sprintf("preemption storm p=%g (binomial model: +%.1f min/epoch expected)", e.p, inc/60)
+}
+
+// outageEvent spikes a region's round-trip latency; recoverEvent
+// restores the static latency.
+type outageEvent struct {
+	at     float64
+	region cloud.Region
+	rtt    float64
+}
+
+func (e outageEvent) At() float64 { return e.at }
+func (e outageEvent) Desc() string {
+	return fmt.Sprintf("at %s outage %s rtt=%gs", fmtT(e.at), e.region, e.rtt)
+}
+func (e outageEvent) Apply(s *vcsim.Sim) string {
+	s.SetRegionRTT(e.region, e.rtt)
+	return fmt.Sprintf("region %s outage: RTT %.0f ms -> %.0f ms", e.region, e.region.RTT()*1000, e.rtt*1000)
+}
+
+type recoverEvent struct {
+	at     float64
+	region cloud.Region
+}
+
+func (e recoverEvent) At() float64 { return e.at }
+func (e recoverEvent) Desc() string {
+	return fmt.Sprintf("at %s recover %s", fmtT(e.at), e.region)
+}
+func (e recoverEvent) Apply(s *vcsim.Sim) string {
+	s.ClearRegionRTT(e.region)
+	return fmt.Sprintf("region %s recovered (RTT back to %.0f ms)", e.region, e.region.RTT()*1000)
+}
+
+// slowEvent turns a client into a straggler (factor > 1) or restores it
+// (factor 1). The client is addressed by active-list index or by ID.
+type slowEvent struct {
+	at     float64
+	index  int
+	id     string // non-empty: address by ID
+	factor float64
+}
+
+func (e slowEvent) At() float64 { return e.at }
+func (e slowEvent) Desc() string {
+	who := e.id
+	if who == "" {
+		who = fmt.Sprintf("#%d", e.index)
+	}
+	return fmt.Sprintf("at %s slow %s x%g", fmtT(e.at), who, e.factor)
+}
+func (e slowEvent) Apply(s *vcsim.Sim) string {
+	if e.id != "" {
+		if s.SlowClient(e.id, e.factor) {
+			return fmt.Sprintf("slow %s x%g", e.id, e.factor)
+		}
+		return fmt.Sprintf("slow %s (no such active client)", e.id)
+	}
+	id, ok := s.SlowClientAt(e.index, e.factor)
+	if !ok {
+		return fmt.Sprintf("slow #%d (no such active client)", e.index)
+	}
+	return fmt.Sprintf("slow %s x%g", id, e.factor)
+}
+
+// psEvent resizes the parameter-server pool (failover and recovery).
+type psEvent struct {
+	at    float64
+	delta int // negative: fail |delta| processes; positive: recover
+}
+
+func (e psEvent) At() float64 { return e.at }
+func (e psEvent) Desc() string {
+	if e.delta < 0 {
+		return fmt.Sprintf("at %s ps-fail %d", fmtT(e.at), -e.delta)
+	}
+	return fmt.Sprintf("at %s ps-recover %d", fmtT(e.at), e.delta)
+}
+func (e psEvent) Apply(s *vcsim.Sim) string {
+	before := s.PServers()
+	s.SetPServers(before + e.delta)
+	if e.delta < 0 {
+		return fmt.Sprintf("parameter-server failover: %d -> %d PS", before, s.PServers())
+	}
+	return fmt.Sprintf("parameter-server recovery: %d -> %d PS", before, s.PServers())
+}
+
+// setEvent hot-changes a scheduler parameter.
+type setEvent struct {
+	at    float64
+	key   string // "timeout" | "floor"
+	value float64
+}
+
+func (e setEvent) At() float64 { return e.at }
+func (e setEvent) Desc() string {
+	return fmt.Sprintf("at %s set %s %g", fmtT(e.at), e.key, e.value)
+}
+func (e setEvent) Apply(s *vcsim.Sim) string {
+	switch e.key {
+	case "timeout":
+		s.SetTimeout(e.value)
+		return fmt.Sprintf("scheduler timeout -> %s", fmtT(e.value))
+	case "floor":
+		s.SetReliabilityFloor(e.value)
+		return fmt.Sprintf("scheduler reliability floor -> %g", e.value)
+	}
+	return "set " + e.key + " (unknown key)"
+}

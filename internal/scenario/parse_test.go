@@ -1,0 +1,163 @@
+package scenario
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vcdl/internal/cloud"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+const goodScenario = `
+# A scenario exercising every construct.
+scenario kitchen-sink
+description Every fleet key, event and assertion form.
+
+fleet:
+  workload quick
+  pservers 2
+  clients 4 clientB
+  tasks 2
+  epochs 3
+  subtasks 8
+  seed 11
+  timeout 20m
+  regions us-east us-west
+  sticky off
+  autoscale on 6
+  target-accuracy 0.9
+
+events:
+  at 60s join 2 mixed us-west
+  at 2m  slow 0 4.0
+  at 3m  preempt 0.25
+  at 4m  outage us-west 5s
+  at 5m  set timeout 10m
+  at 5m  set floor 0.8
+  at 6m  ps-fail 1
+  at 8m  ps-recover 1
+  at 9m  recover us-west
+  at 10m preempt 0
+  at 12m leave 2
+
+assert:
+  final_accuracy >= 0.1
+  accuracy@1h <= 1.0
+  hours_to_acc@0.05 <= 100
+  epochs == 3
+  reissued <= 1000
+  wallclock_seconds <= 600
+`
+
+func TestParseGoodScenario(t *testing.T) {
+	sc, err := Parse(strings.NewReader(goodScenario), "good.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "kitchen-sink" {
+		t.Fatalf("name = %q", sc.Name)
+	}
+	f := sc.Fleet
+	if f.PServers != 2 || f.Clients != 4 || f.Tasks != 2 || f.ClientType != "clientB" {
+		t.Fatalf("fleet = %+v", f)
+	}
+	if f.Epochs != 3 || f.Subtasks != 8 || f.Seed != 11 || f.TimeoutSeconds != 1200 {
+		t.Fatalf("fleet = %+v", f)
+	}
+	if len(f.Regions) != 2 || f.Regions[1] != cloud.USWest {
+		t.Fatalf("regions = %v", f.Regions)
+	}
+	if !f.StickyOff || !f.AutoScale || f.MaxPServers != 6 || f.TargetAccuracy != 0.9 {
+		t.Fatalf("fleet = %+v", f)
+	}
+	if len(sc.Events) != 11 {
+		t.Fatalf("parsed %d events, want 11", len(sc.Events))
+	}
+	if sc.Events[0].At() != 60 || sc.Events[10].At() != 720 {
+		t.Fatalf("event times wrong: %v .. %v", sc.Events[0].At(), sc.Events[10].At())
+	}
+	if len(sc.Asserts) != 6 {
+		t.Fatalf("parsed %d assertions, want 6", len(sc.Asserts))
+	}
+	if a := sc.Asserts[1]; a.Metric != "accuracy_at" || a.Arg != 3600 {
+		t.Fatalf("accuracy@ assertion = %+v", a)
+	}
+	if a := sc.Asserts[2]; a.Metric != "hours_to_acc" || a.Arg != 0.05 {
+		t.Fatalf("hours_to_acc@ assertion = %+v", a)
+	}
+}
+
+func TestParseDescriptionForms(t *testing.T) {
+	cases := map[string]string{
+		"scenario s\ndescription Clients #0 and #1 slow down\n": "Clients #0 and #1 slow down",
+		"scenario s\ndescription: colon style works too\n":      "colon style works too",
+		"scenario s\ndescription\n":                             "",
+	}
+	for in, want := range cases {
+		sc, err := Parse(strings.NewReader(in), "d.txt")
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if sc.Description != want {
+			t.Errorf("%q: description = %q, want %q", in, sc.Description, want)
+		}
+	}
+	// A typo'd directive must error, not be absorbed as a description.
+	if _, err := Parse(strings.NewReader("scenario s\ndescriptionX oops\n"), "d.txt"); err == nil {
+		t.Fatal("descriptionX accepted")
+	}
+}
+
+func TestParseDurations(t *testing.T) {
+	cases := map[string]float64{"90s": 90, "15m": 900, "1.5h": 5400, "42": 42, "0.5m": 30}
+	for in, want := range cases {
+		got, err := parseDuration(in)
+		if err != nil || got != want {
+			t.Fatalf("parseDuration(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "h", "-5s", "5d", "fast"} {
+		if _, err := parseDuration(in); err == nil {
+			t.Fatalf("parseDuration(%q) accepted", in)
+		}
+	}
+}
+
+// TestMalformedScenariosGolden asserts that every malformed scenario
+// under testdata/bad is rejected with exactly the error text recorded in
+// the sibling .err golden file. Regenerate with: go test -run Golden -update
+func TestMalformedScenariosGolden(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "bad", "*.txt"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no bad testdata scenarios found: %v", err)
+	}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			_, err := Load(file)
+			if err == nil {
+				t.Fatalf("%s: malformed scenario was accepted", file)
+			}
+			golden := strings.TrimSuffix(file, ".txt") + ".err"
+			if *update {
+				if werr := os.WriteFile(golden, []byte(err.Error()+"\n"), 0o644); werr != nil {
+					t.Fatal(werr)
+				}
+				return
+			}
+			want, rerr := os.ReadFile(golden)
+			if rerr != nil {
+				t.Fatalf("missing golden file (run with -update): %v", rerr)
+			}
+			if got := err.Error() + "\n"; got != string(want) {
+				t.Errorf("%s: error mismatch\n--- got ---\n%s--- want ---\n%s", file, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,227 @@
+// Package scenario adds a declarative fault/churn scenario layer on top
+// of the deterministic simulator: a scenario file names a fleet, a list
+// of timed events (volunteer churn, preemption storms, region outages,
+// straggler slowdowns, parameter-server failover, live scheduler
+// reconfiguration) and a list of assertions over the run's metrics. The
+// engine compiles the events onto the sim.Engine clock, drives the run
+// through the vcsim injection hooks and checks the assertions — opening
+// the whole class of operational workloads the paper's fixed PnCnTn
+// evaluation never exercises (DESIGN.md §5).
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"vcdl/internal/cloud"
+	"vcdl/internal/core"
+	"vcdl/internal/data"
+	"vcdl/internal/nn"
+	"vcdl/internal/vcsim"
+)
+
+// Scenario is one parsed scenario file.
+type Scenario struct {
+	Name        string
+	Description string
+	Fleet       FleetSpec
+	Events      []Event
+	Asserts     []Assertion
+}
+
+// FleetSpec declares the simulated deployment a scenario starts from.
+// Zero values take the workload's defaults.
+type FleetSpec struct {
+	// Workload selects the training job: "quick" (default; the test
+	// suite's small CNN on a 500-sample synthetic corpus, seconds per
+	// run) or "paper" (the paper-calibrated MiniResNetV2 setup).
+	Workload string
+	// PServers, Clients, Tasks are the paper's Pn/Cn/Tn.
+	PServers int
+	Clients  int
+	Tasks    int
+	// ClientType pins the fleet to one Table-I type ("" = round-robin
+	// over all four client types).
+	ClientType string
+	// Epochs bounds the run; Subtasks overrides shards per epoch.
+	Epochs   int
+	Subtasks int
+	Seed     int64
+	// TimeoutSeconds is the initial BOINC result deadline.
+	TimeoutSeconds float64
+	// Regions spreads the fleet round-robin across regions.
+	Regions []cloud.Region
+	// StickyOff disables client-side input caching.
+	StickyOff bool
+	// AutoScale enables the §III-D dynamic PS pool, capped at MaxPServers.
+	AutoScale   bool
+	MaxPServers int
+	// TargetAccuracy stops the run early when reached (0 = disabled).
+	TargetAccuracy float64
+}
+
+// Event is one timed injection against a running simulation.
+type Event interface {
+	// At is the virtual time (seconds) the event fires.
+	At() float64
+	// Desc renders the event for listings and validation output.
+	Desc() string
+	// Apply mutates the running simulation and returns a trace line
+	// fragment describing what happened.
+	Apply(s *vcsim.Sim) string
+}
+
+// instanceByName resolves a fleet/client type name: the clientA..D
+// aliases or the Table I instance names.
+func instanceByName(name string) (cloud.InstanceType, bool) {
+	switch strings.ToLower(name) {
+	case "clienta":
+		return cloud.ClientA, true
+	case "clientb":
+		return cloud.ClientB, true
+	case "clientc":
+		return cloud.ClientC, true
+	case "clientd":
+		return cloud.ClientD, true
+	}
+	for _, it := range cloud.TableI() {
+		if it.Name == name {
+			return it, true
+		}
+	}
+	return cloud.InstanceType{}, false
+}
+
+// regionByName resolves a region name.
+func regionByName(name string) (cloud.Region, bool) {
+	for _, r := range cloud.Regions() {
+		if string(r) == name {
+			return r, true
+		}
+	}
+	return "", false
+}
+
+// Validate performs the semantic checks that the line parser cannot.
+func (sc *Scenario) Validate() error {
+	var errs []string
+	if sc.Name == "" {
+		errs = append(errs, "missing 'scenario <name>' header")
+	}
+	f := sc.Fleet
+	switch f.Workload {
+	case "", "quick", "paper":
+	default:
+		errs = append(errs, fmt.Sprintf("unknown workload %q (want quick or paper)", f.Workload))
+	}
+	if f.ClientType != "" {
+		if _, ok := instanceByName(f.ClientType); !ok {
+			errs = append(errs, fmt.Sprintf("unknown client type %q", f.ClientType))
+		}
+	}
+	prev := 0.0
+	for _, ev := range sc.Events {
+		if ev.At() < 0 {
+			errs = append(errs, fmt.Sprintf("event %q fires at negative time", ev.Desc()))
+		}
+		if ev.At() < prev {
+			errs = append(errs, fmt.Sprintf("event %q fires before the preceding event (events must be time-ordered)", ev.Desc()))
+		}
+		prev = ev.At()
+	}
+	for _, a := range sc.Asserts {
+		if err := a.check(); err != nil {
+			errs = append(errs, err.Error())
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("scenario %s: %s", sc.Name, strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// BuildConfig turns the fleet spec into a runnable simulation config.
+func (sc *Scenario) BuildConfig() (vcsim.Config, error) {
+	f := sc.Fleet
+	pn, cn, tn := f.PServers, f.Clients, f.Tasks
+	if pn < 1 {
+		pn = 1
+	}
+	if cn < 1 {
+		cn = 3
+	}
+	if tn < 1 {
+		tn = 2
+	}
+	seed := f.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	var job core.JobConfig
+	var corpus *data.Corpus
+	switch f.Workload {
+	case "", "quick":
+		epochs := f.Epochs
+		if epochs < 1 {
+			epochs = 4
+		}
+		dc := data.DefaultSynthConfig()
+		dc.NTrain, dc.NVal, dc.NTest = 500, 200, 200
+		dc.NoiseStd = 0.4
+		dc.Seed = seed
+		var err error
+		corpus, err = data.GenerateSynth(dc)
+		if err != nil {
+			return vcsim.Config{}, err
+		}
+		job = core.DefaultJobConfig(nn.SmallCNNBuilder(dc.C, dc.H, dc.W, dc.Classes))
+		job.Subtasks = 10
+		job.MaxEpochs = epochs
+		job.BatchSize = 25
+		job.LocalPasses = 2
+		job.LearningRate = 0.01
+		job.ValSubset = 100
+		job.Seed = seed
+	case "paper":
+		epochs := f.Epochs
+		if epochs < 1 {
+			epochs = 40
+		}
+		setup, err := vcsim.NewPaperSetup(seed, epochs)
+		if err != nil {
+			return vcsim.Config{}, err
+		}
+		job, corpus = setup.Job, setup.Corpus
+	default:
+		return vcsim.Config{}, fmt.Errorf("scenario %s: unknown workload %q", sc.Name, f.Workload)
+	}
+	if f.Subtasks > 0 {
+		job.Subtasks = f.Subtasks
+	}
+	if f.TargetAccuracy > 0 {
+		job.TargetAccuracy = f.TargetAccuracy
+	}
+
+	cfg := vcsim.DefaultConfig(job, corpus, pn, cn, tn)
+	if f.ClientType != "" {
+		it, ok := instanceByName(f.ClientType)
+		if !ok {
+			return vcsim.Config{}, fmt.Errorf("scenario %s: unknown client type %q", sc.Name, f.ClientType)
+		}
+		fleet := make([]cloud.InstanceType, cn)
+		for i := range fleet {
+			fleet[i] = it
+		}
+		cfg.ClientInstances = fleet
+	}
+	cfg.Regions = append([]cloud.Region(nil), f.Regions...)
+	if f.TimeoutSeconds > 0 {
+		cfg.TimeoutSeconds = f.TimeoutSeconds
+	}
+	cfg.DisableSticky = f.StickyOff
+	cfg.AutoScalePS = f.AutoScale
+	cfg.MaxPServers = f.MaxPServers
+	cfg.Seed = seed
+	return cfg, nil
+}

@@ -1,0 +1,233 @@
+package vcsim
+
+import (
+	"vcdl/internal/cloud"
+	"vcdl/internal/sim"
+	"vcdl/internal/store"
+)
+
+// Sim is a started simulation whose fleet and configuration can be
+// mutated while virtual time advances. It is the injection surface the
+// scenario engine (internal/scenario) drives: every hook below mirrors a
+// real operational event of a volunteer-computing deployment — hosts
+// joining and leaving, preemption storms, regional latency incidents,
+// parameter-server failover and live scheduler reconfiguration
+// (DESIGN.md §5). All hooks must be called from inside the engine's
+// event loop (i.e. from callbacks scheduled on Engine()) or before Run.
+type Sim struct {
+	r *run
+}
+
+// Start validates the config, applies defaults and builds the simulation
+// without running it. Callers schedule injection events on Engine() and
+// then drive the run with Run.
+func Start(cfg Config) (*Sim, error) {
+	if err := cfg.Job.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PServers < 1 {
+		cfg.PServers = 1
+	}
+	if cfg.TasksPerClient < 1 {
+		cfg.TasksPerClient = 1
+	}
+	if len(cfg.ClientInstances) == 0 {
+		cfg.ClientInstances = cloud.DefaultFleet(3)
+	}
+	if cfg.BaseSubtaskSeconds <= 0 {
+		cfg.BaseSubtaskSeconds = 144
+	}
+	if cfg.AssimSeconds <= 0 {
+		cfg.AssimSeconds = 19.2
+	}
+	if cfg.ThreadsPerTask <= 0 {
+		cfg.ThreadsPerTask = 4
+	}
+	if cfg.ContentionExp <= 0 {
+		cfg.ContentionExp = 0.72
+	}
+	if cfg.TimeoutSeconds <= 0 {
+		cfg.TimeoutSeconds = 1800
+	}
+	st := cfg.Store
+	if st == nil {
+		st = store.NewEventual(1, 0, cfg.Seed)
+	}
+	r := newRun(cfg, st)
+	if err := r.start(); err != nil {
+		return nil, err
+	}
+	return &Sim{r: r}, nil
+}
+
+// Engine exposes the virtual clock so callers can schedule injections.
+func (s *Sim) Engine() *sim.Engine { return s.r.eng }
+
+// Run drives the simulation until training finishes (or the event queue
+// drains, e.g. when the whole fleet departed and nobody rejoins) and
+// assembles the Result.
+func (s *Sim) Run() (*Result, error) {
+	s.r.eng.RunWhile(func() bool { return !s.r.finished })
+	return s.r.finish()
+}
+
+// Config returns the run's live configuration (hot changes included).
+func (s *Sim) Config() Config { return s.r.cfg }
+
+// ActiveClients lists the IDs of clients currently in the pool.
+func (s *Sim) ActiveClients() []string {
+	var ids []string
+	for _, c := range s.r.clients {
+		if !c.departed {
+			ids = append(ids, c.id)
+		}
+	}
+	return ids
+}
+
+// AddClient joins a new client of the given instance type in the given
+// region (volunteer churn, flash crowds). It returns the new client's ID
+// and immediately lets the client request work.
+func (s *Sim) AddClient(inst cloud.InstanceType, region cloud.Region) string {
+	if region == "" {
+		region = cloud.USEast
+	}
+	c := newSimClient(s.r.nextClient, cloud.PlacedInstance{InstanceType: inst, Region: region},
+		s.r.cfg.TasksPerClient, s.r.eng.Now())
+	s.r.nextClient++
+	s.r.clients = append(s.r.clients, c)
+	s.r.tryAssign(c)
+	return c.id
+}
+
+// RemoveClients departs the n most recently joined active clients
+// (LIFO, so a flash crowd recedes in join order). In-flight work on the
+// departed clients is lost and reissued by the scheduler at its
+// deadline. It returns the departed IDs.
+func (s *Sim) RemoveClients(n int) []string {
+	var gone []string
+	for i := len(s.r.clients) - 1; i >= 0 && len(gone) < n; i-- {
+		c := s.r.clients[i]
+		if c.departed {
+			continue
+		}
+		c.departed = true
+		c.departedAt = s.r.eng.Now()
+		s.r.sched.DropClient(c.id)
+		gone = append(gone, c.id)
+	}
+	return gone
+}
+
+// RemoveClient departs one client by ID; ok reports whether it existed
+// and was still active.
+func (s *Sim) RemoveClient(id string) bool {
+	for _, c := range s.r.clients {
+		if c.id == id && !c.departed {
+			c.departed = true
+			c.departedAt = s.r.eng.Now()
+			s.r.sched.DropClient(c.id)
+			return true
+		}
+	}
+	return false
+}
+
+// SlowClient multiplies a client's subtask execution time by factor
+// (straggler injection; factor 1 restores nominal speed). The client is
+// addressed by ID, or by index into the active-client list when id is
+// numeric-like via SlowClientAt.
+func (s *Sim) SlowClient(id string, factor float64) bool {
+	if factor <= 0 {
+		factor = 1
+	}
+	for _, c := range s.r.clients {
+		if c.id == id && !c.departed {
+			c.slow = factor
+			return true
+		}
+	}
+	return false
+}
+
+// SlowClientAt slows the i-th active client (0-based); ok reports
+// whether the index was valid.
+func (s *Sim) SlowClientAt(i int, factor float64) (string, bool) {
+	ids := s.ActiveClients()
+	if i < 0 || i >= len(ids) {
+		return "", false
+	}
+	return ids[i], s.SlowClient(ids[i], factor)
+}
+
+// SetPreemptProb hot-changes the per-subtask preemption probability
+// (preemption storms start with p > 0 and end with p = 0).
+func (s *Sim) SetPreemptProb(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	s.r.cfg.PreemptProb = p
+}
+
+// PreemptModel returns the paper's §IV-E binomial model instantiated
+// with the run's calibrated execution time, the given storm probability
+// and the current scheduler timeout — the scenario engine uses it to
+// report the predicted training-time increase of a storm.
+func (s *Sim) PreemptModel(p float64) cloud.PreemptModel {
+	return cloud.PreemptModel{
+		P:               p,
+		TaskExecSeconds: s.r.cfg.BaseSubtaskSeconds,
+		TimeoutSeconds:  s.r.cfg.TimeoutSeconds,
+	}
+}
+
+// SetRegionRTT overrides the round-trip latency of a region for the rest
+// of the run (region outage: rtt in seconds; recovery: ClearRegionRTT).
+func (s *Sim) SetRegionRTT(region cloud.Region, rtt float64) {
+	if rtt < 0 {
+		rtt = 0
+	}
+	s.r.rttOverride[region] = rtt
+}
+
+// ClearRegionRTT restores a region's static latency.
+func (s *Sim) ClearRegionRTT(region cloud.Region) {
+	delete(s.r.rttOverride, region)
+}
+
+// PServers returns the current parameter-server capacity.
+func (s *Sim) PServers() int { return s.r.assim.Slots() }
+
+// SetPServers resizes the parameter-server pool (failover: shrink when a
+// PS process dies, grow when a standby takes over). Work queued on a
+// failed PS drains through the survivors.
+func (s *Sim) SetPServers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.r.assim.SetSlots(n)
+	if n > s.r.res.MaxPSUsed {
+		s.r.res.MaxPSUsed = n
+	}
+}
+
+// SetTimeout hot-changes the BOINC result deadline: workunits generated
+// from now on and future (re)issues of unfinished workunits use the new
+// deadline; already-issued results keep the deadline they were sent with.
+func (s *Sim) SetTimeout(seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	s.r.cfg.TimeoutSeconds = seconds
+	s.r.sched.SetDefaultTimeout(seconds)
+	s.r.sched.RetimePending(seconds)
+}
+
+// SetReliabilityFloor hot-changes the scheduler's reliability gate for
+// retried workunits.
+func (s *Sim) SetReliabilityFloor(floor float64) {
+	s.r.sched.SetReliabilityFloor(floor)
+}

@@ -143,6 +143,30 @@ type simClient struct {
 	slots int
 	busy  int
 	cache map[string]bool
+	// slow multiplies subtask execution time (1 = nominal). Scenario
+	// injection uses it to turn a client into a straggler mid-run.
+	slow float64
+	// departed marks a client that left the volunteer pool: it stops
+	// requesting work and its in-flight results are lost (the scheduler
+	// recovers them at the deadline, like any vanished BOINC host).
+	departed bool
+	// joinedAt/departedAt bound the client's billable lifetime in virtual
+	// seconds (departedAt < 0 = still active at run end).
+	joinedAt   float64
+	departedAt float64
+}
+
+// newSimClient builds one client; i numbers it within the run.
+func newSimClient(i int, inst cloud.PlacedInstance, slots int, joinedAt float64) *simClient {
+	return &simClient{
+		id:         fmt.Sprintf("client-%02d-%s", i, inst.Name),
+		inst:       inst,
+		slots:      slots,
+		cache:      make(map[string]bool),
+		slow:       1,
+		joinedAt:   joinedAt,
+		departedAt: -1,
+	}
 }
 
 // contention returns the per-task slowdown with k busy slots.
@@ -159,46 +183,13 @@ func pow(x, e float64) float64 {
 	return mathPow(x, e)
 }
 
-// Run executes the simulated experiment.
+// Run executes the simulated experiment to completion.
 func Run(cfg Config) (*Result, error) {
-	if err := cfg.Job.Validate(); err != nil {
+	s, err := Start(cfg)
+	if err != nil {
 		return nil, err
 	}
-	if cfg.PServers < 1 {
-		cfg.PServers = 1
-	}
-	if cfg.TasksPerClient < 1 {
-		cfg.TasksPerClient = 1
-	}
-	if len(cfg.ClientInstances) == 0 {
-		cfg.ClientInstances = cloud.DefaultFleet(3)
-	}
-	if cfg.BaseSubtaskSeconds <= 0 {
-		cfg.BaseSubtaskSeconds = 144
-	}
-	if cfg.AssimSeconds <= 0 {
-		cfg.AssimSeconds = 19.2
-	}
-	if cfg.ThreadsPerTask <= 0 {
-		cfg.ThreadsPerTask = 4
-	}
-	if cfg.ContentionExp <= 0 {
-		cfg.ContentionExp = 0.72
-	}
-	if cfg.TimeoutSeconds <= 0 {
-		cfg.TimeoutSeconds = 1800
-	}
-	st := cfg.Store
-	if st == nil {
-		st = store.NewEventual(1, 0, cfg.Seed)
-	}
-
-	r := newRun(cfg, st)
-	if err := r.start(); err != nil {
-		return nil, err
-	}
-	r.eng.RunWhile(func() bool { return !r.finished })
-	return r.finish()
+	return s.Run()
 }
 
 // run carries the mutable state of one simulation.
@@ -230,6 +221,13 @@ type run struct {
 	res          *Result
 	finished     bool
 	sweepPending bool
+
+	// rttOverride replaces a region's static round-trip latency for the
+	// rest of the run (scenario outage injection).
+	rttOverride map[cloud.Region]float64
+	// nextClient numbers clients joined after start so churned fleets
+	// keep unique, stable IDs.
+	nextClient int
 }
 
 func newRun(cfg Config, st store.Store) *run {
@@ -251,6 +249,7 @@ func newRun(cfg Config, st store.Store) *run {
 		rule:        cfg.Rule,
 		preempt:     cloud.NewPreemptionProcess(cfg.Seed + 7),
 		res:         &Result{Name: name},
+		rttOverride: make(map[cloud.Region]float64),
 	}
 	r.res.Curve.Name = name
 	r.res.TestCurve.Name = name + "-test"
@@ -292,13 +291,9 @@ func (r *run) start() error {
 	}
 
 	for i, inst := range cloud.Place(cfg.ClientInstances, cfg.Regions) {
-		r.clients = append(r.clients, &simClient{
-			id:    fmt.Sprintf("client-%02d-%s", i, inst.Name),
-			inst:  inst,
-			slots: cfg.TasksPerClient,
-			cache: make(map[string]bool),
-		})
+		r.clients = append(r.clients, newSimClient(i, inst, cfg.TasksPerClient, 0))
 	}
+	r.nextClient = len(r.clients)
 	if warmSeconds > 0 {
 		// The serial warmstart occupies the fleet's clock before any
 		// subtask is generated.
@@ -362,7 +357,7 @@ func (r *run) wakeClients() {
 // granularity, combined with heterogeneous client speeds, produces the
 // straggler effects behind the paper's Figure 3.
 func (r *run) tryAssign(c *simClient) {
-	if r.finished || c.busy > 0 {
+	if r.finished || c.departed || c.busy > 0 {
 		return
 	}
 	asns := r.sched.RequestWork(c.id, r.eng.Now(), c.slots)
@@ -372,6 +367,16 @@ func (r *run) tryAssign(c *simClient) {
 	for _, asn := range asns {
 		r.startSubtask(c, asn, len(asns))
 	}
+}
+
+// xfer returns the transfer time for n bytes to or from a client,
+// honouring any scenario-injected regional RTT override.
+func (r *run) xfer(n int, c *simClient) float64 {
+	rtt, ok := r.rttOverride[c.inst.Region]
+	if !ok {
+		rtt = c.inst.Region.RTT()
+	}
+	return r.cfg.Network.TransferTimeRTT(n, rtt, c.inst.InstanceType, r.eng.Rand())
 }
 
 // parsePayload decodes "epoch/shard".
@@ -411,9 +416,12 @@ func (r *run) startSubtask(c *simClient, asn boinc.Assignment, wave int) {
 	r.res.BytesDownloaded += int64(newBytes)
 	dl := 0.0
 	if newBytes > 0 {
-		dl = r.cfg.Network.TransferTimeFrom(newBytes, c.inst, r.eng.Rand())
+		dl = r.xfer(newBytes, c)
 	}
 	execT := r.cfg.BaseSubtaskSeconds * (refClockGHz / c.inst.ClockGHz) * r.cfg.contention(wave, c.inst.InstanceType)
+	if c.slow > 0 {
+		execT *= c.slow
+	}
 
 	// Preemption: the instance is reclaimed during this execution; the
 	// result never uploads and the slot is only recovered (replacement
@@ -421,22 +429,41 @@ func (r *run) startSubtask(c *simClient, asn boinc.Assignment, wave int) {
 	if r.cfg.PreemptProb > 0 && r.eng.Rand().Float64() < r.cfg.PreemptProb {
 		wait := asn.Deadline - r.eng.Now()
 		r.eng.Schedule(wait+1, func() {
+			if c.departed {
+				return
+			}
 			c.busy--
 			c.cache = make(map[string]bool) // replacement starts cold
 			r.sweep()
+			// The replacement instance asks for work itself: the sweep only
+			// wakes clients when it expired something, and by now the lost
+			// result may already have been expired by an earlier sweep —
+			// without this request a fully-preempted fleet deadlocks with
+			// reissued work pending and every client idle.
+			r.tryAssign(c)
 		})
 		return
 	}
 
 	r.eng.Schedule(dl+execT, func() {
+		if c.departed {
+			// The client left mid-execution; its result is lost and the
+			// scheduler reissues the workunit at the deadline.
+			return
+		}
 		// Real training happens here, from the epoch snapshot.
 		seed := r.cfg.Seed ^ int64(epoch)<<20 ^ int64(shard)
 		updated, _ := r.exec.Run(r.epochParams[epoch], r.shards[shard], seed)
 		c.busy--
 		r.tryAssign(c)
-		up := r.cfg.Network.TransferTimeFrom(r.paramBytes, c.inst, r.eng.Rand())
-		r.res.BytesUploaded += int64(r.paramBytes)
+		up := r.xfer(r.paramBytes, c)
 		r.eng.Schedule(up, func() {
+			if c.departed {
+				// The client vanished mid-upload: the result never
+				// arrives (and is not billed as delivered traffic).
+				return
+			}
+			r.res.BytesUploaded += int64(r.paramBytes)
 			if _, canonical, err := r.sched.CompleteResult(asn.ResultID, true, r.eng.Now()); err == nil && canonical {
 				r.autoscale()
 				r.assim.Submit(r.assimService(), func() {
@@ -588,8 +615,22 @@ func (r *run) finish() (*Result, error) {
 	if r.res.MaxPSUsed < r.cfg.PServers {
 		r.res.MaxPSUsed = r.cfg.PServers
 	}
-	fleet := append([]cloud.InstanceType{cloud.ServerInstance}, r.cfg.ClientInstances...)
-	r.res.CostStandardUSD = cloud.FleetCost(fleet, false) * r.res.Hours
-	r.res.CostPreemptibleUSD = cloud.FleetCost(fleet, true) * r.res.Hours
+	// Fleet cost: the server bills for the whole run; each client bills
+	// for the hours it was actually in the pool (churned fleets pay only
+	// their active window; static fleets reduce to rate × total hours).
+	r.res.CostStandardUSD = cloud.ServerInstance.HourlyUSD * r.res.Hours
+	r.res.CostPreemptibleUSD = cloud.ServerInstance.PreemptibleUSD * r.res.Hours
+	for _, c := range r.clients {
+		until := c.departedAt
+		if until < 0 {
+			until = r.eng.Now()
+		}
+		activeH := (until - c.joinedAt) / 3600
+		if activeH < 0 {
+			activeH = 0
+		}
+		r.res.CostStandardUSD += c.inst.HourlyUSD * activeH
+		r.res.CostPreemptibleUSD += c.inst.PreemptibleUSD * activeH
+	}
 	return r.res, nil
 }
