@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -14,12 +15,12 @@ import (
 	"vcdl/internal/cloud"
 	"vcdl/internal/core"
 	"vcdl/internal/data"
+	"vcdl/internal/exp"
 	"vcdl/internal/nn"
 	"vcdl/internal/opt"
 	"vcdl/internal/ps"
 	"vcdl/internal/store"
 	"vcdl/internal/tensor"
-	"vcdl/internal/vcsim"
 	"vcdl/internal/wire"
 )
 
@@ -29,19 +30,33 @@ const benchEpochs = 3
 
 var (
 	setupOnce sync.Once
-	setupVal  *vcsim.PaperSetup
+	setupVal  *exp.PaperSetup
 	setupErr  error
 )
 
-func paperSetup(b *testing.B) *vcsim.PaperSetup {
+func paperSetup(b *testing.B) *exp.PaperSetup {
 	b.Helper()
 	setupOnce.Do(func() {
-		setupVal, setupErr = vcsim.NewPaperSetup(1, benchEpochs)
+		setupVal, setupErr = exp.NewPaperSetup(1, benchEpochs)
 	})
 	if setupErr != nil {
 		b.Fatal(setupErr)
 	}
 	return setupVal
+}
+
+// sweep runs specs through the exp worker pool (all cores — the figure
+// benchmarks measure the batched-evaluation harness end to end).
+func sweep(b *testing.B, specs []*exp.Spec, err error) []*exp.Result {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	results, err := exp.Sweep(context.Background(), specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return results
 }
 
 // BenchmarkTable1InstanceCatalog regenerates Table I and the §IV-E fleet
@@ -68,7 +83,7 @@ func BenchmarkTable1InstanceCatalog(b *testing.B) {
 func BenchmarkFig2DistributedConfigs(b *testing.B) {
 	s := paperSetup(b)
 	for i := 0; i < b.N; i++ {
-		results, err := vcsim.Fig2(s)
+		results, err := exp.Fig2(context.Background(), s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -86,7 +101,7 @@ func BenchmarkFig2DistributedConfigs(b *testing.B) {
 func BenchmarkFig3ServerImbalance(b *testing.B) {
 	s := paperSetup(b)
 	for i := 0; i < b.N; i++ {
-		rows, err := vcsim.Fig3(s)
+		rows, err := exp.Fig3(context.Background(), s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -108,7 +123,7 @@ func BenchmarkFig3ServerImbalance(b *testing.B) {
 func BenchmarkFig4AlphaSweep(b *testing.B) {
 	s := paperSetup(b)
 	for i := 0; i < b.N; i++ {
-		results, err := vcsim.Fig4(s)
+		results, err := exp.Fig4(context.Background(), s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,15 +140,15 @@ func BenchmarkFig4AlphaSweep(b *testing.B) {
 // re-slicing the Figure 4 curves into the two zoom windows.
 func BenchmarkFig5ZoomWindows(b *testing.B) {
 	s := paperSetup(b)
-	results, err := vcsim.Fig4(s)
+	results, err := exp.Fig4(context.Background(), s)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, res := range results {
-			lo := vcsim.ZoomWindow(res.Curve, 0.45*res.Hours, 0.72*res.Hours)
-			hi := vcsim.ZoomWindow(res.Curve, 0.72*res.Hours, res.Hours)
+			lo := exp.ZoomWindow(res.Curve, 0.45*res.Hours, 0.72*res.Hours)
+			hi := exp.ZoomWindow(res.Curve, 0.72*res.Hours, res.Hours)
 			if len(lo.Points)+len(hi.Points) == 0 {
 				b.Fatal("zoom windows empty")
 			}
@@ -146,7 +161,7 @@ func BenchmarkFig5ZoomWindows(b *testing.B) {
 func BenchmarkFig6DistributedVsSingle(b *testing.B) {
 	s := paperSetup(b)
 	for i := 0; i < b.N; i++ {
-		res, err := vcsim.Fig6(s, 2)
+		res, err := exp.Fig6(s, 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -193,7 +208,7 @@ func BenchmarkStoreEventualVsStrong(b *testing.B) {
 	})
 	b.Run("modeled-paper-scale", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			c := vcsim.CompareStores()
+			c := exp.CompareStores()
 			if i == 0 {
 				b.ReportMetric(c.EventualUpdateSec, "s/update-eventual")
 				b.ReportMetric(c.StrongUpdateSec, "s/update-strong")
@@ -229,18 +244,9 @@ func BenchmarkPreemptibleCostModel(b *testing.B) {
 func BenchmarkPreemptionEndToEnd(b *testing.B) {
 	s := paperSetup(b)
 	for i := 0; i < b.N; i++ {
-		clean := s.Config(5, 5, 2, opt.Constant{V: 0.95})
-		clean.TimeoutSeconds = 300
-		base, err := vcsim.Run(clean)
-		if err != nil {
-			b.Fatal(err)
-		}
-		rough := clean
-		rough.PreemptProb = 0.05
-		pre, err := vcsim.Run(rough)
-		if err != nil {
-			b.Fatal(err)
-		}
+		specs, err := exp.PreemptGridSpecs(s, []float64{0, 0.05})
+		results := sweep(b, specs, err)
+		base, pre := results[0], results[1]
 		if i == 0 {
 			b.Logf("clean %.2fh, preempted %.2fh (+%.0f min, %d timeouts)",
 				base.Hours, pre.Hours, (pre.Hours-base.Hours)*60, pre.Timeouts)
@@ -256,18 +262,12 @@ func BenchmarkPreemptionEndToEnd(b *testing.B) {
 func BenchmarkAblationUpdateSchemes(b *testing.B) {
 	s := paperSetup(b)
 	for i := 0; i < b.N; i++ {
-		for _, rule := range vcsim.AblationRules(s.Job.Subtasks) {
-			cfg := s.Config(3, 3, 4, s.Job.Alpha)
-			cfg.Rule = rule
-			cfg.PreemptProb = 0.05
-			cfg.TimeoutSeconds = 600
-			res, err := vcsim.Run(cfg)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if i == 0 {
+		specs, err := exp.AblationSpecs(s)
+		results := sweep(b, specs, err)
+		if i == 0 {
+			for _, res := range results {
 				b.Logf("%s: final acc %.3f in %.2fh (%d timeouts)",
-					rule.Name(), res.Curve.FinalValue(), res.Hours, res.Timeouts)
+					res.Name, res.Curve.FinalValue(), res.Hours, res.Timeouts)
 			}
 		}
 	}
@@ -278,17 +278,13 @@ func BenchmarkAblationUpdateSchemes(b *testing.B) {
 func BenchmarkAblationStickyFiles(b *testing.B) {
 	s := paperSetup(b)
 	for i := 0; i < b.N; i++ {
-		on := s.Config(3, 3, 4, s.Job.Alpha)
-		resOn, err := vcsim.Run(on)
-		if err != nil {
-			b.Fatal(err)
+		on, errOn := exp.New(s.Job, s.Corpus, exp.Topology(3, 3, 4))
+		if errOn != nil {
+			b.Fatal(errOn)
 		}
-		off := on
-		off.DisableSticky = true
-		resOff, err := vcsim.Run(off)
-		if err != nil {
-			b.Fatal(err)
-		}
+		off, errOff := exp.New(s.Job, s.Corpus, exp.Topology(3, 3, 4), exp.NoSticky())
+		results := sweep(b, []*exp.Spec{on, off}, errOff)
+		resOn, resOff := results[0], results[1]
 		if i == 0 {
 			ratio := float64(resOff.BytesDownloaded) / float64(resOn.BytesDownloaded)
 			b.Logf("sticky on %.1f MB, off %.1f MB (%.1fx)",
@@ -306,18 +302,13 @@ func BenchmarkAblationStickyFiles(b *testing.B) {
 func BenchmarkAblationWarmstart(b *testing.B) {
 	s := paperSetup(b)
 	for i := 0; i < b.N; i++ {
-		cold := s.Config(3, 3, 4, s.Job.Alpha)
-		rCold, err := vcsim.Run(cold)
-		if err != nil {
-			b.Fatal(err)
+		cold, errCold := exp.New(s.Job, s.Corpus, exp.Topology(3, 3, 4))
+		if errCold != nil {
+			b.Fatal(errCold)
 		}
-		warmJob := s.Job
-		warmJob.WarmstartEpochs = 1
-		warm := vcsim.DefaultConfig(warmJob, s.Corpus, 3, 3, 4)
-		rWarm, err := vcsim.Run(warm)
-		if err != nil {
-			b.Fatal(err)
-		}
+		warm, errWarm := exp.New(s.Job, s.Corpus, exp.Topology(3, 3, 4), exp.Warmstart(1))
+		results := sweep(b, []*exp.Spec{cold, warm}, errWarm)
+		rCold, rWarm := results[0], results[1]
 		if i == 0 {
 			b.Logf("cold: epoch1 %.3f final %.3f in %.2fh; warm: epoch1 %.3f final %.3f in %.2fh",
 				rCold.Curve.Points[0].Value, rCold.Curve.FinalValue(), rCold.Hours,
@@ -334,18 +325,13 @@ func BenchmarkAblationWarmstart(b *testing.B) {
 func BenchmarkExtensionAutoscalePS(b *testing.B) {
 	s := paperSetup(b)
 	for i := 0; i < b.N; i++ {
-		fixed := s.Config(1, 3, 8, s.Job.Alpha)
-		rFixed, err := vcsim.Run(fixed)
-		if err != nil {
-			b.Fatal(err)
+		fixed, errFixed := exp.New(s.Job, s.Corpus, exp.Topology(1, 3, 8))
+		if errFixed != nil {
+			b.Fatal(errFixed)
 		}
-		auto := fixed
-		auto.AutoScalePS = true
-		auto.MaxPServers = 8
-		rAuto, err := vcsim.Run(auto)
-		if err != nil {
-			b.Fatal(err)
-		}
+		auto, errAuto := exp.New(s.Job, s.Corpus, exp.Topology(1, 3, 8), exp.AutoScalePS(8))
+		results := sweep(b, []*exp.Spec{fixed, auto}, errAuto)
+		rFixed, rAuto := results[0], results[1]
 		if i == 0 {
 			b.Logf("fixed P1: %.2fh; autoscaled: %.2fh (peak %d PS, %d scale-ups)",
 				rFixed.Hours, rAuto.Hours, rAuto.MaxPSUsed, rAuto.PSScaleUps)

@@ -13,10 +13,14 @@
 //	experiments -exp all             everything
 //
 // -epochs scales run length (default 40, the paper's setting; use a small
-// value for a quick pass). -csv DIR additionally writes each curve as CSV.
+// value for a quick pass). -csv DIR additionally writes each curve as
+// CSV. -jobs N runs the multi-run grids (fig2, fig3, fig4, preempt,
+// ablation) on N parallel workers; results are identical at any N (the
+// internal/exp sweep determinism contract).
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -26,13 +30,49 @@ import (
 	"strings"
 
 	"vcdl/internal/cloud"
+	"vcdl/internal/exp"
 	"vcdl/internal/metrics"
-	"vcdl/internal/opt"
-	"vcdl/internal/vcsim"
 )
 
-// experimentOrder lists the valid experiment names in run order.
-var experimentOrder = []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "storedb", "preempt", "ablation"}
+// experiment is one registry entry: the single source of truth for the
+// experiment's name, its run order within -exp all, and its dispatch
+// target — usage text, validation and dispatch cannot drift.
+type experiment struct {
+	name string
+	run  func(*runner) error
+}
+
+// registry lists the experiments in -exp all run order.
+var registry = []experiment{
+	{"table1", (*runner).table1},
+	{"fig2", (*runner).fig2},
+	{"fig3", (*runner).fig3},
+	{"fig4", (*runner).fig4},
+	{"fig5", (*runner).fig5},
+	{"fig6", (*runner).fig6},
+	{"storedb", (*runner).storedb},
+	{"preempt", (*runner).preempt},
+	{"ablation", (*runner).ablation},
+}
+
+// experimentNames returns the registry names in run order.
+func experimentNames() []string {
+	names := make([]string, len(registry))
+	for i, e := range registry {
+		names[i] = e.name
+	}
+	return names
+}
+
+// lookup finds a registry entry by name.
+func lookup(name string) (experiment, bool) {
+	for _, e := range registry {
+		if e.name == name {
+			return e, true
+		}
+	}
+	return experiment{}, false
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -41,10 +81,11 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment to run (table1|fig2|fig3|fig4|fig5|fig6|storedb|preempt|ablation|all)")
+	expFlag := fs.String("exp", "all", "experiment to run ("+strings.Join(experimentNames(), "|")+"|all)")
 	epochs := fs.Int("epochs", 40, "training epochs per run (paper: 40)")
 	seed := fs.Int64("seed", 1, "experiment seed")
 	csvDir := fs.String("csv", "", "directory to write CSV curves into (optional)")
+	jobs := fs.Int("jobs", 1, "parallel workers for multi-run experiments (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -52,36 +93,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	runner := &runner{epochs: *epochs, seed: *seed, csvDir: *csvDir, out: stdout, errOut: stderr}
-	known := map[string]func() error{
-		"table1":   runner.table1,
-		"fig2":     runner.fig2,
-		"fig3":     runner.fig3,
-		"fig4":     runner.fig4,
-		"fig5":     runner.fig5,
-		"fig6":     runner.fig6,
-		"storedb":  runner.storedb,
-		"preempt":  runner.preempt,
-		"ablation": runner.ablation,
-	}
-
-	var toRun []string
-	if *exp == "all" {
-		toRun = experimentOrder
+	runner := &runner{epochs: *epochs, seed: *seed, csvDir: *csvDir, jobs: *jobs, out: stdout, errOut: stderr}
+	var toRun []experiment
+	if *expFlag == "all" {
+		toRun = registry
 	} else {
-		for _, name := range strings.Split(*exp, ",") {
-			if _, ok := known[name]; !ok {
-				fmt.Fprintf(stderr, "unknown experiment %q\nusage: experiments -exp %s|all [-epochs N] [-seed N] [-csv DIR]\n",
-					name, strings.Join(experimentOrder, "|"))
+		for _, name := range strings.Split(*expFlag, ",") {
+			e, ok := lookup(name)
+			if !ok {
+				fmt.Fprintf(stderr, "unknown experiment %q\nusage: experiments -exp %s|all [-epochs N] [-seed N] [-jobs N] [-csv DIR]\n",
+					name, strings.Join(experimentNames(), "|"))
 				return 2
 			}
-			toRun = append(toRun, name)
+			toRun = append(toRun, e)
 		}
 	}
-	for _, name := range toRun {
-		fmt.Fprintf(stdout, "\n================ %s ================\n", name)
-		if err := known[name](); err != nil {
-			fmt.Fprintf(stderr, "%s: %v\n", name, err)
+	for _, e := range toRun {
+		fmt.Fprintf(stdout, "\n================ %s ================\n", e.name)
+		if err := e.run(runner); err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", e.name, err)
 			return 1
 		}
 	}
@@ -92,16 +122,17 @@ type runner struct {
 	epochs int
 	seed   int64
 	csvDir string
+	jobs   int
 	out    io.Writer
 	errOut io.Writer
 
-	setupCache *vcsim.PaperSetup
-	fig4Cache  []*vcsim.Result
+	setupCache *exp.PaperSetup
+	fig4Cache  []*exp.Result
 }
 
-func (r *runner) setup() (*vcsim.PaperSetup, error) {
+func (r *runner) setup() (*exp.PaperSetup, error) {
 	if r.setupCache == nil {
-		s, err := vcsim.NewPaperSetup(r.seed, r.epochs)
+		s, err := exp.NewPaperSetup(r.seed, r.epochs)
 		if err != nil {
 			return nil, err
 		}
@@ -110,13 +141,19 @@ func (r *runner) setup() (*vcsim.PaperSetup, error) {
 	return r.setupCache, nil
 }
 
-func (r *runner) writeCSV(name string, series ...metrics.Series) {
+// sweep runs the specs on the -jobs worker pool.
+func (r *runner) sweep(specs []*exp.Spec) ([]*exp.Result, error) {
+	return exp.Sweep(context.Background(), specs, exp.Workers(r.jobs))
+}
+
+// writeCSV writes the series to DIR/name.csv; a failure fails the
+// experiment (and the command exits non-zero).
+func (r *runner) writeCSV(name string, series ...metrics.Series) error {
 	if r.csvDir == "" {
-		return
+		return nil
 	}
 	if err := os.MkdirAll(r.csvDir, 0o755); err != nil {
-		fmt.Fprintf(r.errOut, "csv dir: %v\n", err)
-		return
+		return fmt.Errorf("csv dir: %w", err)
 	}
 	var b strings.Builder
 	for _, s := range series {
@@ -125,11 +162,12 @@ func (r *runner) writeCSV(name string, series ...metrics.Series) {
 	}
 	path := filepath.Join(r.csvDir, name+".csv")
 	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
-		fmt.Fprintf(r.errOut, "write %s: %v\n", path, err)
+		return fmt.Errorf("write csv: %w", err)
 	}
+	return nil
 }
 
-func printCurve(w io.Writer, res *vcsim.Result) {
+func printCurve(w io.Writer, res *exp.Result) {
 	fmt.Fprintf(w, "-- %s  (%.2f h total, %d issued, %d reissued, %d timeouts)\n",
 		res.Name, res.Hours, res.Issued, res.Reissued, res.Timeouts)
 	for _, p := range res.Curve.Points {
@@ -166,13 +204,15 @@ func (r *runner) fig2() error {
 		return err
 	}
 	fmt.Fprintln(r.out, "Figure 2: validation accuracy vs training time, alpha=0.95")
-	results, err := vcsim.Fig2(s)
+	results, err := exp.Fig2(context.Background(), s, exp.Workers(r.jobs))
 	if err != nil {
 		return err
 	}
 	for _, res := range results {
 		printCurve(r.out, res)
-		r.writeCSV("fig2_"+res.Name, res.Curve)
+		if err := r.writeCSV("fig2_"+res.Name, res.Curve); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintln(r.out, "expected shape: all configs converge to similar accuracy; P5C5T2 fastest.")
 	return nil
@@ -184,7 +224,7 @@ func (r *runner) fig3() error {
 		return err
 	}
 	fmt.Fprintln(r.out, "Figure 3: training time (hours) vs simultaneous subtasks per client, alpha=0.95")
-	rows, err := vcsim.Fig3(s)
+	rows, err := exp.Fig3(context.Background(), s, exp.Workers(r.jobs))
 	if err != nil {
 		return err
 	}
@@ -203,7 +243,7 @@ func (r *runner) fig3() error {
 }
 
 // fig4Results runs (or reuses) the Figure 4 sweep, which Figure 5 zooms.
-func (r *runner) fig4Results() ([]*vcsim.Result, error) {
+func (r *runner) fig4Results() ([]*exp.Result, error) {
 	if r.fig4Cache != nil {
 		return r.fig4Cache, nil
 	}
@@ -211,7 +251,7 @@ func (r *runner) fig4Results() ([]*vcsim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	results, err := vcsim.Fig4(s)
+	results, err := exp.Fig4(context.Background(), s, exp.Workers(r.jobs))
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +267,9 @@ func (r *runner) fig4() error {
 	}
 	for _, res := range results {
 		printCurve(r.out, res)
-		r.writeCSV("fig4_"+res.Name, res.Curve)
+		if err := r.writeCSV("fig4_"+res.Name, res.Curve); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintln(r.out, "expected shape: alpha=0.7 fastest early; alpha=0.95 better late;")
 	fmt.Fprintln(r.out, "alpha=0.999 far behind; Var (e/(e+1)) best overall with smallest spread.")
@@ -251,7 +293,7 @@ func (r *runner) fig5() error {
 	for wi, w := range windows {
 		fmt.Fprintf(r.out, "-- window %d: %.2f–%.2f h\n", wi+1, w[0], w[1])
 		for _, res := range results {
-			z := vcsim.ZoomWindow(res.Curve, w[0], w[1])
+			z := exp.ZoomWindow(res.Curve, w[0], w[1])
 			for _, p := range z.Points {
 				fmt.Fprintf(r.out, "   %-12s epoch %2d  %6.2f h  acc %.3f [%.3f, %.3f]\n",
 					res.Name, p.Epoch, p.Hours, p.Value, p.Lo, p.Hi)
@@ -271,7 +313,7 @@ func (r *runner) fig6() error {
 	if serialEpochs < 2 {
 		serialEpochs = 2
 	}
-	res, err := vcsim.Fig6(s, serialEpochs)
+	res, err := exp.Fig6(s, serialEpochs)
 	if err != nil {
 		return err
 	}
@@ -279,8 +321,12 @@ func (r *runner) fig6() error {
 	printSeriesPair(r.out, res.DistVal, res.SerialVal)
 	fmt.Fprintln(r.out, "-- test")
 	printSeriesPair(r.out, res.DistTest, res.SerialTest)
-	r.writeCSV("fig6_val", res.DistVal, res.SerialVal)
-	r.writeCSV("fig6_test", res.DistTest, res.SerialTest)
+	if err := r.writeCSV("fig6_val", res.DistVal, res.SerialVal); err != nil {
+		return err
+	}
+	if err := r.writeCSV("fig6_test", res.DistTest, res.SerialTest); err != nil {
+		return err
+	}
 	fmt.Fprintln(r.out, "expected shape: single-instance above distributed with a shrinking gap;")
 	fmt.Fprintln(r.out, "distributed curve smoother; test tracks validation.")
 	return nil
@@ -307,7 +353,7 @@ func lastHours(s metrics.Series) float64 {
 
 func (r *runner) storedb() error {
 	fmt.Fprintln(r.out, "§IV-D: eventual-consistency (Redis-like) vs strong-consistency (MySQL-like) store")
-	c := vcsim.CompareStores()
+	c := exp.CompareStores()
 	fmt.Fprintf(r.out, "   per-update latency:   eventual %.2f s   strong %.2f s   ratio %.2fx\n",
 		c.EventualUpdateSec, c.StrongUpdateSec, c.Ratio)
 	fmt.Fprintf(r.out, "   CIFAR10-scale (2,000 updates):     +%.0f min with the strong store\n", c.CIFAR10OverheadMin)
@@ -316,11 +362,14 @@ func (r *runner) storedb() error {
 	return nil
 }
 
+// preemptProbs is the §IV-E grid; index 0 is the clean baseline.
+var preemptProbs = []float64{0, 0.05, 0.10, 0.15, 0.20}
+
 func (r *runner) preempt() error {
-	fmt.Fprintln(r.out, "§IV-E: preemptible instances — binomial delay model and simulation")
+	fmt.Fprintln(r.out, "§IV-E: preemptible instances — binomial delay model and simulated grid")
 	m := cloud.PreemptModel{TaskExecSeconds: 2.4 * 60, TimeoutSeconds: 5 * 60}
 	var rows [][]string
-	for _, p := range []float64{0.05, 0.10, 0.15, 0.20} {
+	for _, p := range preemptProbs[1:] {
 		m.P = p
 		inc := m.ExpectedIncreaseSeconds(2000, 5, 2) / 60
 		total := m.ExpectedTrainingSeconds(2000, 5, 2) / 3600
@@ -333,35 +382,38 @@ func (r *runner) preempt() error {
 	fmt.Fprint(r.out, metrics.Table([]string{"p", "expected increase", "expected total"}, rows))
 	fmt.Fprintln(r.out, "   paper: +50 min at p=0.05, +200 min at p=0.20 for P5C5T2 (ns=2000, to=5 min)")
 
-	// End-to-end simulation with preemptions enabled.
-	s, err := r.setup()
-	if err != nil {
-		return err
-	}
+	// End-to-end simulated grid, parallelized across -jobs workers.
 	epochs := r.epochs / 4
 	if epochs < 2 {
 		epochs = 2
 	}
-	short, err := vcsim.NewPaperSetup(r.seed, epochs)
+	short, err := exp.NewPaperSetup(r.seed, epochs)
 	if err != nil {
 		return err
 	}
-	_ = s
-	clean := short.Config(5, 5, 2, opt.Constant{V: 0.95})
-	clean.TimeoutSeconds = 300
-	base, err := vcsim.Run(clean)
+	specs, err := exp.PreemptGridSpecs(short, preemptProbs)
 	if err != nil {
 		return err
 	}
-	pre := clean
-	pre.PreemptProb = 0.05
-	rough, err := vcsim.Run(pre)
+	results, err := r.sweep(specs)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(r.out, "   simulated %d epochs: clean %.2f h, p=5%% %.2f h (+%.0f min, %d timeouts)\n",
-		epochs, base.Hours, rough.Hours, (rough.Hours-base.Hours)*60, rough.Timeouts)
-	fmt.Fprintf(r.out, "   cost for the run: $%.2f standard vs $%.2f preemptible (%.0f%% saved)\n",
+	base := results[0]
+	fmt.Fprintf(r.out, "   simulated grid (%d epochs, clean baseline %.2f h):\n", epochs, base.Hours)
+	var grid [][]string
+	for i, res := range results[1:] {
+		grid = append(grid, []string{
+			fmt.Sprintf("%.0f%%", preemptProbs[i+1]*100),
+			fmt.Sprintf("%.2f h", res.Hours),
+			fmt.Sprintf("+%.0f min", (res.Hours-base.Hours)*60),
+			fmt.Sprintf("%d", res.Timeouts),
+			fmt.Sprintf("$%.2f", res.CostPreemptibleUSD),
+		})
+	}
+	fmt.Fprint(r.out, metrics.Table([]string{"p", "total", "increase", "timeouts", "spot cost"}, grid))
+	rough := results[1]
+	fmt.Fprintf(r.out, "   cost at p=5%%: $%.2f standard vs $%.2f preemptible (%.0f%% saved)\n",
 		rough.CostStandardUSD, rough.CostPreemptibleUSD,
 		100*(1-rough.CostPreemptibleUSD/rough.CostStandardUSD))
 	return nil
@@ -372,23 +424,23 @@ func (r *runner) ablation() error {
 	if epochs < 3 {
 		epochs = 3
 	}
-	s, err := vcsim.NewPaperSetup(r.seed, epochs)
+	s, err := exp.NewPaperSetup(r.seed, epochs)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(r.out, "A1: update-rule ablation on P3C3T4 with 5%% preemption (%d epochs)\n", epochs)
+	specs, err := exp.AblationSpecs(s)
+	if err != nil {
+		return err
+	}
+	results, err := r.sweep(specs)
+	if err != nil {
+		return err
+	}
 	var rows [][]string
-	for _, rule := range vcsim.AblationRules(s.Job.Subtasks) {
-		cfg := s.Config(3, 3, 4, s.Job.Alpha)
-		cfg.Rule = rule
-		cfg.PreemptProb = 0.05
-		cfg.TimeoutSeconds = 600
-		res, err := vcsim.Run(cfg)
-		if err != nil {
-			return err
-		}
+	for _, res := range results {
 		rows = append(rows, []string{
-			rule.Name(),
+			res.Name,
 			fmt.Sprintf("%.3f", res.Curve.FinalValue()),
 			fmt.Sprintf("%.2f h", res.Hours),
 			fmt.Sprintf("%d", res.Timeouts),
@@ -397,17 +449,19 @@ func (r *runner) ablation() error {
 	fmt.Fprint(r.out, metrics.Table([]string{"rule", "final acc", "time", "timeouts"}, rows))
 
 	fmt.Fprintln(r.out, "A2: sticky files / compression ablation (bytes downloaded)")
-	cfgOn := s.Config(3, 3, 4, s.Job.Alpha)
-	on, err := vcsim.Run(cfgOn)
+	stickyOn, err := exp.New(s.Job, s.Corpus, exp.Topology(3, 3, 4))
 	if err != nil {
 		return err
 	}
-	cfgOff := cfgOn
-	cfgOff.DisableSticky = true
-	off, err := vcsim.Run(cfgOff)
+	stickyOff, err := exp.New(s.Job, s.Corpus, exp.Topology(3, 3, 4), exp.NoSticky())
 	if err != nil {
 		return err
 	}
+	pair, err := r.sweep([]*exp.Spec{stickyOn, stickyOff})
+	if err != nil {
+		return err
+	}
+	on, off := pair[0], pair[1]
 	fmt.Fprintf(r.out, "   sticky on:  %8.1f MB downloaded\n", float64(on.BytesDownloaded)/1e6)
 	fmt.Fprintf(r.out, "   sticky off: %8.1f MB downloaded (%.1fx more)\n",
 		float64(off.BytesDownloaded)/1e6, float64(off.BytesDownloaded)/float64(on.BytesDownloaded))

@@ -3,6 +3,9 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"vcdl/internal/exp"
+	"vcdl/internal/metrics"
 )
 
 func TestUnknownExperimentRejected(t *testing.T) {
@@ -30,5 +33,57 @@ func TestTable1Runs(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "Table I") || !strings.Contains(out.String(), "client-16x2.8") {
 		t.Fatalf("stdout = %q", out.String())
+	}
+}
+
+// TestRegistryIsSingleSourceOfTruth pins the satellite fix: usage text,
+// validation and dispatch all derive from one ordered table.
+func TestRegistryIsSingleSourceOfTruth(t *testing.T) {
+	want := []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "storedb", "preempt", "ablation"}
+	names := experimentNames()
+	if len(names) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(names), len(want))
+	}
+	seen := map[string]bool{}
+	for i, name := range names {
+		if name != want[i] {
+			t.Errorf("registry[%d] = %q, want %q", i, name, want[i])
+		}
+		if seen[name] {
+			t.Errorf("duplicate registry entry %q", name)
+		}
+		seen[name] = true
+		e, ok := lookup(name)
+		if !ok || e.run == nil {
+			t.Errorf("lookup(%q) = %v, %v", name, e, ok)
+		}
+	}
+	// The usage string in the error path lists every registry name.
+	var out, errOut strings.Builder
+	run([]string{"-exp", "nope"}, &out, &errOut)
+	for _, name := range names {
+		if !strings.Contains(errOut.String(), name) {
+			t.Errorf("usage text missing %q: %s", name, errOut.String())
+		}
+	}
+}
+
+// TestCSVWriteFailurePropagates pins the satellite fix: a failing -csv
+// DIR fails the experiment (exit 1) instead of logging and exiting 0.
+func TestCSVWriteFailurePropagates(t *testing.T) {
+	series := metrics.Series{Name: "x", Points: nil}
+	r := &runner{csvDir: "/dev/null/not-a-dir"}
+	if err := r.writeCSV("curve", series); err == nil {
+		t.Fatal("writeCSV on an uncreatable directory returned nil")
+	}
+	// The experiment function surfaces the CSV error: fig4 with a
+	// pre-populated cache exercises the path without running simulations.
+	r = &runner{
+		csvDir:    "/dev/null/not-a-dir",
+		out:       &strings.Builder{},
+		fig4Cache: []*exp.Result{{Name: "alpha=0.70"}},
+	}
+	if err := r.fig4(); err == nil {
+		t.Fatal("fig4 with failing -csv returned nil error")
 	}
 }

@@ -2,48 +2,62 @@
 //
 // VC-ASGD's single hyperparameter α controls how strongly the server
 // parameter copy absorbs each client update (Ws ← α·Ws + (1−α)·Wc). This
-// example sweeps the paper's four settings on a short P3C3T4 run and
-// prints the resulting accuracy trajectories side by side.
+// example sweeps the paper's four settings on a short P3C3T4 run through
+// the composable experiment API: one exp.Spec per α, executed on a
+// parallel worker pool (exp.Sweep), results in input order.
 //
-//	go run ./examples/alphasweep
+//	go run ./examples/alphasweep [-epochs N] [-jobs N]
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
-	"vcdl/internal/metrics"
+	"vcdl/internal/exp"
 	"vcdl/internal/vcsim"
 )
 
 func main() {
-	setup, err := vcsim.NewPaperSetup(1, 8)
+	epochs := flag.Int("epochs", 8, "training epochs per run")
+	jobs := flag.Int("jobs", 0, "parallel workers (0 = all cores)")
+	flag.Parse()
+
+	setup, err := exp.NewPaperSetup(1, *epochs)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	type outcome struct {
-		label string
-		curve metrics.Series
-	}
-	var outs []outcome
-	for _, v := range vcsim.Fig4Variants() {
-		res, err := vcsim.Run(setup.Config(3, 3, 4, v.Schedule))
+	// One spec per α variant; the sweep runs them concurrently and the
+	// per-run determinism contract keeps the curves identical to serial
+	// execution.
+	var specs []*exp.Spec
+	variants := vcsim.Fig4Variants()
+	for _, v := range variants {
+		spec, err := exp.New(setup.Job, setup.Corpus,
+			exp.Topology(3, 3, 4),
+			exp.Alpha(v.Schedule),
+			exp.Name("alpha="+v.Label))
 		if err != nil {
 			log.Fatal(err)
 		}
-		outs = append(outs, outcome{label: v.Label, curve: res.Curve})
+		specs = append(specs, spec)
+	}
+	results, err := exp.Sweep(context.Background(), specs, exp.Workers(*jobs))
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Print("epoch ")
-	for _, o := range outs {
-		fmt.Printf("  α=%-6s", o.label)
+	for _, v := range variants {
+		fmt.Printf("  α=%-6s", v.Label)
 	}
 	fmt.Println()
-	for i := 0; i < len(outs[0].curve.Points); i++ {
+	for i := 0; i < len(results[0].Curve.Points); i++ {
 		fmt.Printf("%4d  ", i+1)
-		for _, o := range outs {
-			fmt.Printf("  %.3f   ", o.curve.Points[i].Value)
+		for _, res := range results {
+			fmt.Printf("  %.3f   ", res.Curve.Points[i].Value)
 		}
 		fmt.Println()
 	}

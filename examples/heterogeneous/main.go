@@ -4,44 +4,67 @@
 // preemptible cloud instances (Table I) training over a WAN, with subtasks
 // that time out and get reissued when instances are reclaimed. Virtual
 // time makes an hours-long run finish in seconds while the gradient math
-// runs for real.
+// runs for real. The run is built with the composable experiment options
+// and instrumented with an exp.Observer that narrates preemptions,
+// timeout sweeps and epoch closes as they happen in virtual time.
 //
-//	go run ./examples/heterogeneous
+//	go run ./examples/heterogeneous [-epochs N]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"vcdl/internal/cloud"
-	"vcdl/internal/vcsim"
+	"vcdl/internal/exp"
 )
 
 func main() {
-	setup, err := vcsim.NewPaperSetup(1, 6)
+	epochs := flag.Int("epochs", 6, "training epochs")
+	flag.Parse()
+
+	setup, err := exp.NewPaperSetup(1, *epochs)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// A deliberately uneven fleet: two slow 2.2 GHz clients, one 2.8 GHz
-	// client with little RAM, and the big 16-vCPU box.
-	cfg := setup.Config(2, 4, 2, setup.Job.Alpha)
-	cfg.ClientInstances = []cloud.InstanceType{
-		cloud.ClientA, cloud.ClientA, cloud.ClientC, cloud.ClientD,
+	// client with little RAM, and the big 16-vCPU box — under aggressive
+	// spot reclamation with a tight 5-minute deadline.
+	fleet := []cloud.InstanceType{cloud.ClientA, cloud.ClientA, cloud.ClientC, cloud.ClientD}
+	narrate := exp.ObserverFuncs{
+		Preempt: func(e exp.PreemptEvent) {
+			fmt.Printf("  [%5.2fh] %s reclaimed mid-subtask (epoch %d shard %d)\n", e.Hours, e.Client, e.Epoch, e.Shard)
+		},
+		Timeout: func(e exp.TimeoutEvent) {
+			fmt.Printf("  [%5.2fh] deadline sweep: %d result(s) expired, reissuing\n", e.Hours, e.Expired)
+		},
+		Epoch: func(e exp.EpochEvent) {
+			fmt.Printf("  [%5.2fh] epoch %d done: accuracy %.3f\n", e.Hours, e.Summary.Epoch, e.Summary.Mean)
+		},
 	}
-	cfg.PreemptProb = 0.08 // aggressive spot reclamation
-	cfg.TimeoutSeconds = 300
-
-	res, err := vcsim.Run(cfg)
+	spec, err := exp.New(setup.Job, setup.Corpus,
+		exp.Topology(2, 4, 2),
+		exp.Fleet(fleet...),
+		exp.Preempt(0.08),
+		exp.Timeout(300),
+		exp.Observe(narrate))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("fleet:")
 	fmt.Printf("  %s (parameter servers, BOINC server, store)\n", cloud.ServerInstance)
-	for _, it := range cfg.ClientInstances {
+	for _, it := range fleet {
 		fmt.Printf("  %s\n", it)
 	}
+	fmt.Println("\nlive run events:")
+	res, err := exp.Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("\nepoch  hours  val-accuracy")
 	for _, p := range res.Curve.Points {
 		fmt.Printf("%4d   %5.2f    %.3f [%.3f, %.3f]\n", p.Epoch, p.Hours, p.Value, p.Lo, p.Hi)

@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"vcdl/internal/cloud"
-	"vcdl/internal/vcsim"
+	"vcdl/internal/exp"
 )
 
 // TestPaperHeadlineClaims asserts the paper's quantitative headline
@@ -20,7 +20,7 @@ func TestPaperHeadlineClaims(t *testing.T) {
 		t.Fatalf("fleet savings %.2f outside the abstract's 70–90%%", s)
 	}
 	// "a strong consistency database like MySQL takes 1.5 times longer".
-	c := vcsim.CompareStores()
+	c := exp.CompareStores()
 	if c.Ratio < 1.4 || c.Ratio > 1.6 {
 		t.Fatalf("store ratio %.2f, want ≈1.5", c.Ratio)
 	}

@@ -50,6 +50,21 @@ func RunScenario(sc *Scenario, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Progress != nil {
+		// Narrate the run live through the simulator's observer hooks.
+		// These lines go only to Progress, not into Trace: the trace
+		// records injected events and stays the determinism contract's
+		// compact fingerprint.
+		cfg.Observer = vcsim.ObserverFuncs{
+			Epoch: func(e vcsim.EpochEvent) {
+				fmt.Fprintf(opts.Progress, "[%7.3fh] epoch %d closed: accuracy %.4f [%.4f, %.4f]\n",
+					e.Hours, e.Summary.Epoch, e.Summary.Mean, e.Summary.Lo, e.Summary.Hi)
+			},
+			Timeout: func(e vcsim.TimeoutEvent) {
+				fmt.Fprintf(opts.Progress, "[%7.3fh] deadline sweep expired %d result(s)\n", e.Hours, e.Expired)
+			},
+		}
+	}
 	s, err := vcsim.Start(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)

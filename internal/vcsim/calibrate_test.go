@@ -26,11 +26,11 @@ func TestCalibrationProbe(t *testing.T) {
 	}
 	t.Logf("total %.2fh issued=%d", res.Hours, res.Issued)
 
-	serial, err := Fig6(s, 4)
+	serialVal, _, err := SerialBaseline(s, s.Config(5, 5, 2, opt.Constant{V: 0.95}), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, p := range serial.SerialVal.Points {
+	for _, p := range serialVal.Points {
 		t.Logf("serial epoch %2d  %5.2fh  val=%.3f", p.Epoch, p.Hours, p.Value)
 	}
 }

@@ -55,58 +55,6 @@ func (s *PaperSetup) Config(pn, cn, tn int, alpha opt.Schedule) Config {
 	return cfg
 }
 
-// Fig2 reproduces Figure 2: validation accuracy vs training time for
-// P1C3T2, P1C3T8, P3C3T8 and P5C5T2 with α = 0.95.
-func Fig2(s *PaperSetup) ([]*Result, error) {
-	alpha := opt.Constant{V: 0.95}
-	configs := []struct{ pn, cn, tn int }{
-		{1, 3, 2}, {1, 3, 8}, {3, 3, 8}, {5, 5, 2},
-	}
-	var out []*Result
-	for _, c := range configs {
-		res, err := Run(s.Config(c.pn, c.cn, c.tn, alpha))
-		if err != nil {
-			return nil, fmt.Errorf("vcsim: fig2 P%dC%dT%d: %w", c.pn, c.cn, c.tn, err)
-		}
-		out = append(out, res)
-	}
-	return out, nil
-}
-
-// Fig3Row is one curve of Figure 3: training time (hours) for a PnCn pair
-// across simultaneous-subtask counts.
-type Fig3Row struct {
-	Label string
-	Tn    []int
-	Hours []float64
-}
-
-// Fig3 reproduces Figure 3: total training time for P1C3, P3C3 and P5C5 at
-// T ∈ {2, 4, 8}, α = 0.95.
-func Fig3(s *PaperSetup) ([]Fig3Row, error) {
-	alpha := opt.Constant{V: 0.95}
-	groups := []struct {
-		label  string
-		pn, cn int
-	}{
-		{"P1C3", 1, 3}, {"P3C3", 3, 3}, {"P5C5", 5, 5},
-	}
-	tns := []int{2, 4, 8}
-	var rows []Fig3Row
-	for _, g := range groups {
-		row := Fig3Row{Label: g.label, Tn: tns}
-		for _, tn := range tns {
-			res, err := Run(s.Config(g.pn, g.cn, tn, alpha))
-			if err != nil {
-				return nil, fmt.Errorf("vcsim: fig3 %sT%d: %w", g.label, tn, err)
-			}
-			row.Hours = append(row.Hours, res.Hours)
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
-}
-
 // AlphaVariant names one Figure 4 curve.
 type AlphaVariant struct {
 	Label    string
@@ -124,23 +72,6 @@ func Fig4Variants() []AlphaVariant {
 	}
 }
 
-// Fig4 reproduces Figure 4: the effect of the VC-ASGD hyperparameter on
-// P3C3T4, including the per-epoch accuracy range (error bars). Figure 5 is
-// a zoom of the same data (see ZoomWindow).
-func Fig4(s *PaperSetup) ([]*Result, error) {
-	var out []*Result
-	for _, v := range Fig4Variants() {
-		res, err := Run(s.Config(3, 3, 4, v.Schedule))
-		if err != nil {
-			return nil, fmt.Errorf("vcsim: fig4 alpha=%s: %w", v.Label, err)
-		}
-		res.Name = "alpha=" + v.Label
-		res.Curve.Name = res.Name
-		out = append(out, res)
-	}
-	return out, nil
-}
-
 // ZoomWindow slices a curve to the [loH, hiH] hour window — Figure 5's
 // zoomed views of Figure 4.
 func ZoomWindow(series metrics.Series, loH, hiH float64) metrics.Series {
@@ -153,40 +84,24 @@ func ZoomWindow(series metrics.Series, loH, hiH float64) metrics.Series {
 	return out
 }
 
-// Fig6Result pairs the distributed run with the single-instance baseline.
-type Fig6Result struct {
-	DistVal, DistTest     metrics.Series
-	SerialVal, SerialTest metrics.Series
-}
-
-// Fig6 reproduces Figure 6: distributed P5C5T2 with the Var α schedule
-// (validation and test accuracy) against serial single-instance training
-// on the server configuration. Serial epochs are mapped to virtual time via
-// SerialSecondsPerEpoch.
-func Fig6(s *PaperSetup, serialEpochs int) (*Fig6Result, error) {
-	cfg := s.Config(5, 5, 2, opt.EpochFraction{})
-	cfg.RecordTest = true
-	dist, err := Run(cfg)
+// SerialBaseline trains the Figure 6 single-instance baseline serially
+// for the given epoch count and maps each epoch onto virtual hours via
+// SerialSecondsPerEpoch (cfg supplies the calibrated subtask cost). The
+// distributed half of Figure 6 runs through internal/exp.
+func SerialBaseline(s *PaperSetup, cfg Config, epochs int) (val, test metrics.Series, err error) {
+	serial, err := baseline.TrainSerial(s.Job, s.Corpus, epochs)
 	if err != nil {
-		return nil, fmt.Errorf("vcsim: fig6 distributed: %w", err)
-	}
-	serial, err := baseline.TrainSerial(s.Job, s.Corpus, serialEpochs)
-	if err != nil {
-		return nil, fmt.Errorf("vcsim: fig6 serial: %w", err)
+		return val, test, fmt.Errorf("vcsim: serial baseline: %w", err)
 	}
 	secPerEpoch := SerialSecondsPerEpoch(cfg)
-	out := &Fig6Result{
-		DistVal:    dist.Curve,
-		DistTest:   dist.TestCurve,
-		SerialVal:  metrics.Series{Name: "single-instance-val"},
-		SerialTest: metrics.Series{Name: "single-instance-test"},
-	}
+	val = metrics.Series{Name: "single-instance-val"}
+	test = metrics.Series{Name: "single-instance-test"}
 	for i := range serial.ValAcc {
 		h := float64(i+1) * secPerEpoch / 3600
-		out.SerialVal.Add(metrics.Point{Epoch: i + 1, Hours: h, Value: serial.ValAcc[i]})
-		out.SerialTest.Add(metrics.Point{Epoch: i + 1, Hours: h, Value: serial.TestAcc[i]})
+		val.Add(metrics.Point{Epoch: i + 1, Hours: h, Value: serial.ValAcc[i]})
+		test.Add(metrics.Point{Epoch: i + 1, Hours: h, Value: serial.TestAcc[i]})
 	}
-	return out, nil
+	return val, test, nil
 }
 
 // StoreComparison reproduces §IV-D: per-update transaction latency of the

@@ -30,6 +30,10 @@ type Config struct {
 	Job    core.JobConfig
 	Corpus *data.Corpus
 
+	// Name labels the run's Result and curves; empty derives the
+	// PnCnTn topology string.
+	Name string
+
 	PServers        int
 	ClientInstances []cloud.InstanceType
 	TasksPerClient  int
@@ -82,6 +86,12 @@ type Config struct {
 	// MaxPServers caps autoscaling (default 8, one per server vCPU).
 	MaxPServers int
 
+	// Observer, when non-nil, receives run events (assimilations, epoch
+	// closes, preemptions, timeout sweeps, completion) as they happen in
+	// virtual time. Use Observers to attach more than one. Observers are
+	// passive: they never change the Result.
+	Observer Observer
+
 	Seed int64
 }
 
@@ -103,6 +113,15 @@ func DefaultConfig(job core.JobConfig, corpus *data.Corpus, pn, cn, tn int) Conf
 		TimeoutSeconds:     1800,
 		Seed:               job.Seed,
 	}
+}
+
+// DisplayName returns the run label results carry: Name when set,
+// otherwise the derived PnCnTn topology string.
+func (c *Config) DisplayName() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("P%dC%dT%d", c.PServers, len(c.ClientInstances), c.TasksPerClient)
 }
 
 // refClockGHz anchors the per-task speed model (ClientB's 2.5 GHz row).
@@ -219,6 +238,7 @@ type run struct {
 	tracker      *ps.EpochTracker
 	stop         ps.StopCriterion
 	res          *Result
+	obs          Observer
 	finished     bool
 	sweepPending bool
 
@@ -231,7 +251,7 @@ type run struct {
 }
 
 func newRun(cfg Config, st store.Store) *run {
-	name := fmt.Sprintf("P%dC%dT%d", cfg.PServers, len(cfg.ClientInstances), cfg.TasksPerClient)
+	name := cfg.DisplayName()
 	schedCfg := boinc.DefaultSchedulerConfig()
 	schedCfg.DefaultTimeout = cfg.TimeoutSeconds
 	schedCfg.DefaultMaxErrors = 1 << 20 // experiments never abandon a subtask
@@ -249,6 +269,7 @@ func newRun(cfg Config, st store.Store) *run {
 		rule:        cfg.Rule,
 		preempt:     cloud.NewPreemptionProcess(cfg.Seed + 7),
 		res:         &Result{Name: name},
+		obs:         cfg.Observer,
 		rttOverride: make(map[cloud.Region]float64),
 	}
 	r.res.Curve.Name = name
@@ -427,6 +448,9 @@ func (r *run) startSubtask(c *simClient, asn boinc.Assignment, wave int) {
 	// result never uploads and the slot is only recovered (replacement
 	// instance) at the scheduler deadline.
 	if r.cfg.PreemptProb > 0 && r.eng.Rand().Float64() < r.cfg.PreemptProb {
+		if r.obs != nil {
+			r.obs.OnPreempt(PreemptEvent{Client: c.id, Epoch: epoch, Shard: shard, Hours: r.eng.NowHours()})
+		}
 		wait := asn.Deadline - r.eng.Now()
 		r.eng.Schedule(wait+1, func() {
 			if c.departed {
@@ -541,6 +565,9 @@ func (r *run) assimilate(epoch int, updated []float64) {
 		acc = r.eval.Accuracy(r.ruleServer)
 	}
 
+	if r.obs != nil {
+		r.obs.OnAssimilate(AssimEvent{Epoch: epoch, Hours: r.eng.NowHours(), Accuracy: acc, Queue: r.assim.QueueLen()})
+	}
 	summary, closed := r.tracker.Record(acc)
 	if !closed {
 		return
@@ -558,6 +585,9 @@ func (r *run) assimilate(epoch int, updated []float64) {
 		Hi:    summary.Hi,
 	}
 	r.res.Curve.Add(point)
+	if r.obs != nil {
+		r.obs.OnEpoch(EpochEvent{Hours: point.Hours, Summary: summary})
+	}
 	if r.testEv != nil {
 		cur, err := r.currentServer()
 		if err == nil {
@@ -600,6 +630,9 @@ func (r *run) sweep() {
 		return
 	}
 	if expired := r.sched.ExpireTimeouts(r.eng.Now()); len(expired) > 0 {
+		if r.obs != nil {
+			r.obs.OnTimeout(TimeoutEvent{Hours: r.eng.NowHours(), Expired: len(expired)})
+		}
 		r.wakeClients()
 	}
 	r.scheduleSweep()
@@ -631,6 +664,9 @@ func (r *run) finish() (*Result, error) {
 		}
 		r.res.CostStandardUSD += c.inst.HourlyUSD * activeH
 		r.res.CostPreemptibleUSD += c.inst.PreemptibleUSD * activeH
+	}
+	if r.obs != nil {
+		r.obs.OnFinish(r.res)
 	}
 	return r.res, nil
 }
