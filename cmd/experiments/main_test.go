@@ -39,7 +39,7 @@ func TestTable1Runs(t *testing.T) {
 // TestRegistryIsSingleSourceOfTruth pins the satellite fix: usage text,
 // validation and dispatch all derive from one ordered table.
 func TestRegistryIsSingleSourceOfTruth(t *testing.T) {
-	want := []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "storedb", "preempt", "ablation"}
+	want := []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "storedb", "preempt", "ablation", "schedpolicy"}
 	names := experimentNames()
 	if len(names) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(names), len(want))
@@ -65,6 +65,31 @@ func TestRegistryIsSingleSourceOfTruth(t *testing.T) {
 		if !strings.Contains(errOut.String(), name) {
 			t.Errorf("usage text missing %q: %s", name, errOut.String())
 		}
+	}
+}
+
+// TestBadPolicyFlagRejected: -policy names are validated against the
+// boinc policy registry before any simulation runs.
+func TestBadPolicyFlagRejected(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-exp", "schedpolicy", "-policy", "warp-speed"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown policy") {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+}
+
+// TestSelectedPolicies resolves the -policy flag forms.
+func TestSelectedPolicies(t *testing.T) {
+	r := &runner{policies: "all"}
+	if names, err := r.selectedPolicies(); err != nil || len(names) < 6 {
+		t.Fatalf("all = %v, %v", names, err)
+	}
+	r.policies = "paper, fifo"
+	names, err := r.selectedPolicies()
+	if err != nil || len(names) != 2 || names[0] != "paper" || names[1] != "fifo" {
+		t.Fatalf("subset = %v, %v", names, err)
 	}
 }
 

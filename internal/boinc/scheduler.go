@@ -5,7 +5,9 @@ import (
 	"sort"
 )
 
-// SchedulerConfig tunes the scheduling policy.
+// SchedulerConfig tunes the scheduling mechanics. The assignment
+// preference itself is a Policy (see policy.go); the fields here are
+// invariants the scheduler enforces around whatever the policy picks.
 type SchedulerConfig struct {
 	// DefaultTimeout applies to workunits that don't set one (seconds).
 	DefaultTimeout float64
@@ -20,6 +22,9 @@ type SchedulerConfig struct {
 	// StickyAffinity biases assignment toward clients that already cache a
 	// workunit's input files (the BOINC sticky-file feature, §III-B).
 	StickyAffinity bool
+	// Seed is exposed to policies through PolicyView.Seed so seeded
+	// stochastic policies replay deterministically with the run.
+	Seed int64
 }
 
 // DefaultSchedulerConfig mirrors the experiments: 5-minute timeout,
@@ -57,10 +62,12 @@ type Assignment struct {
 }
 
 // Scheduler tracks workunits and results and implements the BOINC
-// scheduling policy. It is not goroutine-safe; the HTTP server serializes
+// scheduling mechanics; the assignment preference is delegated to a
+// pluggable Policy. It is not goroutine-safe; the HTTP server serializes
 // access and the simulator is single-threaded by construction.
 type Scheduler struct {
-	cfg SchedulerConfig
+	cfg    SchedulerConfig
+	policy Policy
 
 	nextWU, nextRes int64
 	wus             map[int64]*Workunit
@@ -72,11 +79,24 @@ type Scheduler struct {
 	// verify each other across machines).
 	assignedTo map[int64]map[string]bool
 
+	// Per-policy index over the pending queue, maintained incrementally
+	// so the per-request hot path allocates nothing transient:
+	// queued counts pending copies per workunit (O(1) queuedCopies, and
+	// completions skip the queue rebuild when no replicas are queued);
+	// eligible stamps workunits with the request counter that admitted
+	// them, doubling as the per-round dedup set and the validity check
+	// for policy picks; candBuf is the reused candidate scratch.
+	queued   map[int64]int
+	eligible map[int64]int64
+	candBuf  []Candidate
+	requests int64
+
 	// Counters for reports and tests.
 	Issued, Reissued, Timeouts, Failures, Completions int
 }
 
-// NewScheduler creates a scheduler with the given policy.
+// NewScheduler creates a scheduler with the given mechanics config and
+// the default paper policy.
 func NewScheduler(cfg SchedulerConfig) *Scheduler {
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 300
@@ -86,12 +106,28 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 	}
 	return &Scheduler{
 		cfg:        cfg,
+		policy:     paperPolicy(),
 		wus:        make(map[int64]*Workunit),
 		results:    make(map[int64]*Result),
 		clients:    make(map[string]*clientState),
 		assignedTo: make(map[int64]map[string]bool),
+		queued:     make(map[int64]int),
+		eligible:   make(map[int64]int64),
 	}
 }
+
+// SetPolicy hot-swaps the assignment policy; nil restores the default
+// paper policy. Outstanding results are unaffected — only future
+// RequestWork calls decide differently.
+func (s *Scheduler) SetPolicy(p Policy) {
+	if p == nil {
+		p = paperPolicy()
+	}
+	s.policy = p
+}
+
+// Policy returns the active assignment policy.
+func (s *Scheduler) Policy() Policy { return s.policy }
 
 // SetDefaultTimeout hot-changes the deadline applied to workunits added
 // from now on (already-issued results keep the deadline they were sent
@@ -153,9 +189,16 @@ func (s *Scheduler) AddWorkunit(wu Workunit) int64 {
 	w := wu
 	s.wus[wu.ID] = &w
 	for i := 0; i < wu.Replication; i++ {
-		s.pending = append(s.pending, wu.ID)
+		s.enqueue(wu.ID)
 	}
 	return wu.ID
+}
+
+// enqueue appends one pending copy of a workunit, keeping the copy
+// count index in step.
+func (s *Scheduler) enqueue(id int64) {
+	s.pending = append(s.pending, id)
+	s.queued[id]++
 }
 
 // Workunit returns the tracked workunit by ID, or nil.
@@ -164,7 +207,9 @@ func (s *Scheduler) Workunit(id int64) *Workunit { return s.wus[id] }
 // Result returns the tracked result by ID, or nil.
 func (s *Scheduler) Result(id int64) *Result { return s.results[id] }
 
-// client returns (creating if needed) the state of a client.
+// client returns (creating if needed) the state of a client. Only
+// operations a client itself initiates (requesting work, caching files)
+// may create state; read-only queries go through peek.
 func (s *Scheduler) client(id string) *clientState {
 	c, ok := s.clients[id]
 	if !ok {
@@ -174,10 +219,18 @@ func (s *Scheduler) client(id string) *clientState {
 	return c
 }
 
+// peek returns the state of a known client, or nil. Unlike client it
+// never registers anything: a lookup must not grow the client table.
+func (s *Scheduler) peek(id string) *clientState { return s.clients[id] }
+
 // Reliability returns the reliability score of a client (1.0 for unknown
-// clients).
+// clients). It is a pure query: asking about a client the scheduler has
+// never seen does not register it.
 func (s *Scheduler) Reliability(clientID string) float64 {
-	return s.client(clientID).reliability
+	if c := s.peek(clientID); c != nil {
+		return c.reliability
+	}
+	return 1
 }
 
 // NoteCached records that a client holds a sticky file locally.
@@ -196,114 +249,154 @@ func cacheScore(c *clientState, wu *Workunit) int {
 	return n
 }
 
-// RequestWork assigns up to max workunits to the client at virtual time
-// now. Assignment preference: workunits whose files the client caches
-// (most cached files first), then FIFO. Retried workunits are gated on
-// client reliability.
-func (s *Scheduler) RequestWork(clientID string, now float64, max int) []Assignment {
-	c := s.client(clientID)
-	if max <= 0 {
-		return nil
-	}
-	// Collect assignable pending entries with their queue positions.
-	type cand struct {
-		pos   int
-		wu    *Workunit
-		score int
-	}
-	var cands []cand
-	seen := map[int64]bool{}
+// buildView snapshots the workunits the client may legally receive
+// right now: one candidate per pending workunit, minus terminal states,
+// minus replicas the client already holds a copy of, minus retries
+// reserved for reliable clients. The view reuses the scheduler's
+// candidate scratch buffer and is only valid until the next request.
+func (s *Scheduler) buildView(c *clientState, now float64) PolicyView {
+	cands := s.candBuf[:0]
+	// hasReliableClient is O(clients); resolve it at most once per
+	// request instead of once per gated candidate.
+	reliableKnown, reliableAny := false, false
 	for pos, id := range s.pending {
 		wu := s.wus[id]
 		if wu == nil || wu.status == WUDone || wu.status == WUFailed {
 			continue
 		}
-		if seen[id] {
+		if s.eligible[id] == s.requests {
 			continue // one copy of a workunit per request round
 		}
-		if wu.Replication > 1 && s.assignedTo[id][clientID] {
+		if wu.Replication > 1 && s.assignedTo[id][c.id] {
 			continue // replicas must verify each other across clients
 		}
-		if wu.errors > 0 && c.reliability < s.cfg.ReliabilityFloor && s.hasReliableClient() {
-			continue // reserve retries for reliable clients when any exist
+		if wu.errors > 0 && c.reliability < s.cfg.ReliabilityFloor {
+			if !reliableKnown {
+				reliableKnown, reliableAny = true, s.hasReliableClient()
+			}
+			if reliableAny {
+				continue // reserve retries for reliable clients when any exist
+			}
 		}
-		seen[id] = true
-		sc := 0
-		if s.cfg.StickyAffinity {
-			sc = cacheScore(c, wu)
-		}
-		cands = append(cands, cand{pos: pos, wu: wu, score: sc})
+		s.eligible[id] = s.requests
+		cands = append(cands, Candidate{
+			WUID:       id,
+			Pos:        pos,
+			CacheScore: cacheScore(c, wu),
+			Errors:     wu.errors,
+			Timeout:    wu.Timeout,
+		})
 	}
-	sort.SliceStable(cands, func(i, j int) bool {
-		if cands[i].score != cands[j].score {
-			return cands[i].score > cands[j].score
-		}
-		return cands[i].pos < cands[j].pos
-	})
-	if len(cands) > max {
-		cands = cands[:max]
+	s.candBuf = cands
+	return PolicyView{
+		Now:              now,
+		Seed:             s.cfg.Seed,
+		Request:          s.requests,
+		Sticky:           s.cfg.StickyAffinity,
+		ReliabilityFloor: s.cfg.ReliabilityFloor,
+		Candidates:       cands,
 	}
+}
+
+// RequestWork assigns up to max workunits to the client at virtual time
+// now. The active Policy orders the eligible candidates (the default
+// paper policy: workunits whose files the client caches first, then
+// FIFO; retried workunits gated on client reliability); RequestWork
+// itself is mechanics — it builds the candidate view, lets the policy
+// choose, and enforces the invariants no policy may break: only
+// eligible workunits are issued, each at most once per round and at
+// most max per request.
+func (s *Scheduler) RequestWork(clientID string, now float64, max int) []Assignment {
+	c := s.client(clientID)
+	if max <= 0 {
+		return nil
+	}
+	s.requests++
+	view := s.buildView(c, now)
+	if len(view.Candidates) == 0 {
+		return nil
+	}
+	picks := s.policy.Select(view, ClientInfo{ID: c.id, Reliability: c.reliability, InFlight: c.inFlight}, max)
+
 	var out []Assignment
-	taken := map[int]bool{}
-	for _, cd := range cands {
-		taken[cd.pos] = true
+	var issued []int64
+	for _, id := range picks {
+		if len(out) >= max {
+			break // policy over-selected; hard-cap the batch
+		}
+		if s.eligible[id] != s.requests {
+			continue // not an eligible candidate, or a duplicate pick
+		}
+		s.eligible[id] = 0 // consumed this round
+		wu := s.wus[id]
 		s.nextRes++
 		res := &Result{
 			ID:       s.nextRes,
-			WUID:     cd.wu.ID,
+			WUID:     wu.ID,
 			ClientID: clientID,
 			SentAt:   now,
-			Deadline: now + cd.wu.Timeout,
+			Deadline: now + wu.Timeout,
 			Status:   ResInProgress,
 		}
 		s.results[res.ID] = res
-		cd.wu.active++
-		cd.wu.status = WUInProgress
+		wu.active++
+		wu.status = WUInProgress
 		c.inFlight++
 		s.Issued++
-		if s.assignedTo[cd.wu.ID] == nil {
-			s.assignedTo[cd.wu.ID] = make(map[string]bool)
+		if s.assignedTo[wu.ID] == nil {
+			s.assignedTo[wu.ID] = make(map[string]bool)
 		}
-		s.assignedTo[cd.wu.ID][clientID] = true
+		s.assignedTo[wu.ID][clientID] = true
 		out = append(out, Assignment{
 			ResultID:   res.ID,
-			WUID:       cd.wu.ID,
-			Name:       cd.wu.Name,
-			App:        cd.wu.App,
-			InputFiles: append([]string(nil), cd.wu.InputFiles...),
-			Payload:    cd.wu.Payload,
+			WUID:       wu.ID,
+			Name:       wu.Name,
+			App:        wu.App,
+			InputFiles: append([]string(nil), wu.InputFiles...),
+			Payload:    wu.Payload,
 			Deadline:   res.Deadline,
 		})
+		issued = append(issued, id)
 		// Sticky files: the client will cache the inputs it downloads.
 		if s.cfg.StickyAffinity {
-			for _, f := range cd.wu.InputFiles {
+			for _, f := range wu.InputFiles {
 				c.cached[f] = true
 			}
 		}
 	}
-	// Remove taken entries from the pending queue.
-	if len(taken) > 0 {
-		kept := s.pending[:0]
-		for pos, id := range s.pending {
-			if !taken[pos] {
-				kept = append(kept, id)
-			}
-		}
-		s.pending = kept
-	}
+	s.dequeueFirst(issued)
 	return out
 }
 
-// queuedCopies counts pending-queue entries for a workunit.
-func (s *Scheduler) queuedCopies(id int64) int {
-	n := 0
-	for _, q := range s.pending {
-		if q == id {
-			n++
+// dequeueFirst removes the first queued copy of each given workunit
+// from the pending FIFO (the copy a candidate's Pos pointed at).
+func (s *Scheduler) dequeueFirst(ids []int64) {
+	if len(ids) == 0 {
+		return
+	}
+	remaining := ids
+	kept := s.pending[:0]
+	for _, id := range s.pending {
+		removed := false
+		if len(remaining) > 0 {
+			for i, want := range remaining {
+				if want == id {
+					remaining = append(remaining[:i], remaining[i+1:]...)
+					s.queued[id]--
+					removed = true
+					break
+				}
+			}
+		}
+		if !removed {
+			kept = append(kept, id)
 		}
 	}
-	return n
+	s.pending = kept
 }
+
+// queuedCopies counts pending-queue entries for a workunit.
+func (s *Scheduler) queuedCopies(id int64) int { return s.queued[id] }
 
 // DropClient marks a client as gone from the project. Its in-flight
 // results still expire normally; it just stops counting as an available
@@ -351,22 +444,26 @@ func (s *Scheduler) CompleteResult(resultID int64, valid bool, now float64) (*Wo
 		if wu.valid < wu.Quorum {
 			// Quorum not yet reached; make sure enough copies remain in
 			// flight or queued to get there.
-			queued := s.queuedCopies(wu.ID)
-			if wu.valid+wu.active+queued < wu.Quorum {
-				s.pending = append(s.pending, wu.ID)
+			if wu.valid+wu.active+s.queuedCopies(wu.ID) < wu.Quorum {
+				s.enqueue(wu.ID)
 			}
 			return wu, false, nil
 		}
 		wu.status = WUDone
 		s.Completions++
-		// Drop any still-queued replicas of this workunit.
-		kept := s.pending[:0]
-		for _, id := range s.pending {
-			if id != wu.ID {
-				kept = append(kept, id)
+		// Drop any still-queued replicas of this workunit. The copy-count
+		// index makes the common case (nothing queued) free instead of a
+		// full queue rebuild per completion.
+		if s.queuedCopies(wu.ID) > 0 {
+			kept := s.pending[:0]
+			for _, id := range s.pending {
+				if id != wu.ID {
+					kept = append(kept, id)
+				}
 			}
+			s.pending = kept
+			delete(s.queued, wu.ID)
 		}
-		s.pending = kept
 		return wu, true, nil
 	}
 	res.Status = ResError
@@ -387,7 +484,7 @@ func (s *Scheduler) noteFailure(wu *Workunit) {
 		return
 	}
 	wu.status = WUPending
-	s.pending = append(s.pending, wu.ID)
+	s.enqueue(wu.ID)
 	s.Reissued++
 }
 

@@ -225,6 +225,114 @@ func TestRetimePending(t *testing.T) {
 	}
 }
 
+// TestReliabilityQueryDoesNotCreateClients pins the satellite fix: a
+// read-only lookup must not register a client as a side effect (phantom
+// clients would count toward the hasReliableClient retry gate).
+func TestReliabilityQueryDoesNotCreateClients(t *testing.T) {
+	s := newTestScheduler()
+	if got := s.Reliability("ghost"); got != 1 {
+		t.Fatalf("unknown client reliability = %v, want 1", got)
+	}
+	if len(s.clients) != 0 {
+		t.Fatalf("Reliability registered %d client(s)", len(s.clients))
+	}
+	// The phantom must not hold the retry gate open either: with only a
+	// queried-but-never-seen client, the floor gate has no reliable host
+	// and opens for whoever asks.
+	cfg := DefaultSchedulerConfig()
+	cfg.ReliabilityFloor = 0.9
+	s = NewScheduler(cfg)
+	s.AddWorkunit(Workunit{Name: "wu", Timeout: 10})
+	s.Reliability("phantom") // must NOT register a reliable client
+	for i := 0; i < 2; i++ {
+		if asn := s.RequestWork("bad", 0, 1); len(asn) == 1 {
+			s.CompleteResult(asn[0].ResultID, false, 0)
+		}
+	}
+	if asn := s.RequestWork("bad", 1, 1); len(asn) == 0 {
+		t.Fatal("phantom client from a reliability query gated the retry")
+	}
+}
+
+func TestSetReliabilityFloorClamps(t *testing.T) {
+	s := newTestScheduler()
+	for in, want := range map[float64]float64{-0.5: 0, 0.3: 0.3, 1.7: 1} {
+		s.SetReliabilityFloor(in)
+		if got := s.Config().ReliabilityFloor; got != want {
+			t.Errorf("SetReliabilityFloor(%v): floor = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestRetimePendingSkipsTerminalWorkunits(t *testing.T) {
+	cfg := DefaultSchedulerConfig()
+	cfg.DefaultTimeout = 1200
+	cfg.DefaultMaxErrors = 1
+	cfg.ReliabilityFloor = 0
+	s := NewScheduler(cfg)
+	done := s.AddWorkunit(Workunit{Name: "done"})
+	a := s.RequestWork("c1", 0, 1)
+	s.CompleteResult(a[0].ResultID, true, 1) // "done" reaches WUDone
+	failed := s.AddWorkunit(Workunit{Name: "failed"})
+	for i := 0; i < 2; i++ { // exhaust "failed"'s budget of 1
+		asn := s.RequestWork("c1", float64(i), 1)
+		if len(asn) != 1 || asn[0].WUID != failed {
+			t.Fatalf("setup: round %d assignment = %+v", i, asn)
+		}
+		s.CompleteResult(asn[0].ResultID, false, float64(i))
+	}
+	if st := s.Workunit(failed).Status(); st != WUFailed {
+		t.Fatalf("setup: failed workunit is %v", st)
+	}
+	inflight := s.AddWorkunit(Workunit{Name: "inflight"})
+	queued := s.AddWorkunit(Workunit{Name: "queued"})
+	b := s.RequestWork("c1", 2, 1) // "inflight" goes out, "queued" stays
+	if len(b) != 1 || b[0].WUID != inflight {
+		t.Fatalf("setup: in-flight assignment = %+v", b)
+	}
+
+	s.RetimePending(300)
+	if got := s.Workunit(done).Timeout; got != 1200 {
+		t.Errorf("WUDone timeout retimed: %v", got)
+	}
+	if got := s.Workunit(failed).Timeout; got != 1200 {
+		t.Errorf("WUFailed timeout retimed: %v", got)
+	}
+	if got := s.Workunit(queued).Timeout; got != 300 {
+		t.Errorf("queued timeout = %v, want 300", got)
+	}
+	if got := s.Workunit(inflight).Timeout; got != 300 {
+		t.Errorf("in-flight timeout = %v, want 300 (future reissues use it)", got)
+	}
+	// The already-issued result keeps the deadline it was sent with.
+	if got := s.Result(b[0].ResultID).Deadline; got != 2+1200 {
+		t.Errorf("issued deadline moved to %v", got)
+	}
+	// A non-positive retime is ignored.
+	s.RetimePending(0)
+	if got := s.Workunit(queued).Timeout; got != 300 {
+		t.Errorf("RetimePending(0) changed timeout to %v", got)
+	}
+}
+
+func TestSetDefaultTimeoutOnlyAffectsLaterWorkunits(t *testing.T) {
+	s := newTestScheduler() // default timeout 100
+	before := s.AddWorkunit(Workunit{Name: "before"})
+	s.SetDefaultTimeout(900)
+	after := s.AddWorkunit(Workunit{Name: "after"})
+	if got := s.Workunit(before).Timeout; got != 100 {
+		t.Errorf("pre-existing workunit timeout = %v, want 100", got)
+	}
+	if got := s.Workunit(after).Timeout; got != 900 {
+		t.Errorf("new workunit timeout = %v, want 900", got)
+	}
+	// Non-positive values are ignored.
+	s.SetDefaultTimeout(-5)
+	if got := s.Config().DefaultTimeout; got != 900 {
+		t.Errorf("SetDefaultTimeout(-5) changed default to %v", got)
+	}
+}
+
 func TestDroppedClientDoesNotGateRetries(t *testing.T) {
 	cfg := DefaultSchedulerConfig()
 	cfg.ReliabilityFloor = 0.9

@@ -21,6 +21,7 @@ package exp
 import (
 	"fmt"
 
+	"vcdl/internal/boinc"
 	"vcdl/internal/cloud"
 	"vcdl/internal/core"
 	"vcdl/internal/data"
@@ -65,6 +66,11 @@ type Spec struct {
 	// newStore builds a private store backend per Config lowering (see
 	// StoreBackend); nil keeps the default eventual store.
 	newStore func() store.Store
+	// policyName/policyArgs select the scheduling policy (WithPolicy);
+	// empty keeps the scheduler's default paper policy. The policy is
+	// instantiated per Config lowering so workers never share one.
+	policyName string
+	policyArgs []string
 }
 
 // New builds a Spec for running job on corpus. Without options the spec
@@ -117,6 +123,15 @@ func (s *Spec) Config() vcsim.Config {
 	cfg.Regions = append([]cloud.Region(nil), s.cfg.Regions...)
 	if s.newStore != nil {
 		cfg.Store = s.newStore()
+	}
+	if s.policyName != "" {
+		// Validated at option time; a registry change between then and
+		// now is a programming error worth failing loudly on.
+		p, err := boinc.NewPolicy(s.policyName, s.policyArgs...)
+		if err != nil {
+			panic("exp: lowering policy " + s.policyName + ": " + err.Error())
+		}
+		cfg.Policy = p
 	}
 	switch len(s.obs) {
 	case 0:

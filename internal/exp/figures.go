@@ -181,6 +181,39 @@ func PreemptGridSpecs(s *PaperSetup, probs []float64) ([]*Spec, error) {
 	return specs, nil
 }
 
+// PolicyPoint labels one run of the scheduling-policy comparison grid.
+type PolicyPoint struct {
+	Policy  string
+	Preempt float64
+}
+
+// SchedPolicySpecs builds the policy-ablation grid: every named
+// scheduling policy on the P5C5T2 fleet across the §IV-E preemption
+// probabilities with the paper's 5-minute deadline (the same grid
+// PreemptGridSpecs sweeps for the default policy). Specs are returned
+// row-major (policy-major), one PolicyPoint per spec.
+func SchedPolicySpecs(s *PaperSetup, policies []string, probs []float64) ([]*Spec, []PolicyPoint, error) {
+	var specs []*Spec
+	var points []PolicyPoint
+	for _, name := range policies {
+		for _, p := range probs {
+			spec, err := New(s.Job, s.Corpus,
+				Topology(5, 5, 2),
+				Alpha(opt.Constant{V: 0.95}),
+				Timeout(300),
+				Preempt(p),
+				WithPolicy(name),
+				Name(fmt.Sprintf("%s/p=%.0f%%", name, p*100)))
+			if err != nil {
+				return nil, nil, fmt.Errorf("schedpolicy %s p=%v: %w", name, p, err)
+			}
+			specs = append(specs, spec)
+			points = append(points, PolicyPoint{Policy: name, Preempt: p})
+		}
+	}
+	return specs, points, nil
+}
+
 // AblationSpecs builds the A1 update-rule ablation: each rule on P3C3T4
 // under 5% preemption with a 10-minute deadline.
 func AblationSpecs(s *PaperSetup) ([]*Spec, error) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vcdl/internal/baseline"
+	"vcdl/internal/boinc"
 	"vcdl/internal/cloud"
 	"vcdl/internal/opt"
 	"vcdl/internal/store"
@@ -130,6 +131,23 @@ func StoreBackend(newStore func() store.Store) Option {
 func Rule(r baseline.UpdateRule) Option {
 	return func(s *Spec) error {
 		s.cfg.Rule = r
+		return nil
+	}
+}
+
+// WithPolicy selects the scheduler's assignment policy by registry name
+// (boinc.PolicyNames lists the built-ins: paper, fifo, random,
+// reliability-weighted, locality-first, deadline-aware). Unknown names
+// and bad arguments fail at construction. Like StoreBackend, the policy
+// is instantiated per Config lowering so sweep workers never share
+// policy state.
+func WithPolicy(name string, args ...string) Option {
+	return func(s *Spec) error {
+		if _, err := boinc.NewPolicy(name, args...); err != nil {
+			return err
+		}
+		s.policyName = name
+		s.policyArgs = append([]string(nil), args...)
 		return nil
 	}
 }

@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWithPolicyValidatesAtConstruction(t *testing.T) {
+	job, corpus := quickWorkload(t, 5, 2)
+	if _, err := New(job, corpus, WithPolicy("bogus")); err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Fatalf("unknown policy error = %v", err)
+	}
+	if _, err := New(job, corpus, WithPolicy("random", "not-a-seed")); err == nil {
+		t.Fatal("bad policy argument must fail New")
+	}
+}
+
+func TestWithPolicyLowersPerConfig(t *testing.T) {
+	job, corpus := quickWorkload(t, 5, 2)
+	spec, err := New(job, corpus, WithPolicy("fifo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := spec.Config(), spec.Config()
+	if a.Policy == nil || a.Policy.Name() != "fifo" {
+		t.Fatalf("lowered policy = %v", a.Policy)
+	}
+	// Like StoreBackend, each lowering gets a private instance so sweep
+	// workers never share policy state.
+	if a.Policy == b.Policy {
+		t.Fatal("two lowerings shared one policy instance")
+	}
+	// Without the option the simulator default (nil) is kept.
+	plain, err := New(job, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Config().Policy != nil {
+		t.Fatal("policy set without WithPolicy")
+	}
+}
+
+// TestSchedPolicySpecsShape pins the row-major grid layout the
+// schedpolicy experiment indexes into.
+func TestSchedPolicySpecsShape(t *testing.T) {
+	job, corpus := quickWorkload(t, 5, 2)
+	s := &PaperSetup{Job: job, Corpus: corpus}
+	policies := []string{"paper", "fifo"}
+	probs := []float64{0, 0.1}
+	specs, points, err := SchedPolicySpecs(s, policies, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 || len(points) != 4 {
+		t.Fatalf("got %d specs, %d points, want 4", len(specs), len(points))
+	}
+	want := []PolicyPoint{{"paper", 0}, {"paper", 0.1}, {"fifo", 0}, {"fifo", 0.1}}
+	for i, pt := range points {
+		if pt != want[i] {
+			t.Fatalf("points[%d] = %+v, want %+v", i, pt, want[i])
+		}
+		cfg := specs[i].Config()
+		if cfg.Policy == nil || cfg.Policy.Name() != pt.Policy {
+			t.Fatalf("specs[%d] policy = %v, want %s", i, cfg.Policy, pt.Policy)
+		}
+		if cfg.PreemptProb != pt.Preempt {
+			t.Fatalf("specs[%d] preempt = %v, want %v", i, cfg.PreemptProb, pt.Preempt)
+		}
+	}
+	if _, _, err := SchedPolicySpecs(s, []string{"bogus"}, probs); err == nil {
+		t.Fatal("unknown policy must fail spec construction")
+	}
+}
+
+// TestPolicyChangesAssignmentButKeepsInvariants runs the quick workload
+// under two different policies end to end: both must finish every
+// epoch (the mechanics guarantee), while the assignment traffic
+// differs (the policy actually decides something).
+func TestPolicyChangesAssignmentButKeepsInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full simulated runs")
+	}
+	job, corpus := quickWorkload(t, 9, 2)
+	run := func(policy string) *Result {
+		t.Helper()
+		spec, err := New(job, corpus, Topology(2, 3, 2), Seed(9), WithPolicy(policy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	paper := run("paper")
+	random := run("random")
+	if len(paper.Curve.Points) != job.MaxEpochs || len(random.Curve.Points) != job.MaxEpochs {
+		t.Fatalf("epochs: paper %d random %d, want %d",
+			len(paper.Curve.Points), len(random.Curve.Points), job.MaxEpochs)
+	}
+	if paper.Issued != random.Issued {
+		t.Fatalf("issued differs: %d vs %d (every subtask must still be issued exactly once per completion path)",
+			paper.Issued, random.Issued)
+	}
+	// The random policy scatters shards across clients, so without
+	// sticky luck it downloads more bytes than the locality-aware
+	// default. Equal traffic would mean the policy was never consulted.
+	if paper.BytesDownloaded == random.BytesDownloaded {
+		t.Fatal("paper and random policies produced identical download traffic")
+	}
+}

@@ -2,7 +2,9 @@ package scenario
 
 import (
 	"fmt"
+	"strings"
 
+	"vcdl/internal/boinc"
 	"vcdl/internal/cloud"
 	"vcdl/internal/vcsim"
 )
@@ -188,6 +190,29 @@ func (e psEvent) Apply(s *vcsim.Sim) string {
 		return fmt.Sprintf("parameter-server failover: %d -> %d PS", before, s.PServers())
 	}
 	return fmt.Sprintf("parameter-server recovery: %d -> %d PS", before, s.PServers())
+}
+
+// policyEvent hot-swaps the scheduler's assignment policy. The name and
+// arguments are validated at parse time; Apply re-instantiates so each
+// run (and each seed override) gets a fresh policy.
+type policyEvent struct {
+	at   float64
+	name string
+	args []string
+}
+
+func (e policyEvent) At() float64 { return e.at }
+func (e policyEvent) Desc() string {
+	return strings.TrimSpace(fmt.Sprintf("at %s policy %s %s", fmtT(e.at), e.name, strings.Join(e.args, " ")))
+}
+func (e policyEvent) Apply(s *vcsim.Sim) string {
+	p, err := boinc.NewPolicy(e.name, e.args...)
+	if err != nil {
+		return fmt.Sprintf("policy %s not swapped: %v", e.name, err)
+	}
+	before := s.PolicyName()
+	s.SetPolicy(p)
+	return fmt.Sprintf("scheduler policy %s -> %s", before, p.Name())
 }
 
 // setEvent hot-changes a scheduler parameter.

@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBundledScenarioGolden pins the end-to-end output of every bundled
+// scenario against golden trace files: the same scenario file and seed
+// must keep producing the identical event trace and closing metrics
+// across refactors (in particular, the scheduler's default `paper`
+// policy must stay byte-identical to the pre-policy-API behaviour).
+// Regenerate with `go test ./internal/scenario -run Golden -update`.
+func TestBundledScenarioGolden(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "scenarios", "*.txt"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no bundled scenarios found: %v", err)
+	}
+	for _, file := range files {
+		file := file
+		name := strings.TrimSuffix(filepath.Base(file), ".txt")
+		t.Run(name, func(t *testing.T) {
+			sc, err := Load(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := RunScenario(sc, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := strings.Join(rep.Trace, "\n") + "\n"
+			golden := filepath.Join("testdata", "golden", name+".trace")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("trace drifted from golden %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}

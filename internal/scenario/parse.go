@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"vcdl/internal/boinc"
 	"vcdl/internal/cloud"
 )
 
@@ -32,6 +33,8 @@ import (
 //	  sticky off
 //	  autoscale on 8
 //	  target-accuracy 0.8
+//	  policy fifo                   # scheduling policy (boinc.PolicyNames)
+//	  policy random 7               # ... with arguments
 //
 //	events:
 //	  at 10m  preempt 0.35          # storm start (p per subtask)
@@ -45,6 +48,7 @@ import (
 //	  at 30m  ps-recover 1
 //	  at 15m  set timeout 10m       # scheduler hot reconfiguration
 //	  at 15m  set floor 0.8
+//	  at 20m  policy deadline-aware # hot-swap the scheduling policy
 //
 //	assert:
 //	  final_accuracy >= 0.35
@@ -229,6 +233,16 @@ func (p *parser) fleetLine(n int, key string, fields []string) {
 		}
 	case "target-accuracy":
 		f.TargetAccuracy = p.floatArg(n, key, args)
+	case "policy":
+		if len(args) < 1 {
+			p.errorf(n, "want 'policy <name> [args...]'")
+			return
+		}
+		if _, err := boinc.NewPolicy(args[0], args[1:]...); err != nil {
+			p.errorf(n, "%v", err)
+			return
+		}
+		f.Policy = args
 	default:
 		p.errorf(n, "unknown fleet key %q", key)
 	}
@@ -376,6 +390,16 @@ func (p *parser) eventLine(n int, fields []string) {
 			cnt = -cnt
 		}
 		p.sc.Events = append(p.sc.Events, psEvent{at: at, delta: cnt})
+	case "policy":
+		if len(args) < 1 {
+			bad("policy <name> [args...]")
+			return
+		}
+		if _, err := boinc.NewPolicy(args[0], args[1:]...); err != nil {
+			p.errorf(n, "%v", err)
+			return
+		}
+		p.sc.Events = append(p.sc.Events, policyEvent{at: at, name: args[0], args: args[1:]})
 	case "set":
 		if len(args) != 2 {
 			bad("set timeout|floor <value>")
@@ -401,7 +425,7 @@ func (p *parser) eventLine(n int, fields []string) {
 			p.errorf(n, "unknown set key %q (want timeout or floor)", args[0])
 		}
 	default:
-		p.errorf(n, "unknown event %q (want join/leave/preempt/outage/recover/slow/ps-fail/ps-recover/set)", fields[2])
+		p.errorf(n, "unknown event %q (want join/leave/preempt/outage/recover/slow/ps-fail/ps-recover/policy/set)", fields[2])
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 
+	"vcdl/internal/boinc"
 	"vcdl/internal/cloud"
 	"vcdl/internal/core"
 	"vcdl/internal/data"
@@ -58,6 +59,11 @@ type FleetSpec struct {
 	MaxPServers int
 	// TargetAccuracy stops the run early when reached (0 = disabled).
 	TargetAccuracy float64
+	// Policy selects the scheduler's assignment policy by registry name
+	// plus optional arguments, e.g. ["random", "7"]. Empty keeps the
+	// default paper policy. Scenarios can also hot-swap mid-run with an
+	// `at <time> policy <name>` event.
+	Policy []string
 }
 
 // Event is one timed injection against a running simulation.
@@ -117,6 +123,11 @@ func (sc *Scenario) Validate() error {
 	if f.ClientType != "" {
 		if _, ok := instanceByName(f.ClientType); !ok {
 			errs = append(errs, fmt.Sprintf("unknown client type %q", f.ClientType))
+		}
+	}
+	if len(f.Policy) > 0 {
+		if _, err := boinc.NewPolicy(f.Policy[0], f.Policy[1:]...); err != nil {
+			errs = append(errs, err.Error())
 		}
 	}
 	prev := 0.0
@@ -223,5 +234,12 @@ func (sc *Scenario) BuildConfig() (vcsim.Config, error) {
 	cfg.AutoScalePS = f.AutoScale
 	cfg.MaxPServers = f.MaxPServers
 	cfg.Seed = seed
+	if len(f.Policy) > 0 {
+		p, err := boinc.NewPolicy(f.Policy[0], f.Policy[1:]...)
+		if err != nil {
+			return vcsim.Config{}, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		cfg.Policy = p
+	}
 	return cfg, nil
 }

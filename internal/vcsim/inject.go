@@ -1,6 +1,7 @@
 package vcsim
 
 import (
+	"vcdl/internal/boinc"
 	"vcdl/internal/cloud"
 	"vcdl/internal/sim"
 	"vcdl/internal/store"
@@ -230,4 +231,16 @@ func (s *Sim) SetTimeout(seconds float64) {
 // retried workunits.
 func (s *Sim) SetReliabilityFloor(floor float64) {
 	s.r.sched.SetReliabilityFloor(floor)
+}
+
+// SetPolicy hot-swaps the scheduler's assignment policy mid-run (nil
+// restores the default paper policy). In-flight results are unaffected;
+// only future work fetches decide differently.
+func (s *Sim) SetPolicy(p boinc.Policy) {
+	s.r.sched.SetPolicy(p)
+}
+
+// PolicyName reports the name of the scheduler's active policy.
+func (s *Sim) PolicyName() string {
+	return s.r.sched.Policy().Name()
 }

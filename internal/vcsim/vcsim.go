@@ -45,6 +45,12 @@ type Config struct {
 	// Store backs the shared server parameter copy; nil = eventual store
 	// (the paper's Redis choice).
 	Store store.Store
+	// Policy overrides the scheduler's assignment policy; nil keeps the
+	// default paper policy (boinc.NewPolicy("paper")), which is
+	// byte-identical to the historical hard-coded behaviour. Seeded
+	// policies (boinc.NewPolicy("random")) draw their randomness from
+	// the run seed, so per-run determinism is preserved.
+	Policy boinc.Policy
 	// Rule overrides the server update rule for ablations; nil = VC-ASGD
 	// with Job.Alpha via the parameter-server group (the paper path).
 	Rule baseline.UpdateRule
@@ -256,10 +262,15 @@ func newRun(cfg Config, st store.Store) *run {
 	schedCfg.DefaultTimeout = cfg.TimeoutSeconds
 	schedCfg.DefaultMaxErrors = 1 << 20 // experiments never abandon a subtask
 	schedCfg.StickyAffinity = !cfg.DisableSticky
+	schedCfg.Seed = cfg.Seed
+	sched := boinc.NewScheduler(schedCfg)
+	if cfg.Policy != nil {
+		sched.SetPolicy(cfg.Policy)
+	}
 	r := &run{
 		cfg:         cfg,
 		eng:         sim.NewEngine(cfg.Seed),
-		sched:       boinc.NewScheduler(schedCfg),
+		sched:       sched,
 		st:          st,
 		exec:        core.NewExecutor(cfg.Job),
 		shards:      cfg.Job.SplitShards(cfg.Corpus),
