@@ -11,6 +11,7 @@
 //	experiments -exp preempt         §IV-E     preemptible-instance model
 //	experiments -exp ablation        A1/A2     update rules & sticky files
 //	experiments -exp schedpolicy     §III-B    scheduling-policy ablation
+//	experiments -exp scale           S1        compute-backend scale grid
 //	experiments -exp all             everything
 //
 // -epochs scales run length (default 40, the paper's setting; use a small
@@ -19,18 +20,26 @@
 // ablation, schedpolicy) on N parallel workers; results are identical at
 // any N (the internal/exp sweep determinism contract). -policy narrows
 // the schedpolicy grid to a comma-separated subset of the registered
-// policies (default all).
+// policies (default all). -clients narrows the scale grid's fleet sizes
+// (default 100,1000,10000); scale always runs its cells serially so each
+// cell's wall-clock measurement is honest, and with -csv it also emits
+// BENCH_compute.json, the backend × workers wall-clock record the CI
+// perf trajectory tracks.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"time"
 
 	"vcdl/internal/boinc"
 	"vcdl/internal/cloud"
@@ -58,6 +67,7 @@ var registry = []experiment{
 	{"preempt", (*runner).preempt},
 	{"ablation", (*runner).ablation},
 	{"schedpolicy", (*runner).schedpolicy},
+	{"scale", (*runner).scale},
 }
 
 // experimentNames returns the registry names in run order.
@@ -92,6 +102,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	csvDir := fs.String("csv", "", "directory to write CSV curves into (optional)")
 	jobs := fs.Int("jobs", 1, "parallel workers for multi-run experiments (0 = all cores)")
 	policyFlag := fs.String("policy", "all", "scheduling policies for -exp schedpolicy (comma-separated names, or all)")
+	clientsFlag := fs.String("clients", "100,1000,10000", "fleet sizes for -exp scale (comma-separated client counts)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -99,7 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	runner := &runner{epochs: *epochs, seed: *seed, csvDir: *csvDir, jobs: *jobs, policies: *policyFlag, out: stdout, errOut: stderr}
+	runner := &runner{epochs: *epochs, seed: *seed, csvDir: *csvDir, jobs: *jobs, policies: *policyFlag, clients: *clientsFlag, out: stdout, errOut: stderr}
 	var toRun []experiment
 	if *expFlag == "all" {
 		toRun = registry
@@ -107,7 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, name := range strings.Split(*expFlag, ",") {
 			e, ok := lookup(name)
 			if !ok {
-				fmt.Fprintf(stderr, "unknown experiment %q\nusage: experiments -exp %s|all [-epochs N] [-seed N] [-jobs N] [-csv DIR]\n",
+				fmt.Fprintf(stderr, "unknown experiment %q\nusage: experiments -exp %s|all [-epochs N] [-seed N] [-jobs N] [-csv DIR] [-policy LIST] [-clients LIST]\n",
 					name, strings.Join(experimentNames(), "|"))
 				return 2
 			}
@@ -130,6 +141,7 @@ type runner struct {
 	csvDir   string
 	jobs     int
 	policies string
+	clients  string
 	out      io.Writer
 	errOut   io.Writer
 
@@ -169,20 +181,25 @@ func (r *runner) selectedPolicies() ([]string, error) {
 	return names, nil
 }
 
-// writeRawCSV writes pre-rendered CSV content to DIR/name.csv; like
-// writeCSV, a failure fails the experiment.
-func (r *runner) writeRawCSV(name, content string) error {
+// writeFile writes content under the -csv directory (a no-op without
+// -csv); like writeCSV, a failure fails the experiment.
+func (r *runner) writeFile(filename, content string) error {
 	if r.csvDir == "" {
 		return nil
 	}
 	if err := os.MkdirAll(r.csvDir, 0o755); err != nil {
 		return fmt.Errorf("csv dir: %w", err)
 	}
-	path := filepath.Join(r.csvDir, name+".csv")
+	path := filepath.Join(r.csvDir, filename)
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-		return fmt.Errorf("write csv: %w", err)
+		return fmt.Errorf("write %s: %w", filename, err)
 	}
 	return nil
+}
+
+// writeRawCSV writes pre-rendered CSV content to DIR/name.csv.
+func (r *runner) writeRawCSV(name, content string) error {
+	return r.writeFile(name+".csv", content)
 }
 
 // writeCSV writes the series to DIR/name.csv; a failure fails the
@@ -555,4 +572,141 @@ func (r *runner) schedpolicy() error {
 	fmt.Fprintln(r.out, "ablation's finding, not noise; random pays extra download traffic scattering")
 	fmt.Fprintln(r.out, "shards; reliability-weighted steers storm retries toward reliable hosts.")
 	return r.writeRawCSV("schedpolicy", csv.String())
+}
+
+// selectedClients resolves -clients into the scale grid's fleet sizes.
+func (r *runner) selectedClients() ([]int, error) {
+	var sizes []int
+	for _, s := range strings.Split(r.clients, ",") {
+		s = strings.TrimSpace(s)
+		n, err := strconv.Atoi(s)
+		if err != nil || n < exp.ScaleReplication {
+			return nil, fmt.Errorf("bad -clients value %q (want integers >= %d)", s, exp.ScaleReplication)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
+}
+
+// scaleCell is one measured run of the scale grid, serialized into both
+// the scale CSV and BENCH_compute.json.
+type scaleCell struct {
+	Clients          int     `json:"clients"`
+	Backend          string  `json:"backend"`
+	Workers          int     `json:"workers"`
+	Replication      int     `json:"replication"`
+	Epochs           int     `json:"epochs"`
+	WallclockSeconds float64 `json:"wallclock_seconds"`
+	VirtualHours     float64 `json:"virtual_hours"`
+	FinalAccuracy    float64 `json:"final_acc"`
+	// FidelityVsReal is |final_acc − real backend's final_acc| at the
+	// same fleet size: 0 for the byte-identical backends, the surrogate's
+	// accuracy distortion otherwise.
+	FidelityVsReal float64 `json:"fidelity_vs_real"`
+	// SpeedupVsReal is the real backend's wall clock over this cell's.
+	SpeedupVsReal float64 `json:"speedup_vs_real"`
+	Launched      int     `json:"launched"`
+	Computed      int     `json:"computed"`
+	CacheHits     int     `json:"cache_hits"`
+}
+
+// scale sweeps fleet size × compute backend into a wall-clock/fidelity
+// grid (experiment S1): the figure behind the compute-backend layer.
+// Every subtask is issued exp.ScaleReplication times and per-client work
+// is constant, so the grid shows (a) the inline event loop's wall clock
+// growing linearly with fleet size and replication, (b) cached refunding
+// the redundancy, (c) parallel overlapping the rest with event
+// processing, and (d) the surrogate's speed/fidelity trade. Cells run
+// serially — never on the -jobs pool — so each wall-clock number
+// measures one backend alone.
+func (r *runner) scale() error {
+	clients, err := r.selectedClients()
+	if err != nil {
+		return err
+	}
+	epochs := r.epochs / 10
+	if epochs < 2 {
+		epochs = 2
+	}
+	if epochs > 4 {
+		epochs = 4
+	}
+	backends := exp.ScaleBackends()
+	fmt.Fprintf(r.out, "S1: compute-backend scale grid — C ∈ %v × %d backends, replication %d, %d epochs\n",
+		clients, len(backends), exp.ScaleReplication, epochs)
+
+	var cells []scaleCell
+	var csv strings.Builder
+	csv.WriteString("clients,backend,workers,replication,epochs,wallclock_seconds,virtual_hours,final_acc,fidelity_vs_real,speedup_vs_real,launched,computed,cache_hits\n")
+	for _, cn := range clients {
+		job, corpus, err := exp.ScaleWorkload(r.seed, cn, epochs)
+		if err != nil {
+			return err
+		}
+		var rows [][]string
+		var realCell *scaleCell
+		for _, pt := range backends {
+			pt.Clients = cn
+			spec, err := exp.ScaleSpec(job, corpus, pt)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			res, err := exp.Run(spec)
+			if err != nil {
+				return fmt.Errorf("scale %s: %w", spec.Name(), err)
+			}
+			cell := scaleCell{
+				Clients:          cn,
+				Backend:          res.Compute.Backend,
+				Workers:          res.Compute.Workers,
+				Replication:      exp.ScaleReplication,
+				Epochs:           epochs,
+				WallclockSeconds: time.Since(start).Seconds(),
+				VirtualHours:     res.Hours,
+				FinalAccuracy:    res.Curve.FinalValue(),
+				Launched:         res.Compute.Launched,
+				Computed:         res.Compute.Computed,
+				CacheHits:        res.Compute.CacheHits,
+			}
+			if realCell == nil {
+				// ScaleBackends puts the real baseline first.
+				realCell = &cell
+				cell.SpeedupVsReal = 1
+			} else {
+				cell.FidelityVsReal = math.Abs(cell.FinalAccuracy - realCell.FinalAccuracy)
+				cell.SpeedupVsReal = realCell.WallclockSeconds / cell.WallclockSeconds
+			}
+			cells = append(cells, cell)
+			rows = append(rows, []string{
+				cell.Backend,
+				fmt.Sprintf("%d", cell.Workers),
+				fmt.Sprintf("%.2f s", cell.WallclockSeconds),
+				fmt.Sprintf("%.2fx", cell.SpeedupVsReal),
+				fmt.Sprintf("%.3f", cell.FinalAccuracy),
+				fmt.Sprintf("%.3f", cell.FidelityVsReal),
+				fmt.Sprintf("%d/%d", cell.Computed, cell.Launched),
+				fmt.Sprintf("%d", cell.CacheHits),
+			})
+			fmt.Fprintf(&csv, "%d,%s,%d,%d,%d,%.3f,%.4f,%.4f,%.4f,%.2f,%d,%d,%d\n",
+				cell.Clients, cell.Backend, cell.Workers, cell.Replication, cell.Epochs,
+				cell.WallclockSeconds, cell.VirtualHours, cell.FinalAccuracy,
+				cell.FidelityVsReal, cell.SpeedupVsReal, cell.Launched, cell.Computed, cell.CacheHits)
+		}
+		fmt.Fprintf(r.out, "-- C=%d (%d subtasks x %d copies per epoch)\n", cn, cn, exp.ScaleReplication)
+		fmt.Fprint(r.out, metrics.Table(
+			[]string{"backend", "workers", "wall", "speedup", "final acc", "|Δacc|", "computed", "cache hits"}, rows))
+	}
+	fmt.Fprintln(r.out, "expected shape: cached ~halves-or-better real's wall clock (replication refunded,")
+	fmt.Fprintln(r.out, "Δacc exactly 0); parallel+cached adds overlap on multi-core hosts; surrogate is")
+	fmt.Fprintln(r.out, "fastest with a nonzero but bounded Δacc; real's wall clock grows with C.")
+
+	if err := r.writeRawCSV("scale", csv.String()); err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(map[string]any{"grid": cells}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return r.writeFile("BENCH_compute.json", string(blob)+"\n")
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -39,7 +42,7 @@ func TestTable1Runs(t *testing.T) {
 // TestRegistryIsSingleSourceOfTruth pins the satellite fix: usage text,
 // validation and dispatch all derive from one ordered table.
 func TestRegistryIsSingleSourceOfTruth(t *testing.T) {
-	want := []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "storedb", "preempt", "ablation", "schedpolicy"}
+	want := []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "storedb", "preempt", "ablation", "schedpolicy", "scale"}
 	names := experimentNames()
 	if len(names) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(names), len(want))
@@ -90,6 +93,71 @@ func TestSelectedPolicies(t *testing.T) {
 	names, err := r.selectedPolicies()
 	if err != nil || len(names) != 2 || names[0] != "paper" || names[1] != "fifo" {
 		t.Fatalf("subset = %v, %v", names, err)
+	}
+}
+
+// TestScaleGridSmoke runs the compute-backend scale grid on a tiny fleet
+// and checks both artifacts land: the per-cell CSV and the
+// BENCH_compute.json perf record with real first and every backend
+// present.
+func TestScaleGridSmoke(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut strings.Builder
+	if code := run([]string{"-exp", "scale", "-clients", "24", "-epochs", "2", "-csv", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr %q", code, errOut.String())
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "scale.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, "BENCH_compute.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Grid []struct {
+			Backend       string  `json:"backend"`
+			Wall          float64 `json:"wallclock_seconds"`
+			Speedup       float64 `json:"speedup_vs_real"`
+			Fidelity      float64 `json:"fidelity_vs_real"`
+			FinalAccuracy float64 `json:"final_acc"`
+		} `json:"grid"`
+	}
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		t.Fatalf("BENCH_compute.json: %v", err)
+	}
+	seen := map[string]bool{}
+	for i, c := range rec.Grid {
+		seen[c.Backend] = true
+		if c.Wall <= 0 || c.Speedup <= 0 {
+			t.Errorf("cell %d (%s): wall %v speedup %v", i, c.Backend, c.Wall, c.Speedup)
+		}
+		// cached/parallel cells must be byte-identical to real.
+		if c.Backend != "surrogate" && c.Fidelity != 0 {
+			t.Errorf("%s: fidelity delta %v, want 0", c.Backend, c.Fidelity)
+		}
+	}
+	for _, want := range []string{"real", "cached", "parallel", "parallel+cached", "surrogate"} {
+		if !seen[want] {
+			t.Errorf("BENCH_compute.json missing backend %q", want)
+		}
+	}
+	if rec.Grid[0].Backend != "real" {
+		t.Errorf("grid[0] = %q, want the real baseline first", rec.Grid[0].Backend)
+	}
+	if !strings.Contains(string(csv), "parallel+cached") {
+		t.Errorf("scale.csv missing backend rows:\n%s", csv)
+	}
+}
+
+// TestBadClientsFlagRejected: -clients is validated before any run.
+func TestBadClientsFlagRejected(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-exp", "scale", "-clients", "2"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "-clients") {
+		t.Fatalf("stderr = %q", errOut.String())
 	}
 }
 

@@ -39,7 +39,7 @@ func TrainSerial(cfg core.JobConfig, corpus *data.Corpus, epochs int) (*SerialRe
 	net := nn.NewNetwork(cfg.Builder)
 	net.Init(rng)
 	optimizer := opt.NewAdam(cfg.LearningRate)
-	train := corpus.Train.Subset(0, corpus.Train.N())
+	train := data.NewView(corpus.Train)
 
 	res := &SerialResult{}
 	for e := 1; e <= epochs; e++ {

@@ -1,0 +1,448 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"vcdl/internal/data"
+)
+
+// defaultComputeWorkers sizes a pool when the caller passes <= 0.
+func defaultComputeWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// This file is the compute-backend layer (DESIGN.md §8): the seam between
+// the discrete-event simulator and the subtask mathematics. A subtask's
+// output is a pure function of (epoch parameter snapshot, shard, seed) —
+// the simulator derives the seed as cfg.Seed ^ epoch<<20 ^ shard and the
+// math never touches the engine RNG — so the *when* and *where* of the
+// computation are free choices: inline in the event loop (real), memoized
+// across the scheduler's replicated/reissued copies (cached), overlapped
+// with event processing on a worker pool (parallel), or approximated by a
+// subsampled kernel (surrogate). Virtual time and Results are identical
+// across real, cached and parallel by construction; only wall clock and
+// the BackendStats telemetry differ.
+
+// Subtask identifies one unit of client compute: train from the epoch's
+// parameter snapshot on one shard with the derived deterministic seed.
+// Params and Data are read-only — backends and their workers must not
+// mutate them.
+type Subtask struct {
+	Epoch int
+	Shard int
+	Seed  int64
+	// Params is the epoch parameter snapshot the subtask trains from.
+	Params []float64
+	// Data is the subtask's training shard.
+	Data *data.Dataset
+}
+
+// Future resolves one launched subtask computation. Wait is idempotent
+// and must be called from the goroutine that drives the simulation (the
+// event loop); only the parallel backend's internal workers run off that
+// goroutine.
+type Future interface {
+	Wait() ([]float64, ExecStats)
+}
+
+// Backend computes subtask math for the simulator. Launch is called when
+// the subtask's execution is *scheduled* (virtual start), Wait when it
+// *completes* (virtual end) — the gap is what the parallel backend
+// overlaps with event processing. Launch, Wait, Retire, Stats and Close
+// are event-loop-thread-only.
+type Backend interface {
+	// Name returns the backend's canonical spec string.
+	Name() string
+	// Launch begins computing the subtask and returns its future.
+	Launch(t Subtask) Future
+	// Retire tells the backend no further launches will reference epochs
+	// below epoch, so memoized state for them may be dropped.
+	Retire(epoch int)
+	// Stats returns the backend's compute telemetry.
+	Stats() BackendStats
+	// Close releases backend resources (worker pools drain).
+	Close()
+}
+
+// BackendStats is the compute telemetry a run's Result carries. All
+// fields are updated on the event-loop thread, so for a fixed config and
+// backend they are deterministic; across *different* backends (or worker
+// counts) they legitimately differ — equivalence comparisons zero this
+// struct (DESIGN.md §8).
+type BackendStats struct {
+	// Backend is the canonical spec string ("real", "parallel+cached", …).
+	Backend string
+	// Launched counts subtasks handed to the backend.
+	Launched int
+	// Computed counts executions that actually ran the (real or
+	// surrogate) math; with a cache, Launched − Computed is the work
+	// replication/reissue would have duplicated.
+	Computed int
+	// CacheHits/CacheMisses are the memoization counters (cached only).
+	CacheHits   int
+	CacheMisses int
+	// Workers is the parallel pool size (0 for inline backends) and
+	// MaxInFlight the peak number of launched-but-not-yet-awaited
+	// subtasks — the overlap a pool of that size could exploit.
+	Workers     int
+	MaxInFlight int
+}
+
+// BackendFactory builds one base backend for a job. workers is only
+// meaningful for pooled backends (<= 0 selects the default pool size).
+type BackendFactory func(cfg JobConfig, workers int) Backend
+
+var backendRegistry = map[string]BackendFactory{
+	"real":      func(cfg JobConfig, _ int) Backend { return &realBackend{exec: NewExecutor(cfg)} },
+	"surrogate": func(cfg JobConfig, _ int) Backend { return &surrogateBackend{exec: NewExecutor(cfg)} },
+	"parallel":  func(cfg JobConfig, workers int) Backend { return newParallelBackend(cfg, workers) },
+}
+
+// RegisterBackend adds a custom base backend under name. Like the
+// scheduling-policy registry, duplicate names panic: backend names key
+// scenario files, experiment CSVs and BENCH_compute.json.
+func RegisterBackend(name string, f BackendFactory) {
+	if name == "" || f == nil {
+		panic("core: RegisterBackend with empty name or nil factory")
+	}
+	if name == "cached" {
+		panic("core: \"cached\" is the memoization modifier, not a base backend")
+	}
+	if _, dup := backendRegistry[name]; dup {
+		panic("core: backend " + name + " already registered")
+	}
+	backendRegistry[name] = f
+}
+
+// BackendNames lists the base backends plus the cached modifier forms,
+// sorted, for usage text and validation messages.
+func BackendNames() []string {
+	var names []string
+	for name := range backendRegistry {
+		names = append(names, name)
+		if name == "real" {
+			names = append(names, "cached") // "cached" == "real+cached"
+		} else {
+			names = append(names, name+"+cached")
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// parseBackendSpec splits a spec into its base backend name and whether
+// the cached modifier wraps it. The grammar is "+"-separated parts: at
+// most one registered base name (default "real") and optionally
+// "cached", in either order — so "cached", "parallel+cached" and
+// "cached+parallel" are all valid. "" means "real".
+func parseBackendSpec(spec string) (base string, cached bool, err error) {
+	base = "real"
+	if spec == "" {
+		return base, false, nil
+	}
+	baseSet := false
+	for _, part := range strings.Split(spec, "+") {
+		part = strings.TrimSpace(part)
+		switch {
+		case part == "cached":
+			if cached {
+				return "", false, fmt.Errorf("core: backend spec %q repeats cached", spec)
+			}
+			cached = true
+		default:
+			if _, ok := backendRegistry[part]; !ok {
+				return "", false, fmt.Errorf("core: unknown backend %q in spec %q (want one of %s)",
+					part, spec, strings.Join(BackendNames(), ", "))
+			}
+			if baseSet {
+				return "", false, fmt.Errorf("core: backend spec %q names two base backends", spec)
+			}
+			base, baseSet = part, true
+		}
+	}
+	return base, cached, nil
+}
+
+// ValidateBackendSpec reports whether spec names a constructible
+// backend; option layers (exp, scenario) call it at parse time so bad
+// specs fail before any run starts.
+func ValidateBackendSpec(spec string) error {
+	_, _, err := parseBackendSpec(spec)
+	return err
+}
+
+// BackendSpecName canonicalizes a valid spec ("cached+parallel" →
+// "parallel+cached", "" → "real"); it is what the backend's Name and
+// Stats report. Invalid specs return the input unchanged.
+func BackendSpecName(spec string) string {
+	base, cached, err := parseBackendSpec(spec)
+	if err != nil {
+		return spec
+	}
+	switch {
+	case !cached:
+		return base
+	case base == "real":
+		return "cached"
+	default:
+		return base + "+cached"
+	}
+}
+
+// NewBackend instantiates the backend named by spec for one run. Backends
+// are stateful (caches, pools) and must never be shared between runs —
+// the simulator builds one per Start, which is what keeps sweep workers
+// independent.
+func NewBackend(spec string, cfg JobConfig, workers int) (Backend, error) {
+	base, cached, err := parseBackendSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	b := backendRegistry[base](cfg, workers)
+	if cached {
+		b = &cachedBackend{inner: b, cells: make(map[[2]int]*cacheCell)}
+	}
+	return b, nil
+}
+
+// lazyFuture computes on first Wait — the "inline in the event loop at
+// virtual completion time" behaviour of the historical code path, which
+// also means executions whose completion never fires (departed clients)
+// never compute.
+type lazyFuture struct {
+	f      func() ([]float64, ExecStats)
+	done   bool
+	params []float64
+	stats  ExecStats
+}
+
+func (l *lazyFuture) Wait() ([]float64, ExecStats) {
+	if !l.done {
+		l.params, l.stats = l.f()
+		l.done, l.f = true, nil
+	}
+	return l.params, l.stats
+}
+
+// inlineStats carries the telemetry shared by the inline (non-pooled)
+// backends, including the launched-minus-awaited peak.
+type inlineStats struct {
+	stats       BackendStats
+	outstanding int
+}
+
+func (s *inlineStats) launch() {
+	s.stats.Launched++
+	s.outstanding++
+	if s.outstanding > s.stats.MaxInFlight {
+		s.stats.MaxInFlight = s.outstanding
+	}
+}
+
+func (s *inlineStats) await() { s.outstanding-- }
+
+// realBackend is today's path: the full Executor kernel, inline in the
+// event loop at virtual completion time.
+type realBackend struct {
+	exec *Executor
+	s    inlineStats
+}
+
+func (b *realBackend) Name() string { return "real" }
+
+func (b *realBackend) Launch(t Subtask) Future {
+	b.s.launch()
+	return &lazyFuture{f: func() ([]float64, ExecStats) {
+		b.s.await()
+		b.s.stats.Computed++
+		return b.exec.Run(t.Params, t.Data, t.Seed)
+	}}
+}
+
+func (b *realBackend) Retire(int) {}
+func (b *realBackend) Stats() BackendStats {
+	s := b.s.stats
+	s.Backend = b.Name()
+	return s
+}
+func (b *realBackend) Close() {}
+
+// surrogateBackend swaps the kernel for Executor.RunSurrogate.
+type surrogateBackend struct {
+	exec *Executor
+	s    inlineStats
+}
+
+func (b *surrogateBackend) Name() string { return "surrogate" }
+
+func (b *surrogateBackend) Launch(t Subtask) Future {
+	b.s.launch()
+	return &lazyFuture{f: func() ([]float64, ExecStats) {
+		b.s.await()
+		b.s.stats.Computed++
+		return b.exec.RunSurrogate(t.Params, t.Data, t.Seed)
+	}}
+}
+
+func (b *surrogateBackend) Retire(int) {}
+func (b *surrogateBackend) Stats() BackendStats {
+	s := b.s.stats
+	s.Backend = b.Name()
+	return s
+}
+func (b *surrogateBackend) Close() {}
+
+// parallelBackend dispatches each launch to a bounded worker pool, so
+// the math runs between a subtask's virtual start and virtual end while
+// the event loop keeps processing. Because each computation is pure and
+// the event loop's Launch/Wait order is fixed by virtual time, results
+// are byte-identical at any pool size.
+type parallelBackend struct {
+	exec    *Executor
+	workers int
+	sem     chan struct{}
+	wg      sync.WaitGroup
+
+	// mu guards computed (workers increment it); the remaining stats are
+	// event-loop-only, so Launched/MaxInFlight stay deterministic.
+	mu       sync.Mutex
+	computed int
+	s        inlineStats
+}
+
+func newParallelBackend(cfg JobConfig, workers int) *parallelBackend {
+	if workers < 1 {
+		workers = defaultComputeWorkers()
+	}
+	return &parallelBackend{
+		exec:    NewExecutor(cfg),
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+	}
+}
+
+type parallelFuture struct {
+	b      *parallelBackend
+	ch     chan struct{}
+	done   bool
+	params []float64
+	stats  ExecStats
+}
+
+func (f *parallelFuture) Wait() ([]float64, ExecStats) {
+	if !f.done {
+		<-f.ch
+		f.done = true
+		f.b.s.await()
+	}
+	return f.params, f.stats
+}
+
+func (b *parallelBackend) Launch(t Subtask) Future {
+	b.s.launch()
+	f := &parallelFuture{b: b, ch: make(chan struct{})}
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		b.sem <- struct{}{}
+		f.params, f.stats = b.exec.Run(t.Params, t.Data, t.Seed)
+		<-b.sem
+		b.mu.Lock()
+		b.computed++
+		b.mu.Unlock()
+		close(f.ch)
+	}()
+	return f
+}
+
+func (b *parallelBackend) Name() string { return "parallel" }
+func (b *parallelBackend) Retire(int)   {}
+
+func (b *parallelBackend) Stats() BackendStats {
+	s := b.s.stats
+	s.Backend = b.Name()
+	s.Workers = b.workers
+	b.mu.Lock()
+	s.Computed = b.computed
+	b.mu.Unlock()
+	return s
+}
+
+// Close drains in-flight workers (futures nobody awaited, e.g. for
+// departed clients).
+func (b *parallelBackend) Close() { b.wg.Wait() }
+
+// cacheCell memoizes one (epoch, shard) computation. Every launch of the
+// same key shares the cell, so replicated and reissued copies resolve to
+// a single underlying execution, whichever copy awaits first.
+type cacheCell struct {
+	fut    Future
+	done   bool
+	params []float64
+	stats  ExecStats
+}
+
+func (c *cacheCell) Wait() ([]float64, ExecStats) {
+	if !c.done {
+		c.params, c.stats = c.fut.Wait()
+		c.done, c.fut = true, nil
+	}
+	return c.params, c.stats
+}
+
+// cachedBackend memoizes any inner backend per (epoch, shard). Soundness
+// is the purity argument: for a fixed run, (epoch, shard) determines
+// (params snapshot, shard data, seed), so every copy the scheduler
+// issues is a byte-identical recomputation — computing once changes
+// nothing but wall clock.
+type cachedBackend struct {
+	inner        Backend
+	cells        map[[2]int]*cacheCell
+	hits, misses int
+}
+
+func (b *cachedBackend) Name() string {
+	if b.inner.Name() == "real" {
+		return "cached"
+	}
+	return b.inner.Name() + "+cached"
+}
+
+func (b *cachedBackend) Launch(t Subtask) Future {
+	key := [2]int{t.Epoch, t.Shard}
+	if cell, ok := b.cells[key]; ok {
+		b.hits++
+		return cell
+	}
+	b.misses++
+	cell := &cacheCell{fut: b.inner.Launch(t)}
+	b.cells[key] = cell
+	return cell
+}
+
+// Retire evicts cells below epoch. In-flight futures keep their cell
+// alive through the future they were handed, so eviction never races a
+// pending Wait.
+func (b *cachedBackend) Retire(epoch int) {
+	for key := range b.cells {
+		if key[0] < epoch {
+			delete(b.cells, key)
+		}
+	}
+	b.inner.Retire(epoch)
+}
+
+func (b *cachedBackend) Stats() BackendStats {
+	s := b.inner.Stats()
+	s.Backend = b.Name()
+	// The inner backend only saw the misses; the cached layer's launch
+	// count is every subtask handed to it.
+	s.Launched = b.hits + b.misses
+	s.CacheHits = b.hits
+	s.CacheMisses = b.misses
+	return s
+}
+
+func (b *cachedBackend) Close() { b.inner.Close() }

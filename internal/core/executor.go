@@ -38,23 +38,53 @@ func NewExecutor(cfg JobConfig) *Executor { return &Executor{cfg: cfg} }
 // shard and returns the updated parameter vector. seed makes the shard
 // shuffling deterministic per (subtask, epoch).
 func (e *Executor) Run(params []float64, shard *data.Dataset, seed int64) ([]float64, ExecStats) {
+	return e.run(params, shard, seed, e.cfg.LocalPasses, shard.N())
+}
+
+// surrogateDivisor sets the surrogate backend's subsample: one pass over
+// 1/8 of the shard (at least one full batch). See Executor.RunSurrogate.
+const surrogateDivisor = 8
+
+// RunSurrogate is the surrogate compute backend's kernel: the same model,
+// optimizer and seeded shuffling as Run, but a single pass over a 1/8
+// subsample of the shard (clamped to at least one batch). The update is
+// statistically representative — genuine gradients from the run's real
+// model on real shard samples — at a fraction of the cost, but the
+// accuracy trajectory is only approximate: use it for capacity and
+// scenario runs where timing/traffic matter and genuine curves don't
+// (DESIGN.md §8).
+func (e *Executor) RunSurrogate(params []float64, shard *data.Dataset, seed int64) ([]float64, ExecStats) {
+	n := shard.N() / surrogateDivisor
+	if batch := e.cfg.BatchSize; n < batch {
+		n = batch
+	}
+	if n > shard.N() {
+		n = shard.N()
+	}
+	return e.run(params, shard, seed, 1, n)
+}
+
+// run trains passes × samples-per-pass over a seeded permutation view of
+// the shard. The view never mutates the shard, so shards may be shared
+// read-only across concurrent executions (the parallel backend's
+// requirement), and each pass costs O(batch) gathers instead of the
+// historical O(shard-bytes) Subset copy.
+func (e *Executor) run(params []float64, shard *data.Dataset, seed int64, passes, perPass int) ([]float64, ExecStats) {
 	net := nn.NewNetwork(e.cfg.Builder)
 	net.SetParameters(params)
 	optimizer := opt.NewAdam(e.cfg.LearningRate)
 	rng := rand.New(rand.NewSource(seed))
-
-	// Clients train on a private shard copy so callers can share shards.
-	local := shard.Subset(0, shard.N())
+	local := data.NewView(shard)
 
 	var stats ExecStats
 	lossSum := 0.0
 	correct := 0
-	for pass := 0; pass < e.cfg.LocalPasses; pass++ {
+	for pass := 0; pass < passes; pass++ {
 		local.Shuffle(rng)
-		for start := 0; start < local.N(); start += e.cfg.BatchSize {
+		for start := 0; start < perPass; start += e.cfg.BatchSize {
 			end := start + e.cfg.BatchSize
-			if end > local.N() {
-				end = local.N()
+			if end > perPass {
+				end = perPass
 			}
 			x, labels := local.Batch(start, end)
 			net.ZeroGrads()
@@ -64,7 +94,7 @@ func (e *Executor) Run(params []float64, shard *data.Dataset, seed int64) ([]flo
 			correct += c
 			stats.Batches++
 		}
-		stats.Samples += local.N()
+		stats.Samples += perPass
 	}
 	if stats.Batches > 0 {
 		stats.MeanLoss = lossSum / float64(stats.Batches)

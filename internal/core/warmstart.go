@@ -16,7 +16,7 @@ import (
 func Warmstart(net *nn.Network, cfg JobConfig, train *data.Dataset) {
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x57a7))
 	optimizer := opt.NewAdam(cfg.LearningRate)
-	local := train.Subset(0, train.N())
+	local := data.NewView(train)
 	for e := 0; e < cfg.WarmstartEpochs; e++ {
 		local.Shuffle(rng)
 		for start := 0; start < local.N(); start += cfg.BatchSize {

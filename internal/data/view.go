@@ -1,0 +1,88 @@
+package data
+
+import (
+	"math/rand"
+
+	"vcdl/internal/tensor"
+)
+
+// View is a shuffleable index-permutation view over a Dataset. It lets a
+// training loop iterate the samples in a per-pass random order without
+// ever copying or mutating the underlying dataset: Shuffle permutes an
+// index array, and Batch gathers the selected samples into a reused
+// buffer. Compared with Subset (a deep copy) plus Dataset.Shuffle (an
+// in-place byte swap of the copy), a View turns the per-subtask cost
+// from O(shard bytes) of copying into O(batch bytes) of gathering — and,
+// because the base dataset stays immutable, many goroutines may hold
+// Views over the same dataset at once (the compute-backend layer relies
+// on this to run subtasks in parallel over shared shards).
+//
+// Determinism contract: View.Shuffle calls rng.Shuffle over the same
+// element count as Dataset.Shuffle would, so for equal seeds a View
+// yields byte-identical batches to the historical copy-and-shuffle path;
+// vcsim's golden traces pin this equivalence.
+//
+// A View is not safe for concurrent use — share the base Dataset and
+// give each goroutine its own View.
+type View struct {
+	base *Dataset
+	idx  []int
+	// buf and labels are the reused gather targets; Batch returns slices
+	// of them, valid until the next Batch call.
+	buf    []float64
+	labels []int
+}
+
+// NewView creates an identity-ordered view over d.
+func NewView(d *Dataset) *View {
+	idx := make([]int, d.N())
+	for i := range idx {
+		idx[i] = i
+	}
+	return &View{base: d, idx: idx}
+}
+
+// N returns the number of samples in the view.
+func (v *View) N() int { return len(v.idx) }
+
+// Shuffle permutes the view's sample order in place using rng. Repeated
+// shuffles compose, exactly like repeatedly shuffling a materialized
+// copy.
+func (v *View) Shuffle(rng *rand.Rand) {
+	if len(v.idx) < 2 {
+		return
+	}
+	rng.Shuffle(len(v.idx), func(i, j int) {
+		v.idx[i], v.idx[j] = v.idx[j], v.idx[i]
+	})
+}
+
+// Batch gathers samples [start, end) in view order into an internal
+// reused buffer and returns them as a tensor plus their labels. The
+// returned tensor and label slice are only valid until the next Batch
+// call.
+func (v *View) Batch(start, end int) (*tensor.Tensor, []int) {
+	if start < 0 || end > v.N() || start > end {
+		panic("data: view batch out of range")
+	}
+	n := end - start
+	sample := 0
+	if v.base.N() > 0 {
+		sample = v.base.X.Size() / v.base.N()
+	}
+	if cap(v.buf) < n*sample {
+		v.buf = make([]float64, n*sample)
+	}
+	v.buf = v.buf[:n*sample]
+	if cap(v.labels) < n {
+		v.labels = make([]int, n)
+	}
+	v.labels = v.labels[:n]
+	for i := 0; i < n; i++ {
+		src := v.idx[start+i]
+		copy(v.buf[i*sample:(i+1)*sample], v.base.X.Data[src*sample:(src+1)*sample])
+		v.labels[i] = v.base.Labels[src]
+	}
+	shape := append([]int{n}, v.base.X.Shape()[1:]...)
+	return tensor.FromSlice(v.buf, shape...), v.labels
+}

@@ -1,0 +1,101 @@
+package data
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func viewTestDataset(t *testing.T, n int) *Dataset {
+	t.Helper()
+	dc := DefaultSynthConfig()
+	dc.NTrain, dc.NVal, dc.NTest = n, 4, 4
+	corpus, err := GenerateSynth(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corpus.Train
+}
+
+// TestViewMatchesCopyShuffle pins the determinism contract the compute
+// backends rely on: iterating a View after k shuffles yields exactly the
+// batches the historical Subset-copy-then-Shuffle path produced, for the
+// same rng seed, across multiple passes.
+func TestViewMatchesCopyShuffle(t *testing.T) {
+	ds := viewTestDataset(t, 37)
+	const batch = 10
+
+	copyRNG := rand.New(rand.NewSource(42))
+	viewRNG := rand.New(rand.NewSource(42))
+	local := ds.Subset(0, ds.N())
+	view := NewView(ds)
+
+	for pass := 0; pass < 3; pass++ {
+		local.Shuffle(copyRNG)
+		view.Shuffle(viewRNG)
+		for start := 0; start < local.N(); start += batch {
+			end := start + batch
+			if end > local.N() {
+				end = local.N()
+			}
+			wantX, wantL := local.Batch(start, end)
+			gotX, gotL := view.Batch(start, end)
+			if !reflect.DeepEqual(wantX.Shape(), gotX.Shape()) {
+				t.Fatalf("pass %d batch [%d,%d): shape %v != %v", pass, start, end, gotX.Shape(), wantX.Shape())
+			}
+			if !reflect.DeepEqual(wantX.Data, gotX.Data) {
+				t.Fatalf("pass %d batch [%d,%d): data diverged", pass, start, end)
+			}
+			if !reflect.DeepEqual(wantL, gotL) {
+				t.Fatalf("pass %d batch [%d,%d): labels %v != %v", pass, start, end, gotL, wantL)
+			}
+		}
+	}
+}
+
+// TestViewLeavesBaseUntouched verifies shuffling and batching a view
+// never mutates the shared base dataset.
+func TestViewLeavesBaseUntouched(t *testing.T) {
+	ds := viewTestDataset(t, 16)
+	origX := append([]float64(nil), ds.X.Data...)
+	origL := append([]int(nil), ds.Labels...)
+
+	rng := rand.New(rand.NewSource(7))
+	v := NewView(ds)
+	for i := 0; i < 5; i++ {
+		v.Shuffle(rng)
+		v.Batch(0, v.N())
+	}
+	if !reflect.DeepEqual(ds.X.Data, origX) || !reflect.DeepEqual(ds.Labels, origL) {
+		t.Fatal("view mutated the base dataset")
+	}
+}
+
+// TestViewBatchReusesBuffer documents the buffer-reuse contract: a Batch
+// call invalidates the previous call's returned slices.
+func TestViewBatchReusesBuffer(t *testing.T) {
+	ds := viewTestDataset(t, 12)
+	v := NewView(ds)
+	x1, _ := v.Batch(0, 6)
+	first := x1.Data[0]
+	x2, _ := v.Batch(6, 12)
+	if &x1.Data[0] != &x2.Data[0] {
+		t.Fatal("expected Batch to reuse its gather buffer")
+	}
+	_ = first
+}
+
+func TestViewBatchBounds(t *testing.T) {
+	ds := viewTestDataset(t, 12)
+	v := NewView(ds)
+	for _, tc := range [][2]int{{-1, 4}, {0, 13}, {5, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Batch(%d,%d) did not panic", tc[0], tc[1])
+				}
+			}()
+			v.Batch(tc[0], tc[1])
+		}()
+	}
+}

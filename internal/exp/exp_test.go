@@ -54,6 +54,9 @@ func TestOptionsLowerToConfig(t *testing.T) {
 		NoSticky(),
 		AutoScalePS(6),
 		Warmstart(1),
+		WithBackend("parallel+cached"),
+		WithComputeWorkers(3),
+		Replicate(2),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -88,6 +91,12 @@ func TestOptionsLowerToConfig(t *testing.T) {
 		t.Fatalf("MaxPServers = %d", cfg.MaxPServers)
 	case cfg.Job.WarmstartEpochs != 1:
 		t.Fatalf("WarmstartEpochs = %d", cfg.Job.WarmstartEpochs)
+	case cfg.Backend != "parallel+cached":
+		t.Fatalf("Backend = %q", cfg.Backend)
+	case cfg.ComputeWorkers != 3:
+		t.Fatalf("ComputeWorkers = %d", cfg.ComputeWorkers)
+	case cfg.Replication != 2:
+		t.Fatalf("Replication = %d", cfg.Replication)
 	}
 	if spec.Name() != "lowering" {
 		t.Fatalf("Name() = %q", spec.Name())
@@ -130,6 +139,9 @@ func TestOptionValidation(t *testing.T) {
 		{"empty fleet", []Option{Fleet()}, "fleet"},
 		{"nil observer", []Option{Observe(nil)}, "observer"},
 		{"autoscale cap below pool", []Option{Topology(4, 3, 2), AutoScalePS(2)}, "MaxPServers"},
+		{"unknown backend", []Option{WithBackend("bogus")}, "backend"},
+		{"negative compute workers", []Option{WithComputeWorkers(-1)}, "workers"},
+		{"bad replication", []Option{Replicate(0)}, "replication"},
 	}
 	for _, tc := range cases {
 		if _, err := New(job, corpus, tc.opts...); err == nil || !strings.Contains(err.Error(), tc.want) {

@@ -4,7 +4,10 @@ import (
 	"context"
 	"fmt"
 
+	"vcdl/internal/core"
+	"vcdl/internal/data"
 	"vcdl/internal/metrics"
+	"vcdl/internal/nn"
 	"vcdl/internal/opt"
 	"vcdl/internal/vcsim"
 )
@@ -231,6 +234,86 @@ func AblationSpecs(s *PaperSetup) ([]*Spec, error) {
 		specs = append(specs, spec)
 	}
 	return specs, nil
+}
+
+// Scale-grid constants: the compute-backend capacity experiment
+// (`cmd/experiments -exp scale`) keeps per-client work constant so total
+// subtask math grows linearly with the fleet, and replicates every
+// subtask so the redundancy the cached backend refunds is on the table.
+const (
+	// ScaleShardSamples is the per-subtask shard size (subtasks = clients).
+	ScaleShardSamples = 16
+	// ScaleReplication is the redundancy of every scale-grid workunit.
+	ScaleReplication = 4
+	// ScaleTasksPerClient gives each client enough slots that all
+	// replicas are in flight at once (slots = clients × Tn = copies).
+	ScaleTasksPerClient = 4
+)
+
+// ScaleWorkload generates the fleet-proportional workload for the scale
+// grid: one shard (subtask) per client at ScaleShardSamples samples each,
+// a single-channel quick CNN, and a small validation subset so client
+// math — not server evaluation — dominates.
+func ScaleWorkload(seed int64, clients, epochs int) (core.JobConfig, *data.Corpus, error) {
+	if clients < ScaleReplication {
+		return core.JobConfig{}, nil, fmt.Errorf("exp: scale fleet %d smaller than replication %d", clients, ScaleReplication)
+	}
+	dc := data.DefaultSynthConfig()
+	dc.C = 1
+	dc.NTrain = ScaleShardSamples * clients
+	dc.NVal, dc.NTest = 200, 200
+	dc.NoiseStd = 0.5
+	dc.Seed = seed
+	corpus, err := data.GenerateSynth(dc)
+	if err != nil {
+		return core.JobConfig{}, nil, err
+	}
+	job := core.DefaultJobConfig(nn.SmallCNNBuilder(dc.C, dc.H, dc.W, dc.Classes))
+	job.Subtasks = clients
+	job.MaxEpochs = epochs
+	job.BatchSize = 8
+	job.LocalPasses = 2
+	job.LearningRate = 0.01
+	job.ValSubset = 16
+	job.Seed = seed
+	return job, corpus, nil
+}
+
+// ScalePoint labels one cell of the compute-backend scale grid.
+type ScalePoint struct {
+	Clients int
+	Backend string
+	// Workers sizes the parallel pool (0 for inline backends).
+	Workers int
+}
+
+// ScaleSpec builds one scale-grid cell: the fleet-proportional workload
+// on a Cn-client fleet with every subtask issued ScaleReplication times,
+// computed by the named backend.
+func ScaleSpec(job core.JobConfig, corpus *data.Corpus, pt ScalePoint) (*Spec, error) {
+	spec, err := New(job, corpus,
+		Topology(4, pt.Clients, ScaleTasksPerClient),
+		Replicate(ScaleReplication),
+		WithBackend(pt.Backend),
+		WithComputeWorkers(pt.Workers),
+		Name(fmt.Sprintf("C%d/%s", pt.Clients, core.BackendSpecName(pt.Backend))))
+	if err != nil {
+		return nil, fmt.Errorf("scale C%d %s: %w", pt.Clients, pt.Backend, err)
+	}
+	return spec, nil
+}
+
+// ScaleBackends is the backend × workers grid each fleet size sweeps:
+// the real baseline, the memoized and pooled variants at the benchmark's
+// 8 workers, and the subsampled surrogate.
+func ScaleBackends() []ScalePoint {
+	return []ScalePoint{
+		{Backend: "real"},
+		{Backend: "cached"},
+		{Backend: "parallel", Workers: 8},
+		{Backend: "parallel+cached", Workers: 8},
+		{Backend: "surrogate"},
+	}
 }
 
 // ZoomWindow slices a curve to the [loH, hiH] hour window (Figure 5).

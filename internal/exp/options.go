@@ -6,6 +6,7 @@ import (
 	"vcdl/internal/baseline"
 	"vcdl/internal/boinc"
 	"vcdl/internal/cloud"
+	"vcdl/internal/core"
 	"vcdl/internal/opt"
 	"vcdl/internal/store"
 )
@@ -148,6 +149,48 @@ func WithPolicy(name string, args ...string) Option {
 		}
 		s.policyName = name
 		s.policyArgs = append([]string(nil), args...)
+		return nil
+	}
+}
+
+// WithBackend selects the compute backend executing subtask math by
+// spec (core.BackendNames lists them: real, cached, parallel, surrogate
+// and the "+cached" combinations). Unknown specs fail at construction.
+// The backend instance itself is created per run inside the simulator,
+// so sweep workers never share memoization or pool state.
+func WithBackend(spec string) Option {
+	return func(s *Spec) error {
+		if err := core.ValidateBackendSpec(spec); err != nil {
+			return err
+		}
+		s.cfg.Backend = spec
+		return nil
+	}
+}
+
+// WithComputeWorkers sizes the parallel compute backend's worker pool
+// (0 restores the default, GOMAXPROCS). The pool size changes only wall
+// clock, never the Result.
+func WithComputeWorkers(n int) Option {
+	return func(s *Spec) error {
+		if n < 0 {
+			return fmt.Errorf("compute workers %d < 0", n)
+		}
+		s.cfg.ComputeWorkers = n
+		return nil
+	}
+}
+
+// Replicate issues n concurrent copies of every subtask (BOINC's
+// computational redundancy, §II-C; 1 restores the paper's single copy).
+// Only the canonical result assimilates, so curves are unchanged; the
+// duplicate math it costs is what the cached backend refunds.
+func Replicate(n int) Option {
+	return func(s *Spec) error {
+		if n < 1 {
+			return fmt.Errorf("replication %d < 1", n)
+		}
+		s.cfg.Replication = n
 		return nil
 	}
 }

@@ -51,3 +51,48 @@ func TestBundledScenarioGolden(t *testing.T) {
 		})
 	}
 }
+
+// TestBundledScenarioBackendEquivalence runs every bundled scenario
+// under the cached and parallel compute backends and asserts the event
+// trace matches the real-backend golden byte for byte — the scenario
+// half of the compute-backend equivalence contract (DESIGN.md §8).
+func TestBundledScenarioBackendEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("backend × scenario sweep skipped in -short (covered per-config by vcsim's TestBackendEquivalence)")
+	}
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "scenarios", "*.txt"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no bundled scenarios found: %v", err)
+	}
+	for _, file := range files {
+		file := file
+		name := strings.TrimSuffix(filepath.Base(file), ".txt")
+		for _, backend := range []string{"cached", "parallel+cached"} {
+			backend := backend
+			t.Run(name+"/"+backend, func(t *testing.T) {
+				sc, err := Load(file)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sc.Fleet.Compute != "" {
+					t.Skipf("scenario pins its own backend %q", sc.Fleet.Compute)
+				}
+				sc.Fleet.Compute = backend
+				sc.Fleet.ComputeWorkers = 2
+				rep, err := RunScenario(sc, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := strings.Join(rep.Trace, "\n") + "\n"
+				want, err := os.ReadFile(filepath.Join("testdata", "golden", name+".trace"))
+				if err != nil {
+					t.Fatalf("missing golden file (run with -update): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("%s backend drifted from the real-backend golden:\n--- got ---\n%s--- want ---\n%s",
+						backend, got, want)
+				}
+			})
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"vcdl/internal/boinc"
 	"vcdl/internal/cloud"
+	"vcdl/internal/core"
 )
 
 // The scenario file format is a small line-oriented language designed to
@@ -35,6 +36,9 @@ import (
 //	  target-accuracy 0.8
 //	  policy fifo                   # scheduling policy (boinc.PolicyNames)
 //	  policy random 7               # ... with arguments
+//	  compute cached                # compute backend (core.BackendNames)
+//	  compute parallel+cached 8     # ... with a worker-pool size
+//	  replicate 2                   # issue 2 copies of every subtask
 //
 //	events:
 //	  at 10m  preempt 0.35          # storm start (p per subtask)
@@ -243,6 +247,30 @@ func (p *parser) fleetLine(n int, key string, fields []string) {
 			return
 		}
 		f.Policy = args
+	case "compute":
+		if len(args) < 1 || len(args) > 2 {
+			p.errorf(n, "want 'compute <backend> [workers]'")
+			return
+		}
+		if err := core.ValidateBackendSpec(args[0]); err != nil {
+			p.errorf(n, "%v", err)
+			return
+		}
+		f.Compute = args[0]
+		if len(args) == 2 {
+			f.ComputeWorkers = p.intArg(n, key, args[1:])
+		}
+	case "replicate":
+		before := len(p.errs)
+		v := p.intArg(n, key, args)
+		if len(p.errs) > before {
+			return // intArg already reported
+		}
+		if v < 1 {
+			p.errorf(n, "bad replicate value %d (want >= 1)", v)
+			return
+		}
+		f.Replication = v
 	default:
 		p.errorf(n, "unknown fleet key %q", key)
 	}

@@ -30,6 +30,8 @@ fleet:
   sticky off
   autoscale on 6
   target-accuracy 0.9
+  compute parallel+cached 4
+  replicate 2
 
 events:
   at 60s join 2 mixed us-west
@@ -76,6 +78,9 @@ func TestParseGoodScenario(t *testing.T) {
 	}
 	if !f.StickyOff || !f.AutoScale || f.MaxPServers != 6 || f.TargetAccuracy != 0.9 {
 		t.Fatalf("fleet = %+v", f)
+	}
+	if f.Compute != "parallel+cached" || f.ComputeWorkers != 4 || f.Replication != 2 {
+		t.Fatalf("compute fleet keys = %+v", f)
 	}
 	if len(sc.Events) != 11 {
 		t.Fatalf("parsed %d events, want 11", len(sc.Events))
@@ -127,6 +132,28 @@ func TestParseDurations(t *testing.T) {
 		if _, err := parseDuration(in); err == nil {
 			t.Fatalf("parseDuration(%q) accepted", in)
 		}
+	}
+}
+
+// TestParseComputeDirective pins the compute/replicate fleet grammar.
+func TestParseComputeDirective(t *testing.T) {
+	for _, bad := range []string{
+		"scenario s\nfleet:\n  compute bogus\n",
+		"scenario s\nfleet:\n  compute\n",
+		"scenario s\nfleet:\n  compute parallel 8 extra\n",
+		"scenario s\nfleet:\n  replicate 0\n",
+		"scenario s\nfleet:\n  replicate two\n",
+	} {
+		if _, err := Parse(strings.NewReader(bad), "c.txt"); err == nil {
+			t.Errorf("accepted malformed input %q", bad)
+		}
+	}
+	sc, err := Parse(strings.NewReader("scenario s\nfleet:\n  compute surrogate\n"), "c.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Fleet.Compute != "surrogate" || sc.Fleet.ComputeWorkers != 0 {
+		t.Fatalf("fleet = %+v", sc.Fleet)
 	}
 }
 

@@ -64,6 +64,15 @@ type FleetSpec struct {
 	// default paper policy. Scenarios can also hot-swap mid-run with an
 	// `at <time> policy <name>` event.
 	Policy []string
+	// Compute selects the compute backend by spec (core.BackendNames;
+	// "" = real). cached/parallel change only wall clock, so traces and
+	// assertions are backend-independent; surrogate trades curve
+	// fidelity for capacity-run speed.
+	Compute string
+	// ComputeWorkers sizes the parallel backend's pool (0 = GOMAXPROCS).
+	ComputeWorkers int
+	// Replication issues this many copies of every subtask (0/1 = one).
+	Replication int
 }
 
 // Event is one timed injection against a running simulation.
@@ -129,6 +138,9 @@ func (sc *Scenario) Validate() error {
 		if _, err := boinc.NewPolicy(f.Policy[0], f.Policy[1:]...); err != nil {
 			errs = append(errs, err.Error())
 		}
+	}
+	if err := core.ValidateBackendSpec(f.Compute); err != nil {
+		errs = append(errs, err.Error())
 	}
 	prev := 0.0
 	for _, ev := range sc.Events {
@@ -233,6 +245,9 @@ func (sc *Scenario) BuildConfig() (vcsim.Config, error) {
 	cfg.DisableSticky = f.StickyOff
 	cfg.AutoScalePS = f.AutoScale
 	cfg.MaxPServers = f.MaxPServers
+	cfg.Backend = f.Compute
+	cfg.ComputeWorkers = f.ComputeWorkers
+	cfg.Replication = f.Replication
 	cfg.Seed = seed
 	if len(f.Policy) > 0 {
 		p, err := boinc.NewPolicy(f.Policy[0], f.Policy[1:]...)

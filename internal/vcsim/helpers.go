@@ -1,13 +1,10 @@
 package vcsim
 
 import (
-	"math"
 	"math/rand"
 
 	"vcdl/internal/nn"
 )
-
-func mathPow(x, e float64) float64 { return math.Pow(x, e) }
 
 // newInitializedNet builds and seeds the job's model.
 func newInitializedNet(cfg Config) *nn.Network {

@@ -3,6 +3,7 @@ package vcsim
 import (
 	"vcdl/internal/boinc"
 	"vcdl/internal/cloud"
+	"vcdl/internal/core"
 	"vcdl/internal/sim"
 	"vcdl/internal/store"
 )
@@ -54,8 +55,16 @@ func Start(cfg Config) (*Sim, error) {
 	if st == nil {
 		st = store.NewEventual(1, 0, cfg.Seed)
 	}
-	r := newRun(cfg, st)
+	// One backend per run: backends are stateful (memoization, worker
+	// pools) and sharing one across runs would couple otherwise
+	// independent simulations.
+	backend, err := core.NewBackend(cfg.Backend, cfg.Job, cfg.ComputeWorkers)
+	if err != nil {
+		return nil, err
+	}
+	r := newRun(cfg, st, backend)
 	if err := r.start(); err != nil {
+		backend.Close()
 		return nil, err
 	}
 	return &Sim{r: r}, nil

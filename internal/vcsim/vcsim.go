@@ -10,6 +10,7 @@ package vcsim
 
 import (
 	"fmt"
+	"math"
 
 	"vcdl/internal/baseline"
 	"vcdl/internal/boinc"
@@ -98,6 +99,27 @@ type Config struct {
 	// passive: they never change the Result.
 	Observer Observer
 
+	// Backend selects the compute backend that executes subtask math
+	// (DESIGN.md §8): "" or "real" runs the full kernel inline in the
+	// event loop (the historical path); "cached" memoizes per
+	// (epoch, shard) so replicated/reissued copies compute once;
+	// "parallel" overlaps the math with event processing on a worker
+	// pool; "surrogate" substitutes a subsampled kernel for capacity
+	// runs. Modifiers compose: "parallel+cached". real, cached and
+	// parallel produce byte-identical Results (only the Compute
+	// telemetry differs); see core.BackendNames.
+	Backend string
+	// ComputeWorkers sizes the parallel backend's worker pool
+	// (0 = GOMAXPROCS). The pool size never changes results.
+	ComputeWorkers int
+	// Replication issues this many concurrent copies of every subtask
+	// (BOINC's computational redundancy, §II-C); 0 or 1 keeps the single
+	// copy the paper's experiments use. Only the canonical (first)
+	// result assimilates, so curves are unchanged — redundancy buys
+	// straggler tolerance at the price of duplicate math, which is
+	// exactly what the cached backend refunds.
+	Replication int
+
 	Seed int64
 }
 
@@ -159,6 +181,12 @@ type Result struct {
 	// Autoscaler telemetry (when AutoScalePS is on).
 	PSScaleUps, PSScaleDowns int
 	MaxPSUsed                int
+
+	// Compute is the compute-backend telemetry (cache hits, worker-pool
+	// overlap). It is the one Result field that legitimately differs
+	// between equivalent backends, so cross-backend equivalence checks
+	// zero it before comparing (DESIGN.md §8).
+	Compute core.BackendStats
 }
 
 // simClient is one simulated client instance.
@@ -200,12 +228,7 @@ func (c *Config) contention(k int, inst cloud.InstanceType) float64 {
 	if load <= 1 {
 		return 1
 	}
-	return pow(load, c.ContentionExp)
-}
-
-func pow(x, e float64) float64 {
-	// local wrapper: math.Pow via import would be fine; kept explicit.
-	return mathPow(x, e)
+	return math.Pow(load, c.ContentionExp)
 }
 
 // Run executes the simulated experiment to completion.
@@ -226,7 +249,7 @@ type run struct {
 	st    store.Store
 	assim *sim.Server
 
-	exec    *core.Executor
+	backend core.Backend
 	eval    *core.Evaluator
 	testEv  *core.Evaluator
 	shards  []*data.Dataset
@@ -256,7 +279,7 @@ type run struct {
 	nextClient int
 }
 
-func newRun(cfg Config, st store.Store) *run {
+func newRun(cfg Config, st store.Store, backend core.Backend) *run {
 	name := cfg.DisplayName()
 	schedCfg := boinc.DefaultSchedulerConfig()
 	schedCfg.DefaultTimeout = cfg.TimeoutSeconds
@@ -272,7 +295,7 @@ func newRun(cfg Config, st store.Store) *run {
 		eng:         sim.NewEngine(cfg.Seed),
 		sched:       sched,
 		st:          st,
-		exec:        core.NewExecutor(cfg.Job),
+		backend:     backend,
 		shards:      cfg.Job.SplitShards(cfg.Corpus),
 		epochParams: make(map[int][]float64),
 		tracker:     ps.NewEpochTracker(cfg.Job.Subtasks),
@@ -360,6 +383,9 @@ func (r *run) generateEpoch(epoch int) error {
 	}
 	r.epochParams[epoch] = snapshot
 	delete(r.epochParams, epoch-1)
+	// Closed epochs can never launch again (their workunits are all
+	// done), so the backend may drop memoized state below this epoch.
+	r.backend.Retire(epoch)
 	if r.rule != nil && r.rule.Synchronous() {
 		r.syncBuffer = r.syncBuffer[:0]
 	}
@@ -369,8 +395,9 @@ func (r *run) generateEpoch(epoch int) error {
 			Name:       fmt.Sprintf("train_e%03d_s%03d", epoch, i),
 			InputFiles: []string{"model.json", pf, fmt.Sprintf("shard_%03d", i)},
 			// Payload encodes epoch and shard compactly.
-			Payload: []byte(fmt.Sprintf("%d/%d", epoch, i)),
-			Timeout: r.cfg.TimeoutSeconds,
+			Payload:     []byte(fmt.Sprintf("%d/%d", epoch, i)),
+			Timeout:     r.cfg.TimeoutSeconds,
+			Replication: r.cfg.Replication,
 		})
 	}
 	return nil
@@ -480,15 +507,27 @@ func (r *run) startSubtask(c *simClient, asn boinc.Assignment, wave int) {
 		return
 	}
 
+	// The subtask's output is a pure function of (epoch snapshot, shard,
+	// seed) — none of the engine's RNG is consumed — so the computation
+	// is launched now, when execution is scheduled, and awaited in the
+	// completion callback: the parallel backend overlaps the math with
+	// event processing, the cached backend resolves replicated/reissued
+	// copies to one execution, and the default real backend defers the
+	// work to the callback exactly as the historical inline path did.
+	fut := r.backend.Launch(core.Subtask{
+		Epoch:  epoch,
+		Shard:  shard,
+		Seed:   r.cfg.Seed ^ int64(epoch)<<20 ^ int64(shard),
+		Params: r.epochParams[epoch],
+		Data:   r.shards[shard],
+	})
 	r.eng.Schedule(dl+execT, func() {
 		if c.departed {
 			// The client left mid-execution; its result is lost and the
 			// scheduler reissues the workunit at the deadline.
 			return
 		}
-		// Real training happens here, from the epoch snapshot.
-		seed := r.cfg.Seed ^ int64(epoch)<<20 ^ int64(shard)
-		updated, _ := r.exec.Run(r.epochParams[epoch], r.shards[shard], seed)
+		updated, _ := fut.Wait()
 		c.busy--
 		r.tryAssign(c)
 		up := r.xfer(r.paramBytes, c)
@@ -651,6 +690,10 @@ func (r *run) sweep() {
 
 // finish assembles the Result.
 func (r *run) finish() (*Result, error) {
+	// Drain stray compute workers (futures whose completion never fired,
+	// e.g. departed clients) before reading the telemetry.
+	r.backend.Close()
+	r.res.Compute = r.backend.Stats()
 	r.res.Hours = r.eng.NowHours()
 	r.res.Issued = r.sched.Issued
 	r.res.Reissued = r.sched.Reissued
