@@ -1,7 +1,9 @@
 // Command vcdl-client runs a volunteer client daemon against a
 // vcdl-server: it polls the scheduler for training subtasks, downloads
 // model/parameter/data files (with a sticky cache), trains locally and
-// uploads updated parameters. Several clients may run concurrently; each
+// uploads updated parameters. The training hyperparameters come from
+// the project itself (the published job.json), so client and server can
+// never disagree on them. Several clients may run concurrently; each
 // corresponds to one computing instance in the paper's fleet.
 //
 //	vcdl-client -server http://localhost:8080 -id c1 -slots 2
@@ -9,51 +11,65 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"vcdl/internal/boinc"
-	"vcdl/internal/core"
-	"vcdl/internal/data"
+	"vcdl/internal/live"
 )
 
+// clientOptions collects the flags so tests can drive runClient directly.
+type clientOptions struct {
+	server string
+	id     string
+	slots  int
+	poll   time.Duration
+	runFor time.Duration
+}
+
 func main() {
-	server := flag.String("server", "http://localhost:8080", "vcdl-server base URL")
-	id := flag.String("id", "client-1", "client identifier")
-	slots := flag.Int("slots", 2, "simultaneous subtasks (the paper's Tn)")
-	poll := flag.Duration("poll", 250*time.Millisecond, "idle poll interval")
-	runFor := flag.Duration("run-for", 0, "exit after this duration (0 = until interrupted)")
+	var opts clientOptions
+	flag.StringVar(&opts.server, "server", "http://localhost:8080", "vcdl-server base URL")
+	flag.StringVar(&opts.id, "id", "client-1", "client identifier")
+	flag.IntVar(&opts.slots, "slots", 2, "simultaneous subtasks (the paper's Tn)")
+	flag.DurationVar(&opts.poll, "poll", 250*time.Millisecond, "idle poll interval")
+	flag.DurationVar(&opts.runFor, "run-for", 0, "exit after this duration (0 = until interrupted)")
 	flag.Parse()
-
-	// The client-side job config must match the server's training
-	// hyperparameters; the architecture itself ships in model.json.
-	dc := data.DefaultSynthConfig()
-	spec := core.SmallCNNSpec(dc.C, dc.H, dc.W, dc.Classes)
-	builder, err := spec.Builder()
-	if err != nil {
-		log.Fatalf("model spec: %v", err)
-	}
-	cfg := core.DefaultJobConfig(builder)
-	cfg.LocalPasses = 3
-	cfg.LearningRate = 0.01
-
-	cl := boinc.NewClient(*id, *server, *slots, core.NewTrainingApp(cfg))
-	cl.Poll = *poll
 
 	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer cancel()
-	if *runFor > 0 {
-		ctx2, cancel2 := context.WithTimeout(ctx, *runFor)
-		defer cancel2()
-		ctx = ctx2
+	log.Printf("vcdl-client %s polling %s with %d slots", opts.id, opts.server, opts.slots)
+	if err := runClient(ctx, opts, os.Stdout); err != nil {
+		log.Fatal(err)
 	}
+}
 
-	log.Printf("vcdl-client %s polling %s with %d slots", *id, *server, *slots)
-	err = cl.Loop(ctx)
-	fmt.Printf("client %s exiting (%v): %d subtasks completed, %d failed, %d downloads, %d cache hits\n",
-		*id, err, cl.Completed, cl.Failed, cl.Downloads, cl.CacheHits)
+// runClient is the extracted daemon loop the binary and its tests
+// share: live.RunClient with the context bounded by -run-for, plus the
+// closing counter report. Detach and deliberate shutdown are success.
+func runClient(ctx context.Context, opts clientOptions, out io.Writer) error {
+	if opts.runFor > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.runFor)
+		defer cancel()
+	}
+	cl, err := live.RunClient(ctx, live.ClientConfig{
+		ID:        opts.id,
+		ServerURL: opts.server,
+		Slots:     opts.slots,
+		Poll:      opts.poll,
+	})
+	fmt.Fprintf(out, "client %s exiting (%v): %d subtasks completed, %d failed, %d preempted, %d downloads, %d cache hits\n",
+		opts.id, err, cl.Completed, cl.Failed, cl.Preempted, cl.Downloads, cl.CacheHits)
+	if errors.Is(err, boinc.ErrDetached) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return nil
+	}
+	return err
 }

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"vcdl/internal/boinc"
+	"vcdl/internal/core"
+	"vcdl/internal/data"
+	"vcdl/internal/live"
+)
+
+// startTinyServer boots a small live server for client tests.
+func startTinyServer(t *testing.T, epochs int, target float64) *live.Server {
+	t.Helper()
+	dc := data.DefaultSynthConfig()
+	dc.NTrain, dc.NVal, dc.NTest = 300, 120, 120
+	dc.Seed = 5
+	corpus, err := data.GenerateSynth(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := core.SmallCNNSpec(dc.C, dc.H, dc.W, dc.Classes)
+	builder, err := spec.Builder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultJobConfig(builder)
+	cfg.Subtasks = 6
+	cfg.MaxEpochs = epochs
+	cfg.TargetAccuracy = target
+	cfg.LocalPasses = 2
+	cfg.LearningRate = 0.01
+	cfg.ValSubset = 100
+	cfg.Seed = 5
+	srv, err := live.StartServer("127.0.0.1:0", live.ServerConfig{
+		Job: cfg, Spec: spec, Corpus: corpus, PServers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestRunClientHandshakeAndWork pins the extracted runClient(): it
+// fetches job.json from the project, trains real subtasks over HTTP and
+// reports its counters on exit.
+func TestRunClientHandshakeAndWork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second real-HTTP training run")
+	}
+	srv := startTinyServer(t, 1, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-srv.D.Done() // training finished: the daemon may retire
+		cancel()
+	}()
+	var out strings.Builder
+	err := runClient(ctx, clientOptions{
+		server: srv.URL(),
+		id:     "c-test",
+		slots:  2,
+		poll:   10 * time.Millisecond,
+		runFor: 60 * time.Second,
+	}, &out)
+	if err != nil {
+		t.Fatalf("runClient: %v", err)
+	}
+	if !strings.Contains(out.String(), "client c-test exiting") {
+		t.Fatalf("missing exit report: %q", out.String())
+	}
+	completions := 0
+	srv.D.Server().Scheduler(func(s *boinc.Scheduler) { completions = s.Completions })
+	if completions == 0 {
+		t.Fatal("client completed no subtasks")
+	}
+}
+
+// TestRunClientRejoinAfterKill kills a client daemon mid-run and lets a
+// rejoining one finish the epoch: the server recovers the lost results
+// at their deadline and the run still completes.
+func TestRunClientRejoinAfterKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second real-HTTP training run")
+	}
+	srv := startTinyServer(t, 2, 0)
+
+	ctx, kill := context.WithCancel(context.Background())
+	killed := make(chan error, 1)
+	go func() {
+		killed <- runClient(ctx, clientOptions{
+			server: srv.URL(), id: "doomed", slots: 2, poll: 10 * time.Millisecond,
+		}, &strings.Builder{})
+	}()
+	time.Sleep(1200 * time.Millisecond)
+	kill()
+	if err := <-killed; err != nil {
+		t.Fatalf("killed client should report clean cancellation, got %v", err)
+	}
+
+	var out strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- runClient(context.Background(), clientOptions{
+			server: srv.URL(), id: "rejoin", slots: 2, poll: 10 * time.Millisecond,
+			runFor: 60 * time.Second,
+		}, &out)
+	}()
+	select {
+	case <-srv.D.Done():
+	case err := <-done:
+		t.Fatalf("client exited before training finished: %v\n%s", err, out.String())
+	case <-time.After(60 * time.Second):
+		t.Fatal("training did not finish after rejoin")
+	}
+	res, err := srv.D.Result()
+	if err != nil {
+		t.Fatalf("job failed: %v", err)
+	}
+	if len(res.Curve.Points) != 2 {
+		t.Fatalf("epochs = %d, want 2", len(res.Curve.Points))
+	}
+}

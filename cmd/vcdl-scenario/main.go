@@ -1,27 +1,44 @@
-// Command vcdl-scenario runs and validates declarative fault/churn
-// scenarios against the VCDL simulator (DESIGN.md §5):
+// Command vcdl-scenario runs, compares and validates declarative
+// fault/churn scenarios (DESIGN.md §5, §9; grammar in
+// docs/scenario-dsl.md):
 //
-//	vcdl-scenario run [-seed N] [-trace] <scenario.txt>...
+//	vcdl-scenario run [-mode sim|real] [-seed N] [-trace] [-procs] [-speedup X] <scenario.txt>...
+//	vcdl-scenario compare [-seed N] [-speedup X] [-csv out.csv] <scenario.txt>...
 //	vcdl-scenario validate <scenario.txt>...
 //
-// run executes each scenario and prints its assertion results; the exit
-// code is 0 when every assertion of every scenario passes, 1 otherwise.
-// validate parses and checks the files without running anything (exit 2
-// on any malformed scenario). The bundled scenario library lives in
-// examples/scenarios/.
+// run executes each scenario — on the virtual-time simulator (-mode
+// sim, the default) or against a live fleet of real HTTP clients
+// (-mode real; -procs isolates each client in its own OS process) —
+// and prints its assertion results; the exit code is 0 when every
+// assertion of every scenario passes, 1 otherwise. compare runs sim
+// and real back-to-back and emits a fidelity CSV so sim↔real
+// divergence becomes a reported quantity. validate parses and checks
+// the files without running anything (exit 2 on any malformed
+// scenario) and reports which mode(s) each file supports. The bundled
+// scenario library lives in examples/scenarios/.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"time"
 
+	"vcdl/internal/live"
+	"vcdl/internal/metrics"
 	"vcdl/internal/scenario"
 )
 
 func main() {
+	// Hidden client mode: -procs re-execs this binary as the volunteer
+	// client daemons, so process-isolated fleets need no second binary.
+	if len(os.Args) > 1 && os.Args[1] == "_client" {
+		os.Exit(clientMain(os.Args[2:], os.Stderr))
+	}
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
@@ -30,8 +47,16 @@ func usage(w io.Writer) {
 
 commands:
   run       execute scenarios and check their assertions
-            flags: -seed N (override scenario seed), -trace (print event trace)
-  validate  parse and validate scenario files without running them
+            flags: -mode sim|real (engine), -seed N (override scenario seed),
+                   -trace (print event trace), -procs (real mode: clients as
+                   OS processes), -speedup X (real mode: X virtual seconds
+                   per wall second, default 60), -wall-limit D (real-mode
+                   wall-clock budget per scenario, default 2m)
+  compare   run each scenario in sim and real mode back-to-back and emit
+            a sim<->real fidelity CSV (-csv FILE writes it, default stdout;
+            -seed/-speedup/-wall-limit as for run)
+  validate  parse and validate scenario files without running them, and
+            report which mode(s) each supports
 `)
 }
 
@@ -43,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	switch args[0] {
 	case "run":
 		return cmdRun(args[1:], stdout, stderr)
+	case "compare":
+		return cmdCompare(args[1:], stdout, stderr)
 	case "validate":
 		return cmdValidate(args[1:], stdout, stderr)
 	case "help", "-h", "--help":
@@ -55,11 +82,65 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 }
 
+// realFlags are the knobs shared by run -mode real and compare.
+type realFlags struct {
+	speedup   *float64
+	wallLimit *time.Duration
+	procs     *bool
+}
+
+func addRealFlags(fs *flag.FlagSet) realFlags {
+	return realFlags{
+		speedup:   fs.Float64("speedup", 60, "real mode: virtual seconds that elapse per wall second"),
+		wallLimit: fs.Duration("wall-limit", 2*time.Minute, "real mode: wall-clock budget per scenario"),
+		procs:     fs.Bool("procs", false, "real mode: run clients as separate OS processes"),
+	}
+}
+
+// options lowers the shared flags into scenario run options.
+func (rf realFlags) options(mode scenario.Mode, seed int64, trace bool, stdout io.Writer) (scenario.Options, error) {
+	opts := scenario.Options{Mode: mode}
+	if seed != 0 {
+		opts.Seed = &seed
+	}
+	if trace {
+		opts.Progress = stdout
+	}
+	if *rf.speedup <= 0 {
+		return opts, fmt.Errorf("-speedup %v: must be > 0", *rf.speedup)
+	}
+	opts.TimeScale = 1 / *rf.speedup
+	opts.WallLimit = *rf.wallLimit
+	if *rf.procs {
+		spawn, err := selfSpawner()
+		if err != nil {
+			return opts, fmt.Errorf("-procs: %w", err)
+		}
+		opts.Spawn = spawn
+	}
+	return opts, nil
+}
+
+// forScenario specializes the run options for one file: a scenario
+// declaring `procs on` gets the process spawner even without -procs.
+func (rf realFlags) forScenario(opts scenario.Options, sc *scenario.Scenario) (scenario.Options, error) {
+	if sc.Fleet.Procs && opts.Spawn == nil {
+		spawn, err := selfSpawner()
+		if err != nil {
+			return opts, fmt.Errorf("%s declares 'procs on': %w", sc.Name, err)
+		}
+		opts.Spawn = spawn
+	}
+	return opts, nil
+}
+
 func cmdRun(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	seed := fs.Int64("seed", 0, "override the scenario's seed (0 = use the file's)")
 	trace := fs.Bool("trace", false, "print the event trace while running")
+	modeFlag := fs.String("mode", "sim", "execution engine: sim (virtual time) or real (live fleet)")
+	rf := addRealFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -72,6 +153,16 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		usage(stderr)
 		return 2
 	}
+	mode, err := scenario.ParseMode(*modeFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "vcdl-scenario run: %v\n", err)
+		return 2
+	}
+	opts, err := rf.options(mode, *seed, *trace, stdout)
+	if err != nil {
+		fmt.Fprintf(stderr, "vcdl-scenario run: %v\n", err)
+		return 2
+	}
 	exit := 0
 	for _, file := range files {
 		sc, err := scenario.Load(file)
@@ -79,19 +170,17 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "vcdl-scenario: %v\n", err)
 			return 2
 		}
-		opts := scenario.Options{}
-		if *seed != 0 {
-			opts.Seed = seed
-		}
-		if *trace {
-			opts.Progress = stdout
-		}
 		fmt.Fprintf(stdout, "== %s", sc.Name)
 		if sc.Description != "" {
 			fmt.Fprintf(stdout, " — %s", sc.Description)
 		}
 		fmt.Fprintln(stdout)
-		rep, err := scenario.RunScenario(sc, opts)
+		fileOpts, err := rf.forScenario(opts, sc)
+		if err != nil {
+			fmt.Fprintf(stderr, "vcdl-scenario: %s: %v\n", file, err)
+			return 2
+		}
+		rep, err := scenario.RunScenario(sc, fileOpts)
 		if err != nil {
 			fmt.Fprintf(stderr, "vcdl-scenario: %s: %v\n", file, err)
 			return 1
@@ -100,6 +189,72 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		if !rep.Passed {
 			exit = 1
 		}
+	}
+	return exit
+}
+
+func cmdCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 0, "override the scenario's seed (0 = use the file's)")
+	csvPath := fs.String("csv", "", "write the fidelity CSV to this file (default stdout)")
+	rf := addRealFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		fmt.Fprintln(stderr, "vcdl-scenario compare: no scenario files given")
+		usage(stderr)
+		return 2
+	}
+	exit := 0
+	var rows []metrics.RunStats
+	for _, file := range files {
+		sc, err := scenario.Load(file)
+		if err != nil {
+			fmt.Fprintf(stderr, "vcdl-scenario: %v\n", err)
+			return 2
+		}
+		for _, mode := range []scenario.Mode{scenario.ModeSim, scenario.ModeReal} {
+			if err := sc.SupportsMode(mode); err != nil {
+				fmt.Fprintf(stderr, "vcdl-scenario compare: skipping: %v\n", err)
+				continue
+			}
+			opts, err := rf.options(mode, *seed, false, stdout)
+			if err != nil {
+				fmt.Fprintf(stderr, "vcdl-scenario compare: %v\n", err)
+				return 2
+			}
+			if mode == scenario.ModeReal {
+				if opts, err = rf.forScenario(opts, sc); err != nil {
+					fmt.Fprintf(stderr, "vcdl-scenario compare: %s: %v\n", file, err)
+					return 2
+				}
+			}
+			rep, err := scenario.RunScenario(sc, opts)
+			if err != nil {
+				fmt.Fprintf(stderr, "vcdl-scenario: %s (%s): %v\n", file, mode, err)
+				return 1
+			}
+			fmt.Fprint(stdout, rep.Summary())
+			if !rep.Passed {
+				exit = 1
+			}
+			rows = append(rows, rep.Stats)
+		}
+	}
+	csv := metrics.FidelityCSV(rows)
+	if *csvPath == "" {
+		fmt.Fprint(stdout, csv)
+	} else if err := os.WriteFile(*csvPath, []byte(csv), 0o644); err != nil {
+		fmt.Fprintf(stderr, "vcdl-scenario compare: write %s: %v\n", *csvPath, err)
+		return 1
+	} else {
+		fmt.Fprintf(stdout, "fidelity CSV written to %s (%d runs)\n", *csvPath, len(rows))
 	}
 	return exit
 }
@@ -118,8 +273,40 @@ func cmdValidate(args []string, stdout, stderr io.Writer) int {
 			exit = 2
 			continue
 		}
-		fmt.Fprintf(stdout, "OK       %s  (%s: %d events, %d assertions)\n",
-			file, sc.Name, len(sc.Events), len(sc.Asserts))
+		modes, reasons := sc.Modes()
+		if len(modes) == 0 {
+			fmt.Fprintf(stderr, "INVALID  %s\nscenario %s: no engine can run it: sim-blocking %v; real-blocking %v\n",
+				file, sc.Name, reasons[scenario.ModeSim], reasons[scenario.ModeReal])
+			exit = 2
+			continue
+		}
+		names := make([]string, len(modes))
+		for i, m := range modes {
+			names[i] = string(m)
+		}
+		fmt.Fprintf(stdout, "OK       %s  (%s: %d events, %d assertions) [modes: %s]\n",
+			file, sc.Name, len(sc.Events), len(sc.Asserts), strings.Join(names, " "))
 	}
 	return exit
+}
+
+// selfSpawner launches clients by re-exec'ing this binary in its hidden
+// _client mode, killed abruptly when the harness cancels their context.
+func selfSpawner() (live.SpawnFunc, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("cannot resolve own binary: %w", err)
+	}
+	return func(ctx context.Context, cfg live.ClientConfig) (<-chan error, error) {
+		return live.SpawnProcess(ctx, exe, cfg)
+	}, nil
+}
+
+// clientMain is the hidden `vcdl-scenario _client` entry point.
+func clientMain(args []string, stderr io.Writer) int {
+	if err := live.ClientProcMain(args); err != nil {
+		fmt.Fprintf(stderr, "vcdl-scenario _client: %v\n", err)
+		return 1
+	}
+	return 0
 }

@@ -105,3 +105,94 @@ func TestRunTinyScenario(t *testing.T) {
 		t.Fatalf("stdout = %q", out.String())
 	}
 }
+
+const tinyTwoModeScenario = `
+scenario tiny-real
+fleet:
+  clients 2
+  tasks 1
+  epochs 1
+  subtasks 4
+  seed 6
+assert:
+  epochs == 1
+`
+
+func TestValidateReportsModes(t *testing.T) {
+	both := writeScenario(t, "both.txt", tinyTwoModeScenario)
+	simOnly := writeScenario(t, "sim-only.txt", "scenario s\nfleet:\n  compute cached\n")
+	realOnly := writeScenario(t, "real-only.txt", "scenario r\nfleet:\n  procs on\n")
+	var out, errOut strings.Builder
+	if code := run([]string{"validate", both, simOnly, realOnly}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr %q", code, errOut.String())
+	}
+	for _, want := range []string{"[modes: sim real]", "[modes: sim]", "[modes: real]"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// A file no engine can run is invalid.
+	neither := writeScenario(t, "neither.txt", "scenario n\nfleet:\n  procs on\n  compute cached\n")
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"validate", neither}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2 (stderr %q)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "no engine can run it") {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+}
+
+func TestRunRejectsWrongMode(t *testing.T) {
+	simOnly := writeScenario(t, "sim-only.txt", "scenario s\nfleet:\n  compute cached\nassert:\n  epochs == 1\n")
+	var out, errOut strings.Builder
+	if code := run([]string{"run", "-mode", "real", simOnly}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "does not support -mode real") {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"run", "-mode", "bogus", simOnly}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestRunRealMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a live fleet")
+	}
+	path := writeScenario(t, "tiny-real.txt", tinyTwoModeScenario)
+	var out, errOut strings.Builder
+	if code := run([]string{"run", "-mode", "real", "-speedup", "600", "-trace", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr %q stdout %q", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "PASS  epochs == 1") || !strings.Contains(out.String(), "real mode") {
+		t.Fatalf("stdout = %q", out.String())
+	}
+}
+
+func TestCompareEmitsFidelityCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a live fleet")
+	}
+	path := writeScenario(t, "tiny-real.txt", tinyTwoModeScenario)
+	csvPath := filepath.Join(t.TempDir(), "fidelity.csv")
+	var out, errOut strings.Builder
+	if code := run([]string{"compare", "-speedup", "600", "-csv", csvPath, path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr %q stdout %q", code, errOut.String(), out.String())
+	}
+	blob, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(blob)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("fidelity CSV lines = %d:\n%s", len(lines), blob)
+	}
+	if !strings.HasPrefix(lines[1], "tiny-real,sim,") || !strings.HasPrefix(lines[2], "tiny-real,real,") {
+		t.Fatalf("unexpected rows:\n%s", blob)
+	}
+}

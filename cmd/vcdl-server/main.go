@@ -1,7 +1,8 @@
 // Command vcdl-server runs the server half of a real distributed VCDL
 // training job: the BOINC-style project server (scheduler, file
 // distribution, upload handler), the VC-ASGD parameter servers and the
-// work generator. Point one or more vcdl-client processes at it:
+// work generator — the same internal/live stack the scenario engine's
+// real mode drives. Point one or more vcdl-client processes at it:
 //
 //	vcdl-server -addr :8080 -subtasks 20 -epochs 5 -pservers 2
 //	vcdl-client -server http://localhost:8080 -id c1 -slots 2
@@ -13,100 +14,153 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
-	"net/http"
+	"os"
 	"time"
 
+	"vcdl/internal/boinc"
 	"vcdl/internal/core"
 	"vcdl/internal/data"
+	"vcdl/internal/live"
 	"vcdl/internal/store"
 )
 
+// serveOptions collects the flags so tests can drive serve directly.
+type serveOptions struct {
+	addr       string
+	subtasks   int
+	epochs     int
+	pservers   int
+	target     float64
+	strong     bool
+	seed       int64
+	checkpoint string
+	// timeout is the BOINC result deadline (0 = scheduler default,
+	// 300s); work stranded on a vanished client is reissued after it.
+	timeout time.Duration
+	// train/val shrink the synthetic corpus (0 = full default sizes);
+	// tests use them to finish in milliseconds.
+	train, val int
+	// ready, when non-nil, receives the server's base URL once it is
+	// accepting requests.
+	ready chan<- string
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	subtasks := flag.Int("subtasks", 20, "training subtasks per epoch")
-	epochs := flag.Int("epochs", 5, "maximum training epochs")
-	pservers := flag.Int("pservers", 2, "parameter servers sharing the store")
-	target := flag.Float64("target", 0, "stop when epoch validation accuracy reaches this (0 = run all epochs)")
-	strong := flag.Bool("strong-store", false, "use the strong-consistency store instead of eventual")
-	seed := flag.Int64("seed", 1, "seed for data generation and initialization")
-	checkpoint := flag.String("checkpoint", "", "write the final parameter vector to this file")
+	var opts serveOptions
+	flag.StringVar(&opts.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&opts.subtasks, "subtasks", 20, "training subtasks per epoch")
+	flag.IntVar(&opts.epochs, "epochs", 5, "maximum training epochs")
+	flag.IntVar(&opts.pservers, "pservers", 2, "parameter servers sharing the store")
+	flag.Float64Var(&opts.target, "target", 0, "stop when epoch validation accuracy reaches this (0 = run all epochs)")
+	flag.BoolVar(&opts.strong, "strong-store", false, "use the strong-consistency store instead of eventual")
+	flag.Int64Var(&opts.seed, "seed", 1, "seed for data generation and initialization")
+	flag.StringVar(&opts.checkpoint, "checkpoint", "", "write the final parameter vector to this file")
+	flag.DurationVar(&opts.timeout, "timeout", 0, "BOINC result deadline (0 = default 5m)")
+	flag.IntVar(&opts.train, "train", 0, "training-set size override (0 = default corpus)")
+	flag.IntVar(&opts.val, "val", 0, "validation-set size override (0 = default corpus)")
 	flag.Parse()
 
+	if _, err := serve(opts, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serve builds the training job, runs the live server until training
+// completes and reports per-epoch progress to out. It returns the final
+// run result — the extracted run loop the binary and its tests share.
+func serve(opts serveOptions, out io.Writer) (core.RunResult, error) {
 	dc := data.DefaultSynthConfig()
-	dc.Seed = *seed
+	dc.Seed = opts.seed
+	if opts.train > 0 {
+		dc.NTrain = opts.train
+	}
+	if opts.val > 0 {
+		dc.NVal, dc.NTest = opts.val, opts.val
+	}
 	corpus, err := data.GenerateSynth(dc)
 	if err != nil {
-		log.Fatalf("generate corpus: %v", err)
+		return core.RunResult{}, fmt.Errorf("generate corpus: %w", err)
 	}
 
 	spec := core.SmallCNNSpec(dc.C, dc.H, dc.W, dc.Classes)
 	builder, err := spec.Builder()
 	if err != nil {
-		log.Fatalf("model spec: %v", err)
+		return core.RunResult{}, fmt.Errorf("model spec: %w", err)
 	}
 	cfg := core.DefaultJobConfig(builder)
-	cfg.Subtasks = *subtasks
-	cfg.MaxEpochs = *epochs
-	cfg.TargetAccuracy = *target
+	cfg.Subtasks = opts.subtasks
+	cfg.MaxEpochs = opts.epochs
+	cfg.TargetAccuracy = opts.target
 	cfg.LocalPasses = 3
 	cfg.LearningRate = 0.01
 	cfg.ValSubset = 200
-	cfg.Seed = *seed
+	cfg.Seed = opts.seed
 
-	var st store.Store = store.NewEventual(3, 4, *seed)
-	if *strong {
+	var st store.Store = store.NewEventual(3, 4, opts.seed)
+	if opts.strong {
 		st = store.NewStrong()
 	}
-	job, err := core.NewDistributed(cfg, spec, corpus, *pservers, st)
+	scfg := live.ServerConfig{
+		Job:      cfg,
+		Spec:     spec,
+		Corpus:   corpus,
+		PServers: opts.pservers,
+		Store:    st,
+	}
+	if opts.timeout > 0 {
+		sched := boinc.DefaultSchedulerConfig()
+		sched.DefaultTimeout = opts.timeout.Seconds()
+		sched.Seed = opts.seed
+		scfg.Scheduler = &sched
+	}
+	srv, err := live.StartServer(opts.addr, scfg)
 	if err != nil {
-		log.Fatalf("create job: %v", err)
+		return core.RunResult{}, fmt.Errorf("create job: %w", err)
+	}
+	defer srv.Close()
+	fmt.Fprintf(out, "vcdl-server listening on %s (%d subtasks/epoch, %d epochs, %d parameter servers, %s store)\n",
+		srv.URL(), opts.subtasks, opts.epochs, opts.pservers, st.Name())
+	if opts.ready != nil {
+		opts.ready <- srv.URL()
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: job.Server()}
-	go func() {
-		log.Printf("vcdl-server listening on %s (%d subtasks/epoch, %d epochs, %d parameter servers, %s store)",
-			*addr, *subtasks, *epochs, *pservers, st.Name())
-		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
-			log.Fatalf("listen: %v", err)
-		}
-	}()
-
 	// Report progress until training completes.
+	job := srv.D
 	seen := 0
-	tick := time.NewTicker(500 * time.Millisecond)
+	tick := time.NewTicker(100 * time.Millisecond)
 	defer tick.Stop()
 	for {
 		select {
 		case <-job.Done():
 			res, err := job.Result()
 			if err != nil {
-				log.Fatalf("job failed: %v", err)
+				return core.RunResult{}, fmt.Errorf("job failed: %w", err)
 			}
-			reportNew(&seen, res)
-			fmt.Printf("training finished: %d epochs, final accuracy %.3f (stopped early: %v)\n",
+			reportNew(out, &seen, res)
+			fmt.Fprintf(out, "training finished: %d epochs, final accuracy %.3f (stopped early: %v)\n",
 				len(res.Curve.Points), res.Curve.FinalValue(), res.Stopped)
-			if *checkpoint != "" && len(res.FinalParams) > 0 {
-				if err := core.SaveParams(*checkpoint, res.FinalParams); err != nil {
-					log.Printf("checkpoint: %v", err)
+			if opts.checkpoint != "" && len(res.FinalParams) > 0 {
+				if err := core.SaveParams(opts.checkpoint, res.FinalParams); err != nil {
+					fmt.Fprintf(out, "checkpoint: %v\n", err)
 				} else {
-					log.Printf("checkpoint written to %s", *checkpoint)
+					fmt.Fprintf(out, "checkpoint written to %s\n", opts.checkpoint)
 				}
 			}
-			srv.Close()
-			return
+			return res, nil
 		case <-tick.C:
 			res, err := job.Result()
 			if err == nil {
-				reportNew(&seen, res)
+				reportNew(out, &seen, res)
 			}
 		}
 	}
 }
 
-func reportNew(seen *int, res core.RunResult) {
+func reportNew(out io.Writer, seen *int, res core.RunResult) {
 	for _, p := range res.Curve.Points[*seen:] {
-		fmt.Printf("epoch %2d  validation accuracy %.3f  [%.3f, %.3f]\n", p.Epoch, p.Value, p.Lo, p.Hi)
+		fmt.Fprintf(out, "epoch %2d  validation accuracy %.3f  [%.3f, %.3f]\n", p.Epoch, p.Value, p.Lo, p.Hi)
 		*seen++
 	}
 }

@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -44,16 +47,28 @@ type Client struct {
 	mu    sync.Mutex
 	cache map[string][]byte
 	apps  map[string]App
+	// ctl is the server-pushed shaping (see ClientControl); rng drives
+	// the preemption coin, seeded from the client ID so a fleet of
+	// clients doesn't flip identical coins.
+	ctl  ClientControl
+	rng  *rand.Rand
+	busy int
 
 	// Counters for tests and reports.
-	Completed, Failed, Downloads, CacheHits int
+	Completed, Failed, Downloads, CacheHits, Preempted int
 }
+
+// ErrDetached is returned by Loop when the server asked the client to
+// detach (ClientControl.Detach): in-flight work finished, loop exited.
+var ErrDetached = errors.New("boinc: detached by server")
 
 // NewClient creates a client daemon.
 func NewClient(id, serverURL string, slots int, app App) *Client {
 	if slots < 1 {
 		slots = 1
 	}
+	h := fnv.New64a()
+	h.Write([]byte(id))
 	return &Client{
 		ID:        id,
 		ServerURL: serverURL,
@@ -62,6 +77,41 @@ func NewClient(id, serverURL string, slots int, app App) *Client {
 		Poll:      50 * time.Millisecond,
 		httpc:     &http.Client{Timeout: 60 * time.Second},
 		cache:     make(map[string][]byte),
+		rng:       rand.New(rand.NewSource(int64(h.Sum64()))),
+	}
+}
+
+// Control returns the shaping most recently pushed by the server.
+func (c *Client) Control() ClientControl {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ctl
+}
+
+// coin flips the preemption coin with probability p.
+func (c *Client) coin(p float64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64() < p
+}
+
+// sleepCtx pauses for d (no-op for d <= 0), returning early on cancel.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// rttSleep injects the control's round-trip latency before an HTTP call.
+func (c *Client) rttSleep(ctx context.Context) {
+	if rtt := c.Control().RTTSeconds; rtt > 0 {
+		sleepCtx(ctx, time.Duration(rtt*float64(time.Second)))
 	}
 }
 
@@ -101,13 +151,23 @@ func (c *Client) cachedNames() []string {
 	return names
 }
 
-// RequestWork asks the scheduler for up to n assignments.
+// RequestWork asks the scheduler for up to n assignments and applies
+// any shaping control the reply carries.
 func (c *Client) RequestWork(n int) ([]Assignment, error) {
+	return c.requestWork(context.Background(), n)
+}
+
+func (c *Client) requestWork(ctx context.Context, n int) ([]Assignment, error) {
 	body, err := json.Marshal(WorkRequest{ClientID: c.ID, MaxTasks: n, CachedFiles: c.cachedNames()})
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.httpc.Post(c.ServerURL+"/scheduler", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.ServerURL+"/scheduler", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("boinc: scheduler request: %w", err)
 	}
@@ -119,6 +179,11 @@ func (c *Client) RequestWork(n int) ([]Assignment, error) {
 	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
 		return nil, fmt.Errorf("boinc: decode reply: %w", err)
 	}
+	if reply.Control != nil {
+		c.mu.Lock()
+		c.ctl = *reply.Control
+		c.mu.Unlock()
+	}
 	return reply.Assignments, nil
 }
 
@@ -127,13 +192,32 @@ func (c *Client) RequestWork(n int) ([]Assignment, error) {
 // BOINC clients retry transfers persistently.
 const retryAttempts = 5
 
-// retryWait is the pause between transfer retries.
+// retryWait is the base pause between transfer retries; retryPause adds
+// up to the same again in jitter so a fleet of polling clients can't
+// phase-lock its retries against a periodically failing server.
 const retryWait = 20 * time.Millisecond
+
+// uploadRounds bounds how many rounds of upload attempts runOne makes
+// for a finished result before giving up on it.
+const uploadRounds = 4
+
+// retryPause waits between transfer retries (with jitter), returning
+// early on cancel.
+func (c *Client) retryPause(ctx context.Context) {
+	c.mu.Lock()
+	jitter := time.Duration(c.rng.Int63n(int64(retryWait)))
+	c.mu.Unlock()
+	sleepCtx(ctx, retryWait+jitter)
+}
 
 // Download fetches a file, consulting the sticky cache first. Transport
 // errors and 5xx responses are retried; 4xx responses (missing file) fail
 // immediately.
 func (c *Client) Download(name string) ([]byte, error) {
+	return c.download(context.Background(), name)
+}
+
+func (c *Client) download(ctx context.Context, name string) ([]byte, error) {
 	c.mu.Lock()
 	if data, ok := c.cache[name]; ok {
 		c.CacheHits++
@@ -144,9 +228,16 @@ func (c *Client) Download(name string) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; attempt < retryAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(retryWait)
+			c.retryPause(ctx)
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 		}
-		resp, err := c.httpc.Get(c.ServerURL + "/download?f=" + name)
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodGet, c.ServerURL+"/download?f="+name, nil)
+		if rerr != nil {
+			return nil, rerr
+		}
+		resp, err := c.httpc.Do(req)
 		if err != nil {
 			lastErr = fmt.Errorf("boinc: download %s: %w", name, err)
 			continue
@@ -187,6 +278,10 @@ func (c *Client) Invalidate(name string) {
 // retrying transient transport and 5xx failures so a briefly overloaded
 // server does not strand a finished result until its timeout.
 func (c *Client) Upload(resultID int64, output []byte, appErr error) error {
+	return c.upload(context.Background(), resultID, output, appErr)
+}
+
+func (c *Client) upload(ctx context.Context, resultID int64, output []byte, appErr error) error {
 	url := fmt.Sprintf("%s/upload?result=%d", c.ServerURL, resultID)
 	if appErr != nil {
 		url += "&failed=1"
@@ -195,9 +290,17 @@ func (c *Client) Upload(resultID int64, output []byte, appErr error) error {
 	var lastErr error
 	for attempt := 0; attempt < retryAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(retryWait)
+			c.retryPause(ctx)
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 		}
-		resp, err := c.httpc.Post(url, "application/octet-stream", bytes.NewReader(output))
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(output))
+		if rerr != nil {
+			return rerr
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := c.httpc.Do(req)
 		if err != nil {
 			lastErr = fmt.Errorf("boinc: upload result %d: %w", resultID, err)
 			continue
@@ -217,12 +320,28 @@ func (c *Client) Upload(resultID int64, output []byte, appErr error) error {
 	return lastErr
 }
 
-// runOne downloads inputs, runs the app and uploads the outcome.
-func (c *Client) runOne(asn Assignment) {
+// runOne downloads inputs, runs the app and uploads the outcome,
+// honouring the server-pushed shaping: a preemption coin that drops the
+// assignment without uploading (the instance was reclaimed; the slot is
+// held until a replacement arrives and starts with a cold cache), and
+// execution pacing that stretches the subtask to the control's minimum
+// wall time times the straggler factor.
+func (c *Client) runOne(ctx context.Context, asn Assignment) {
+	ctl := c.Control()
+	if ctl.PreemptProb > 0 && c.coin(ctl.PreemptProb) {
+		c.mu.Lock()
+		c.Preempted++
+		c.cache = make(map[string][]byte)
+		c.mu.Unlock()
+		sleepCtx(ctx, time.Duration(ctl.PreemptHoldSeconds*float64(time.Second)))
+		return
+	}
+	start := time.Now()
+	c.rttSleep(ctx)
 	inputs := make(map[string][]byte, len(asn.InputFiles))
 	var appErr error
 	for _, f := range asn.InputFiles {
-		data, err := c.Download(f)
+		data, err := c.download(ctx, f)
 		if err != nil {
 			appErr = err
 			break
@@ -238,7 +357,25 @@ func (c *Client) runOne(asn Assignment) {
 			output, appErr = app.Run(asn, inputs)
 		}
 	}
-	if err := c.Upload(asn.ResultID, output, appErr); err != nil {
+	if min := ctl.MinTaskSeconds * ctl.slow(); min > 0 {
+		if pad := time.Duration(min*float64(time.Second)) - time.Since(start); pad > 0 {
+			sleepCtx(ctx, pad)
+		}
+	}
+	if ctx.Err() != nil {
+		return // killed mid-task: the result is simply never uploaded
+	}
+	c.rttSleep(ctx)
+	// A finished result is too expensive to strand on a transfer hiccup:
+	// like a real BOINC client's persistent transfer queue, keep retrying
+	// the upload (in rounds of the usual attempts) until it lands, the
+	// server rejects it outright, or the client dies.
+	err := c.upload(ctx, asn.ResultID, output, appErr)
+	for round := 1; err != nil && ctx.Err() == nil && round < uploadRounds; round++ {
+		c.retryPause(ctx)
+		err = c.upload(ctx, asn.ResultID, output, appErr)
+	}
+	if err != nil {
 		appErr = err
 	}
 	c.mu.Lock()
@@ -263,28 +400,71 @@ func (c *Client) Step() (int, error) {
 		wg.Add(1)
 		go func(a Assignment) {
 			defer wg.Done()
-			c.runOne(a)
+			c.runOne(context.Background(), a)
 		}(asn)
 	}
 	wg.Wait()
 	return len(asns), nil
 }
 
-// Loop polls until ctx is cancelled. Transient scheduler errors are
-// retried after the poll interval; volunteer clients must tolerate a
-// flaky server.
+// freeSlots returns how many more assignments the client may start.
+func (c *Client) freeSlots() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Slots - c.busy
+}
+
+// Loop polls until ctx is cancelled or the server detaches the client.
+// Each of the client's Slots runs independently — a long (or paced, or
+// preempted) subtask on one slot never blocks work requests for the
+// others, exactly like the paper's Tn simultaneous subtasks. Transient
+// scheduler errors are retried after the poll interval; volunteer
+// clients must tolerate a flaky server. Cancelling ctx is an abrupt
+// death: in-flight results are abandoned, never uploaded. Loop still
+// joins its slot goroutines before returning (they unwind promptly on
+// a dead ctx), so the client's counters are quiescent afterwards.
 func (c *Client) Loop(ctx context.Context) error {
+	wake := make(chan struct{}, 1)
+	var wg sync.WaitGroup
+	defer wg.Wait()
 	for {
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		default:
+		if err := ctx.Err(); err != nil {
+			return err
 		}
-		n, err := c.Step()
-		if err != nil || n == 0 {
+		if c.Control().Detach {
+			wg.Wait() // graceful: finish in-flight work first
+			return ErrDetached
+		}
+		got := 0
+		if free := c.freeSlots(); free > 0 {
+			c.rttSleep(ctx)
+			asns, err := c.requestWork(ctx, free)
+			if err == nil {
+				got = len(asns)
+				c.mu.Lock()
+				c.busy += got
+				c.mu.Unlock()
+				for _, asn := range asns {
+					wg.Add(1)
+					go func(a Assignment) {
+						defer wg.Done()
+						c.runOne(ctx, a)
+						c.mu.Lock()
+						c.busy--
+						c.mu.Unlock()
+						select {
+						case wake <- struct{}{}:
+						default:
+						}
+					}(asn)
+				}
+			}
+		}
+		if got == 0 {
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
+			case <-wake:
 			case <-time.After(c.Poll):
 			}
 		}

@@ -1,0 +1,44 @@
+package boinc
+
+// ClientControl is per-client shaping the server piggybacks on scheduler
+// replies. It is the real-mode injection surface mirroring the
+// simulator's hooks (vcsim.Sim): the scenario harness sets controls on
+// the server, and every client — in-process goroutine or separate OS
+// process — picks them up on its next work request, so fault injection
+// flows through the existing HTTP protocol instead of a side channel.
+// The zero value means "no shaping".
+type ClientControl struct {
+	// MinTaskSeconds paces every assignment to at least this wall-clock
+	// execution time (0 = no pacing). Real-mode scenario runs use it to
+	// map the simulator's calibrated per-instance execution model onto
+	// wall time, so events land at the same training phase in both
+	// engines (DESIGN.md §9).
+	MinTaskSeconds float64 `json:"min_task_seconds,omitempty"`
+	// SlowFactor multiplies MinTaskSeconds (straggler injection;
+	// 0 or 1 = nominal speed).
+	SlowFactor float64 `json:"slow_factor,omitempty"`
+	// PreemptProb is the per-assignment probability that the client's
+	// instance is reclaimed mid-execution: the result is never uploaded
+	// and the slot stays lost for PreemptHoldSeconds (the replacement
+	// instance arrives around the scheduler deadline, like the
+	// simulator's preemption model).
+	PreemptProb float64 `json:"preempt_prob,omitempty"`
+	// PreemptHoldSeconds holds a preempted slot before it requests work
+	// again; the replacement starts with a cold sticky cache.
+	PreemptHoldSeconds float64 `json:"preempt_hold_seconds,omitempty"`
+	// RTTSeconds injects round-trip latency before every HTTP operation
+	// (region outage shaping).
+	RTTSeconds float64 `json:"rtt_seconds,omitempty"`
+	// Detach asks the client to finish its in-flight assignments and
+	// exit its polling loop (graceful departure; Loop returns
+	// ErrDetached).
+	Detach bool `json:"detach,omitempty"`
+}
+
+// slow returns the effective slowdown factor (unset means nominal).
+func (ctl ClientControl) slow() float64 {
+	if ctl.SlowFactor <= 0 {
+		return 1
+	}
+	return ctl.SlowFactor
+}

@@ -1,0 +1,161 @@
+package boinc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func echoAppCtl() App {
+	return AppFunc(func(asn Assignment, inputs map[string][]byte) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+}
+
+// TestControlDeliveredOnSchedulerReply pins the control channel: shaping
+// installed on the server reaches the client on its next work request.
+func TestControlDeliveredOnSchedulerReply(t *testing.T) {
+	srv := NewServer(DefaultSchedulerConfig(), nil, nil)
+	srv.AddWorkunit(Workunit{Name: "t"})
+	srv.SetClientControl("c1", ClientControl{SlowFactor: 3, PreemptProb: 0.5, RTTSeconds: 0.001})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	cl := NewClient("c1", ts.URL, 1, echoAppCtl())
+	if _, err := cl.RequestWork(1); err != nil {
+		t.Fatal(err)
+	}
+	got := cl.Control()
+	if got.SlowFactor != 3 || got.PreemptProb != 0.5 || got.RTTSeconds != 0.001 {
+		t.Fatalf("control = %+v", got)
+	}
+	// Clearing on the server clears nothing client-side until the next
+	// reply carries... nothing: a zero control is simply not sent, so
+	// the client keeps its last shaping (the harness always pushes
+	// explicit values instead).
+	srv.SetClientControl("c1", ClientControl{})
+	if ctl := srv.ClientControlFor("c1"); ctl != (ClientControl{}) {
+		t.Fatalf("server control not cleared: %+v", ctl)
+	}
+}
+
+// TestControlPacingStretchesExecution pins MinTaskSeconds: a paced
+// subtask takes at least the minimum wall time, times the slow factor.
+func TestControlPacingStretchesExecution(t *testing.T) {
+	srv := NewServer(DefaultSchedulerConfig(), nil, nil)
+	srv.AddWorkunit(Workunit{Name: "t"})
+	srv.SetClientControl("c1", ClientControl{MinTaskSeconds: 0.1, SlowFactor: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	cl := NewClient("c1", ts.URL, 1, echoAppCtl())
+	start := time.Now()
+	if _, err := cl.Step(); err != nil { // request applies the control
+		t.Fatal(err)
+	}
+	if n, err := cl.Step(); err != nil || n != 0 {
+		t.Fatalf("second step: n=%d err=%v", n, err)
+	}
+	if elapsed := time.Since(start); elapsed < 200*time.Millisecond {
+		t.Fatalf("paced execution took %v, want >= 200ms", elapsed)
+	}
+	if cl.Completed != 1 {
+		t.Fatalf("Completed = %d", cl.Completed)
+	}
+}
+
+// TestControlPreemptDropsWithoutUpload pins preemption: with p=1 the
+// client never uploads, clears its sticky cache, and the scheduler only
+// recovers the work at the deadline.
+func TestControlPreemptDropsWithoutUpload(t *testing.T) {
+	cfg := DefaultSchedulerConfig()
+	cfg.DefaultTimeout = 0.2 // seconds
+	srv := NewServer(cfg, nil, nil)
+	srv.PutFile("in", []byte("data"))
+	srv.AddWorkunit(Workunit{Name: "t", InputFiles: []string{"in"}})
+	srv.SetClientControl("c1", ClientControl{PreemptProb: 1, PreemptHoldSeconds: 0.01})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	cl := NewClient("c1", ts.URL, 1, echoAppCtl())
+	if _, err := cl.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Completed != 0 || cl.Failed != 0 || cl.Preempted == 0 {
+		t.Fatalf("counters: completed=%d failed=%d preempted=%d", cl.Completed, cl.Failed, cl.Preempted)
+	}
+	srv.Scheduler(func(s *Scheduler) {
+		if s.Completions != 0 {
+			t.Fatalf("Completions = %d, want 0", s.Completions)
+		}
+	})
+	time.Sleep(250 * time.Millisecond)
+	srv.Scheduler(func(s *Scheduler) {
+		s.ExpireTimeouts(time.Since(srv.start).Seconds())
+		if s.Timeouts == 0 {
+			t.Fatal("preempted result never timed out")
+		}
+	})
+}
+
+// TestControlDetachExitsLoop pins graceful departure: Loop finishes
+// in-flight work and returns ErrDetached.
+func TestControlDetachExitsLoop(t *testing.T) {
+	srv := NewServer(DefaultSchedulerConfig(), nil, nil)
+	for i := 0; i < 4; i++ {
+		srv.AddWorkunit(Workunit{Name: fmt.Sprintf("t%d", i)})
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	cl := NewClient("c1", ts.URL, 2, echoAppCtl())
+	cl.Poll = 5 * time.Millisecond
+	done := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() { done <- cl.Loop(ctx) }()
+	time.Sleep(50 * time.Millisecond)
+	srv.SetClientControl("c1", ClientControl{Detach: true})
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrDetached) {
+			t.Fatalf("Loop returned %v, want ErrDetached", err)
+		}
+	case <-ctx.Done():
+		t.Fatal("client never detached")
+	}
+}
+
+// TestAssignmentMixTracksPolicySwaps pins the per-policy assignment
+// counters behind the fidelity report's mix column.
+func TestAssignmentMixTracksPolicySwaps(t *testing.T) {
+	s := NewScheduler(DefaultSchedulerConfig())
+	for i := 0; i < 4; i++ {
+		s.AddWorkunit(Workunit{Name: fmt.Sprintf("t%d", i)})
+	}
+	if got := s.RequestWork("c1", 0, 2); len(got) != 2 {
+		t.Fatalf("issued %d, want 2", len(got))
+	}
+	p, err := NewPolicy("fifo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetPolicy(p)
+	if got := s.RequestWork("c2", 0, 2); len(got) != 2 {
+		t.Fatalf("issued %d, want 2", len(got))
+	}
+	mix := s.AssignmentMix()
+	if mix["paper"] != 2 || mix["fifo"] != 2 {
+		t.Fatalf("mix = %v", mix)
+	}
+	mix["paper"] = 99
+	if s.AssignmentMix()["paper"] != 2 {
+		t.Fatal("AssignmentMix returned a live map, want a copy")
+	}
+}

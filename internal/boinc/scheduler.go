@@ -93,6 +93,10 @@ type Scheduler struct {
 
 	// Counters for reports and tests.
 	Issued, Reissued, Timeouts, Failures, Completions int
+	// assignMix counts assignments grouped by the policy that made them,
+	// so runs with mid-flight policy swaps can report which policy issued
+	// what share of the work (the fidelity report's assignment mix).
+	assignMix map[string]int
 }
 
 // NewScheduler creates a scheduler with the given mechanics config and
@@ -113,7 +117,17 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 		assignedTo: make(map[int64]map[string]bool),
 		queued:     make(map[int64]int),
 		eligible:   make(map[int64]int64),
+		assignMix:  make(map[string]int),
 	}
+}
+
+// AssignmentMix returns a copy of the per-policy assignment counts.
+func (s *Scheduler) AssignmentMix() map[string]int {
+	mix := make(map[string]int, len(s.assignMix))
+	for k, v := range s.assignMix {
+		mix[k] = v
+	}
+	return mix
 }
 
 // SetPolicy hot-swaps the assignment policy; nil restores the default
@@ -365,6 +379,9 @@ func (s *Scheduler) RequestWork(clientID string, now float64, max int) []Assignm
 		}
 	}
 	s.dequeueFirst(issued)
+	if len(out) > 0 {
+		s.assignMix[s.policy.Name()] += len(out)
+	}
 	return out
 }
 

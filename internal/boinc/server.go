@@ -25,9 +25,16 @@ type Server struct {
 	mu    sync.Mutex
 	sched *Scheduler
 	files map[string][]byte
+	// controls holds per-client shaping delivered on scheduler replies
+	// (the real-mode injection surface; see ClientControl).
+	controls map[string]ClientControl
 
 	validate   ValidateFunc
 	assimilate AssimilateFunc
+
+	// bytesDown/bytesUp count payload traffic served and received, the
+	// real-mode counterpart of the simulator's transfer accounting.
+	bytesDown, bytesUp int64
 
 	start time.Time
 	mux   *http.ServeMux
@@ -39,6 +46,7 @@ func NewServer(cfg SchedulerConfig, validate ValidateFunc, assimilate Assimilate
 	s := &Server{
 		sched:      NewScheduler(cfg),
 		files:      make(map[string][]byte),
+		controls:   make(map[string]ClientControl),
 		validate:   validate,
 		assimilate: assimilate,
 		start:      time.Now(),
@@ -79,6 +87,32 @@ func (s *Server) Scheduler(f func(*Scheduler)) {
 	f(s.sched)
 }
 
+// SetClientControl installs (or, for the zero value, clears) the shaping
+// a client receives on its next scheduler reply.
+func (s *Server) SetClientControl(id string, ctl ClientControl) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ctl == (ClientControl{}) {
+		delete(s.controls, id)
+		return
+	}
+	s.controls[id] = ctl
+}
+
+// ClientControlFor returns the shaping currently installed for a client.
+func (s *Server) ClientControlFor(id string) ClientControl {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.controls[id]
+}
+
+// Traffic returns the payload bytes served to and received from clients.
+func (s *Server) Traffic() (down, up int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytesDown, s.bytesUp
+}
+
 // Done reports whether all workunits reached a terminal state.
 func (s *Server) Done() bool {
 	s.mu.Lock()
@@ -98,6 +132,8 @@ type WorkRequest struct {
 // WorkReply is the scheduler RPC response body.
 type WorkReply struct {
 	Assignments []Assignment `json:"assignments"`
+	// Control carries the client's current shaping, when any is set.
+	Control *ClientControl `json:"control,omitempty"`
 }
 
 func (s *Server) handleScheduler(w http.ResponseWriter, r *http.Request) {
@@ -117,14 +153,22 @@ func (s *Server) handleScheduler(w http.ResponseWriter, r *http.Request) {
 		s.sched.NoteCached(req.ClientID, f)
 	}
 	asn := s.sched.RequestWork(req.ClientID, now, req.MaxTasks)
+	reply := WorkReply{Assignments: asn}
+	if ctl, ok := s.controls[req.ClientID]; ok {
+		c := ctl
+		reply.Control = &c
+	}
 	s.mu.Unlock()
-	writeJSON(w, WorkReply{Assignments: asn})
+	writeJSON(w, reply)
 }
 
 func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("f")
 	s.mu.Lock()
 	data, ok := s.files[name]
+	if ok {
+		s.bytesDown += int64(len(data))
+	}
 	s.mu.Unlock()
 	if !ok {
 		http.Error(w, "no such file: "+name, http.StatusNotFound)
@@ -148,6 +192,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.mu.Lock()
+	s.bytesUp += int64(len(output))
 	res := s.sched.Result(resultID)
 	if res == nil {
 		s.mu.Unlock()

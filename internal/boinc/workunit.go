@@ -1,10 +1,20 @@
 // Package boinc implements the volunteer-computing middleware substrate the
 // paper builds on (§II-C, §III): workunit/result lifecycle tracking, a
-// scheduler with timeout-based reissue, client-reliability tracking and
-// sticky-file affinity, a work-generator/validator/assimilator pipeline,
-// and a real HTTP server/client pair. The lifecycle and scheduling policy
+// scheduler with timeout-based reissue, client-reliability tracking,
+// sticky-file affinity and pluggable assignment policies (Policy, see
+// DESIGN.md §7), a work-generator/validator/assimilator pipeline, and a
+// real HTTP server/client pair. The lifecycle and scheduling mechanics
 // are pure (no I/O, explicit clock) so the same code drives both the
 // networked deployment and the discrete-event simulator.
+//
+// Two features exist for the real-mode scenario driver (DESIGN.md §9):
+// per-client shaping controls (ClientControl) that the server piggybacks
+// on scheduler replies — execution pacing, straggler slowdown,
+// preemption, RTT injection, graceful detach — so fault injection
+// reaches goroutine and OS-process clients alike through the HTTP
+// protocol; and the scheduler's per-policy assignment mix
+// (AssignmentMix), the fidelity report's view of which policy issued
+// what share of the work across hot swaps.
 package boinc
 
 import "fmt"

@@ -2,8 +2,14 @@
 // experiments: the AWS instance fleet of Table I (vCPU count, clock speed,
 // RAM, network bandwidth), standard vs. preemptible pricing (§IV-E,
 // preemptible instances cost 70–90% less but can be reclaimed at any
-// time), a WAN latency model, and the paper's binomial analysis of the
-// expected training-time increase caused by preemptions.
+// time), geographic regions with a WAN round-trip latency model
+// (PlacedInstance, Region.RTT), and the paper's binomial analysis of the
+// expected training-time increase caused by preemptions (PreemptModel).
+//
+// The catalog is shared by every harness: the simulator derives subtask
+// durations and billing from it, and the real-mode driver paces live
+// clients to the same per-instance speed model so both engines agree on
+// what a "clientB" is (DESIGN.md §9).
 package cloud
 
 import (

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"vcdl/internal/boinc"
 	"vcdl/internal/data"
@@ -65,11 +66,13 @@ func NewTrainingApp(cfg JobConfig) boinc.App {
 // tracking, and generates the next epoch until the stopping criterion
 // fires. Clients are external boinc.Client daemons pointed at the server.
 type Distributed struct {
-	cfg    JobConfig
-	spec   ModelSpec
-	server *boinc.Server
-	group  *ps.Group
-	eval   *Evaluator
+	cfg         JobConfig
+	spec        ModelSpec
+	server      *boinc.Server
+	group       *ps.Group
+	eval        *Evaluator
+	replication int
+	start       time.Time
 
 	mu      sync.Mutex
 	tracker *ps.EpochTracker
@@ -80,10 +83,30 @@ type Distributed struct {
 	failed  error
 }
 
+// DistOptions tunes the server-side half of a distributed job beyond
+// NewDistributed's defaults. The zero value keeps historical behaviour.
+type DistOptions struct {
+	// Scheduler overrides the BOINC scheduler mechanics (nil keeps
+	// boinc.DefaultSchedulerConfig; real-mode scenario runs use it to
+	// scale the result deadline onto wall clock).
+	Scheduler *boinc.SchedulerConfig
+	// Policy selects the scheduler's assignment policy (nil keeps the
+	// default paper policy).
+	Policy boinc.Policy
+	// Replication issues this many concurrent copies of every workunit
+	// (0/1 = single copy).
+	Replication int
+}
+
 // NewDistributed creates the server-side half of a distributed training
 // job. spec must describe the same architecture cfg.Builder builds (use
 // spec.Builder() for cfg.Builder to guarantee it).
 func NewDistributed(cfg JobConfig, spec ModelSpec, corpus *data.Corpus, pn int, st store.Store) (*Distributed, error) {
+	return NewDistributedJob(cfg, spec, corpus, pn, st, DistOptions{})
+}
+
+// NewDistributedJob is NewDistributed with explicit DistOptions.
+func NewDistributedJob(cfg JobConfig, spec ModelSpec, corpus *data.Corpus, pn int, st store.Store, opts DistOptions) (*Distributed, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -94,17 +117,26 @@ func NewDistributed(cfg JobConfig, spec ModelSpec, corpus *data.Corpus, pn int, 
 		pn = 1
 	}
 	d := &Distributed{
-		cfg:     cfg,
-		spec:    spec,
-		group:   ps.NewGroup(pn, st, cfg.Alpha),
-		eval:    NewEvaluator(cfg.Builder, corpus.Val, cfg.ValSubset, cfg.BatchSize*4),
-		tracker: ps.NewEpochTracker(cfg.Subtasks),
-		stop:    ps.StopCriterion{TargetAccuracy: cfg.TargetAccuracy, MaxEpochs: cfg.MaxEpochs},
-		shards:  cfg.SplitShards(corpus),
-		done:    make(chan struct{}),
+		cfg:         cfg,
+		spec:        spec,
+		group:       ps.NewGroup(pn, st, cfg.Alpha),
+		eval:        NewEvaluator(cfg.Builder, corpus.Val, cfg.ValSubset, cfg.BatchSize*4),
+		replication: opts.Replication,
+		start:       time.Now(),
+		tracker:     ps.NewEpochTracker(cfg.Subtasks),
+		stop:        ps.StopCriterion{TargetAccuracy: cfg.TargetAccuracy, MaxEpochs: cfg.MaxEpochs},
+		shards:      cfg.SplitShards(corpus),
+		done:        make(chan struct{}),
 	}
 	d.result.Curve.Name = fmt.Sprintf("distributed-P%d", pn)
-	d.server = boinc.NewServer(boinc.DefaultSchedulerConfig(), d.validate, d.assimilate)
+	sched := boinc.DefaultSchedulerConfig()
+	if opts.Scheduler != nil {
+		sched = *opts.Scheduler
+	}
+	d.server = boinc.NewServer(sched, d.validate, d.assimilate)
+	if opts.Policy != nil {
+		d.server.Scheduler(func(s *boinc.Scheduler) { s.SetPolicy(opts.Policy) })
+	}
 
 	// Initialize and publish the model.
 	net := nn.NewNetwork(cfg.Builder)
@@ -117,6 +149,11 @@ func NewDistributed(cfg JobConfig, spec ModelSpec, corpus *data.Corpus, pn int, 
 		return nil, err
 	}
 	d.server.PutFile("model.json", specBlob)
+	jobBlob, err := EncodeTrainParams(TrainParamsOf(cfg))
+	if err != nil {
+		return nil, err
+	}
+	d.server.PutFile(TrainParamsFile, jobBlob)
 	for i, s := range d.shards {
 		blob, err := s.Encode()
 		if err != nil {
@@ -136,6 +173,14 @@ func paramsFileName(epoch int) string { return fmt.Sprintf("params_e%03d.h5", ep
 
 // Server exposes the underlying BOINC server (an http.Handler).
 func (d *Distributed) Server() *boinc.Server { return d.server }
+
+// PServers returns the current parameter-server pool size.
+func (d *Distributed) PServers() int { return d.group.Size() }
+
+// SetPServers resizes the parameter-server pool (failover when PS
+// processes die, recovery when standbys join); assimilations in flight
+// drain through whatever servers remain, sharing one store.
+func (d *Distributed) SetPServers(n int) { d.group.Resize(n) }
 
 // Done is closed when training finishes (target met, epoch budget
 // exhausted, or unrecoverable failure).
@@ -173,9 +218,10 @@ func (d *Distributed) generateEpoch(epoch int) error {
 			return err
 		}
 		d.server.AddWorkunit(boinc.Workunit{
-			Name:       fmt.Sprintf("train_e%03d_s%03d", epoch, i),
-			InputFiles: []string{"model.json", pf, shardFileName(i)},
-			Payload:    payload,
+			Name:        fmt.Sprintf("train_e%03d_s%03d", epoch, i),
+			InputFiles:  []string{"model.json", pf, shardFileName(i)},
+			Payload:     payload,
+			Replication: d.replication,
 		})
 	}
 	return nil
@@ -225,7 +271,8 @@ func (d *Distributed) assimilate(wu *boinc.Workunit, output []byte) {
 	}
 	d.result.Epochs = append(d.result.Epochs, summary)
 	d.result.Curve.Add(metrics.Point{
-		Epoch: summary.Epoch, Value: summary.Mean, Lo: summary.Lo, Hi: summary.Hi,
+		Epoch: summary.Epoch, Hours: time.Since(d.start).Hours(),
+		Value: summary.Mean, Lo: summary.Lo, Hi: summary.Hi,
 	})
 	stopNow := d.stop.ShouldStop(summary)
 	if stopNow {

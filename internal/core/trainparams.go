@@ -1,0 +1,59 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// TrainParams is the wire-able subset of JobConfig a client needs to
+// execute training subtasks. The server publishes it as "job.json"
+// alongside "model.json", so client daemons configure themselves from
+// the project instead of hard-coding hyperparameters that silently
+// drift from the server's (the architecture itself still ships in
+// model.json and is decoded per assignment).
+type TrainParams struct {
+	LocalPasses  int     `json:"local_passes"`
+	BatchSize    int     `json:"batch_size"`
+	LearningRate float64 `json:"learning_rate"`
+	Seed         int64   `json:"seed"`
+}
+
+// TrainParamsFile is the published file name clients fetch.
+const TrainParamsFile = "job.json"
+
+// TrainParamsOf extracts the client-side hyperparameters of a job.
+func TrainParamsOf(cfg JobConfig) TrainParams {
+	return TrainParams{
+		LocalPasses:  cfg.LocalPasses,
+		BatchSize:    cfg.BatchSize,
+		LearningRate: cfg.LearningRate,
+		Seed:         cfg.Seed,
+	}
+}
+
+// JobConfig expands the params back into a client-side job config. The
+// Builder stays nil: NewTrainingApp decodes the architecture from each
+// assignment's model file.
+func (p TrainParams) JobConfig() JobConfig {
+	cfg := DefaultJobConfig(nil)
+	cfg.LocalPasses = p.LocalPasses
+	cfg.BatchSize = p.BatchSize
+	cfg.LearningRate = p.LearningRate
+	cfg.Seed = p.Seed
+	return cfg
+}
+
+// EncodeTrainParams serializes the params for publication.
+func EncodeTrainParams(p TrainParams) ([]byte, error) { return json.Marshal(p) }
+
+// DecodeTrainParams parses a published job.json blob.
+func DecodeTrainParams(blob []byte) (TrainParams, error) {
+	var p TrainParams
+	if err := json.Unmarshal(blob, &p); err != nil {
+		return TrainParams{}, fmt.Errorf("core: decode train params: %w", err)
+	}
+	if p.LocalPasses < 1 || p.BatchSize < 1 || p.LearningRate <= 0 {
+		return TrainParams{}, fmt.Errorf("core: train params out of range: %+v", p)
+	}
+	return p, nil
+}

@@ -1,9 +1,12 @@
 // Package data provides the image-classification workload for VCDL
 // experiments: a seeded synthetic dataset ("SynthCIFAR") standing in for
-// CIFAR-10 (see DESIGN.md §1), dataset splitting into the per-subtask
-// shards the paper's work generator produces (50 shards for CIFAR-10), and
-// compressed shard serialization analogous to the paper's 3.9 MB .npz
-// shard files.
+// CIFAR-10 (see DESIGN.md §1) with tunable class signal, jitter and
+// label noise, dataset splitting into the per-subtask shards the paper's
+// work generator produces (50 shards for CIFAR-10), compressed shard
+// serialization analogous to the paper's 3.9 MB .npz shard files — the
+// bytes real clients actually download — and View, the immutable
+// index-permutation view executors iterate so concurrent subtasks can
+// share one shard without copying (DESIGN.md §8).
 package data
 
 import (

@@ -71,6 +71,11 @@ type Spec struct {
 	// instantiated per Config lowering so workers never share one.
 	policyName string
 	policyArgs []string
+	// realSpec, when set, lowers the run onto the live fleet instead of
+	// the simulator (WithRealMode); realScale is its virtual→wall
+	// mapping (0 = live.DefaultTimeScale).
+	realSpec  *core.ModelSpec
+	realScale float64
 }
 
 // New builds a Spec for running job on corpus. Without options the spec
@@ -143,11 +148,16 @@ func (s *Spec) Config() vcsim.Config {
 	return cfg
 }
 
-// Run executes one spec to completion on the calling goroutine. Errors
-// are returned unwrapped; Sweep (and other callers) add the run label.
+// Run executes one spec to completion on the calling goroutine — on
+// the simulator, or on a live fleet when the spec carries WithRealMode.
+// Errors are returned unwrapped; Sweep (and other callers) add the run
+// label.
 func Run(s *Spec) (*Result, error) {
 	if s == nil {
 		return nil, fmt.Errorf("exp: nil spec")
+	}
+	if s.realSpec != nil {
+		return runReal(s)
 	}
 	return vcsim.Run(s.Config())
 }

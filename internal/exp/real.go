@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"vcdl/internal/cloud"
+	"vcdl/internal/core"
+	"vcdl/internal/live"
+	"vcdl/internal/store"
+)
+
+// realWallLimit bounds a real-mode run's wall clock: a wedged live
+// fleet fails the run instead of hanging a sweep worker.
+const realWallLimit = 2 * time.Minute
+
+// WithRealMode lowers the spec onto a live fleet (internal/live)
+// instead of the simulator: an in-process BOINC server plus real HTTP
+// client goroutines, paced by the simulator's execution model so the
+// Result's virtual times stay comparable (DESIGN.md §9). spec must
+// describe the same architecture the job's Builder builds — it is
+// published as model.json and every client trains from it. Sweeping
+// real-mode specs gives small sim↔real fidelity grids: the same
+// workload swept with and without WithRealMode, compared row by row.
+func WithRealMode(spec core.ModelSpec) Option {
+	return func(s *Spec) error {
+		if len(spec.Layers) == 0 {
+			return fmt.Errorf("real mode: empty model spec")
+		}
+		sc := spec
+		s.realSpec = &sc
+		return nil
+	}
+}
+
+// RealTimeScale sets real mode's virtual→wall mapping in wall seconds
+// per virtual second (default live.DefaultTimeScale, one virtual minute
+// per wall second). Smaller is faster and less faithful.
+func RealTimeScale(scale float64) Option {
+	return func(s *Spec) error {
+		if scale <= 0 {
+			return fmt.Errorf("real time scale %v <= 0", scale)
+		}
+		s.realScale = scale
+		return nil
+	}
+}
+
+// runReal executes a real-mode spec on a live fleet.
+func runReal(s *Spec) (*Result, error) {
+	cfg := s.Config()
+	st := cfg.Store
+	if st == nil {
+		st = store.NewEventual(1, 0, cfg.Seed)
+	}
+	fleet, err := live.StartFleet(live.FleetConfig{
+		Server: live.ServerConfig{
+			Job:         cfg.Job,
+			Spec:        *s.realSpec,
+			Corpus:      cfg.Corpus,
+			PServers:    cfg.PServers,
+			Store:       st,
+			Policy:      cfg.Policy,
+			Replication: cfg.Replication,
+		},
+		Name:               cfg.DisplayName() + "-real",
+		Fleet:              cloud.Place(cfg.ClientInstances, cfg.Regions),
+		TasksPerClient:     cfg.TasksPerClient,
+		BaseSubtaskSeconds: cfg.BaseSubtaskSeconds,
+		ThreadsPerTask:     cfg.ThreadsPerTask,
+		ContentionExp:      cfg.ContentionExp,
+		TimeoutVirtual:     cfg.TimeoutSeconds,
+		TimeScale:          s.realScale,
+		Preempt:            cfg.PreemptProb,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer fleet.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), realWallLimit)
+	defer cancel()
+	return fleet.Wait(ctx)
+}

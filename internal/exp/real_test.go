@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"testing"
+
+	"vcdl/internal/core"
+	"vcdl/internal/data"
+)
+
+// tinyRealSetup builds a small quick-workload job with its wire-able
+// model spec for real-mode lowering tests.
+func tinyRealSetup(t *testing.T) (core.JobConfig, core.ModelSpec, *data.Corpus) {
+	t.Helper()
+	dc := data.DefaultSynthConfig()
+	dc.NTrain, dc.NVal, dc.NTest = 300, 120, 120
+	dc.Seed = 11
+	corpus, err := data.GenerateSynth(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := core.SmallCNNSpec(dc.C, dc.H, dc.W, dc.Classes)
+	builder, err := spec.Builder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := core.DefaultJobConfig(builder)
+	job.Subtasks = 6
+	job.MaxEpochs = 2
+	job.BatchSize = 25
+	job.LocalPasses = 2
+	job.LearningRate = 0.01
+	job.ValSubset = 100
+	job.Seed = 11
+	return job, spec, corpus
+}
+
+// TestWithRealModeRun lowers one spec onto a live fleet and checks the
+// Result comes back in virtual units like a simulator run would.
+func TestWithRealModeRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second real-HTTP training run")
+	}
+	job, spec, corpus := tinyRealSetup(t)
+	s, err := New(job, corpus,
+		Name("fidelity-real"),
+		Topology(2, 3, 2),
+		Seed(11),
+		WithRealMode(spec),
+		RealTimeScale(1.0/600),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve.Points) != 2 {
+		t.Fatalf("epochs = %d, want 2", len(res.Curve.Points))
+	}
+	if res.Hours <= 0 || res.Hours > 24 {
+		t.Fatalf("virtual hours = %v, want a plausible virtual duration", res.Hours)
+	}
+	if res.Issued < 12 {
+		t.Fatalf("issued = %d, want >= 12", res.Issued)
+	}
+	if res.Name != "fidelity-real-real" {
+		t.Fatalf("name = %q", res.Name)
+	}
+}
+
+// TestWithRealModeValidates pins option-time validation.
+func TestWithRealModeValidates(t *testing.T) {
+	job, _, corpus := tinyRealSetup(t)
+	if _, err := New(job, corpus, WithRealMode(core.ModelSpec{})); err == nil {
+		t.Fatal("empty model spec accepted")
+	}
+	if _, err := New(job, corpus, RealTimeScale(0)); err == nil {
+		t.Fatal("zero time scale accepted")
+	}
+}

@@ -1,0 +1,132 @@
+// Package live runs the real distributed VCDL stack — an in-process
+// BOINC-style project server (core.Distributed) plus volunteer client
+// daemons speaking the HTTP protocol — as one orchestrated harness. It
+// is the code path the vcdl-server and vcdl-client binaries, the
+// scenario engine's real-mode driver (internal/scenario) and the
+// experiment API's real-mode lowering (internal/exp) all share: the
+// binaries wrap StartServer/RunClient around flags, the harnesses wrap
+// a whole Fleet and inject faults through the server's ClientControl
+// channel (DESIGN.md §9). Clients may run as goroutines (the default)
+// or as separate OS processes via a SpawnFunc.
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"vcdl/internal/boinc"
+	"vcdl/internal/core"
+	"vcdl/internal/data"
+	"vcdl/internal/store"
+)
+
+// ServerConfig describes the server half of a real distributed job.
+type ServerConfig struct {
+	Job    core.JobConfig
+	Spec   core.ModelSpec
+	Corpus *data.Corpus
+	// PServers is the initial parameter-server pool size.
+	PServers int
+	// Store backs the shared parameter copy (nil = strong store).
+	Store store.Store
+	// Scheduler overrides the BOINC scheduler mechanics (nil = default).
+	Scheduler *boinc.SchedulerConfig
+	// Policy selects the assignment policy (nil = paper policy).
+	Policy boinc.Policy
+	// Replication issues n concurrent copies of every workunit (0/1 = one).
+	Replication int
+}
+
+// Server is a running project server listening on a TCP port.
+type Server struct {
+	D   *core.Distributed
+	ln  net.Listener
+	hs  *http.Server
+	url string
+}
+
+// StartServer builds the distributed job and serves it on addr
+// (":0" picks a free port). The returned server is already accepting
+// scheduler requests.
+func StartServer(addr string, cfg ServerConfig) (*Server, error) {
+	d, err := core.NewDistributedJob(cfg.Job, cfg.Spec, cfg.Corpus, cfg.PServers, cfg.Store, core.DistOptions{
+		Scheduler:   cfg.Scheduler,
+		Policy:      cfg.Policy,
+		Replication: cfg.Replication,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: listen %s: %w", addr, err)
+	}
+	s := &Server{D: d, ln: ln, hs: &http.Server{Handler: d.Server()}}
+	host, port, _ := net.SplitHostPort(ln.Addr().String())
+	if ip := net.ParseIP(host); ip == nil || ip.IsUnspecified() {
+		host = "127.0.0.1"
+	}
+	s.url = "http://" + net.JoinHostPort(host, port)
+	go s.hs.Serve(ln)
+	return s, nil
+}
+
+// URL returns the server's base URL for clients.
+func (s *Server) URL() string { return s.url }
+
+// Close stops accepting connections.
+func (s *Server) Close() error { return s.hs.Close() }
+
+// ClientConfig describes one volunteer client daemon.
+type ClientConfig struct {
+	ID        string
+	ServerURL string
+	// Slots is the paper's Tn — simultaneous subtasks on this client.
+	Slots int
+	// Poll is the idle wait between work requests (0 = client default).
+	Poll time.Duration
+}
+
+// RunClient runs one volunteer client daemon to completion: it fetches
+// the project's published training hyperparameters (job.json) so client
+// and server can never disagree on them, then polls for work until ctx
+// is cancelled (abrupt death — in-flight results are abandoned) or the
+// server detaches it (boinc.ErrDetached; graceful — in-flight work
+// finishes first). The returned client carries the session counters
+// even when the loop ends in an error.
+func RunClient(ctx context.Context, cfg ClientConfig) (*boinc.Client, error) {
+	cl := boinc.NewClient(cfg.ID, cfg.ServerURL, cfg.Slots, nil)
+	if cfg.Poll > 0 {
+		cl.Poll = cfg.Poll
+	}
+	// Handshake: fetch job.json, waiting out a server that is still
+	// coming up (volunteer clients outlive server restarts).
+	var params core.TrainParams
+	for {
+		blob, err := cl.Download(core.TrainParamsFile)
+		if err == nil {
+			if params, err = core.DecodeTrainParams(blob); err != nil {
+				return cl, err
+			}
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return cl, ctx.Err()
+		case <-time.After(cl.Poll):
+		}
+	}
+	cl.App = core.NewTrainingApp(params.JobConfig())
+	err := cl.Loop(ctx)
+	if errors.Is(err, boinc.ErrDetached) {
+		return cl, err
+	}
+	if ctx.Err() != nil {
+		return cl, ctx.Err()
+	}
+	return cl, err
+}

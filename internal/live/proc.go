@@ -1,0 +1,64 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os/exec"
+	"strconv"
+	"time"
+
+	"vcdl/internal/boinc"
+)
+
+// SpawnProcess launches one client daemon as a separate OS process by
+// re-exec'ing exe in its hidden `_client` mode (cmd/vcdl-scenario
+// installs ClientProcMain under that name). Cancelling ctx kills the
+// process — an abrupt volunteer death, in-flight results abandoned.
+func SpawnProcess(ctx context.Context, exe string, cfg ClientConfig) (<-chan error, error) {
+	args := []string{"_client",
+		"-server", cfg.ServerURL,
+		"-id", cfg.ID,
+		"-slots", strconv.Itoa(cfg.Slots),
+	}
+	if cfg.Poll > 0 {
+		args = append(args, "-poll", cfg.Poll.String())
+	}
+	cmd := exec.CommandContext(ctx, exe, args...)
+	cmd.Stdout, cmd.Stderr = io.Discard, io.Discard
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	ch := make(chan error, 1)
+	go func() { ch <- cmd.Wait() }()
+	return ch, nil
+}
+
+// ClientProcMain is the process entry point behind SpawnProcess: it
+// parses the _client flags and runs the volunteer daemon until the
+// process is killed or the server detaches it (which exits cleanly).
+func ClientProcMain(args []string) error {
+	fs := flag.NewFlagSet("_client", flag.ContinueOnError)
+	server := fs.String("server", "", "project server base URL")
+	id := fs.String("id", "client", "client identifier")
+	slots := fs.Int("slots", 1, "simultaneous subtasks")
+	poll := fs.Duration("poll", 25*time.Millisecond, "idle poll interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *server == "" {
+		return fmt.Errorf("missing -server")
+	}
+	_, err := RunClient(context.Background(), ClientConfig{
+		ID:        *id,
+		ServerURL: *server,
+		Slots:     *slots,
+		Poll:      *poll,
+	})
+	if errors.Is(err, boinc.ErrDetached) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RunStats is the engine-independent summary both scenario engines (the
+// virtual-time simulator and the real-mode live fleet) report into: the
+// quantities the sim↔real fidelity comparison is made of. All times are
+// in the scenario's virtual hours — the real engine maps wall time back
+// through its time scale — except WallSeconds, which is honest wall
+// clock for both.
+type RunStats struct {
+	Scenario string
+	Mode     string
+	Seed     int64
+	// Epochs completed and the final validation accuracy.
+	Epochs        int
+	FinalAccuracy float64
+	// EpochsToTarget is the first epoch whose accuracy reached the
+	// scenario's target-accuracy (0 when no target was set, -1 when the
+	// target was never reached).
+	EpochsToTarget int
+	// Hours is total training time in virtual hours.
+	Hours float64
+	// Scheduler fault-tolerance counters.
+	Issued, Reissued, Timeouts int
+	// AssignMix counts issued assignments per scheduling policy.
+	AssignMix map[string]int
+	// WallSeconds is real elapsed time.
+	WallSeconds float64
+}
+
+// MixString renders the assignment mix as "policy:count|policy:count"
+// in policy-name order ("" for an empty mix), CSV-cell safe.
+func (s RunStats) MixString() string {
+	names := make([]string, 0, len(s.AssignMix))
+	for name := range s.AssignMix {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = fmt.Sprintf("%s:%d", name, s.AssignMix[name])
+	}
+	return strings.Join(parts, "|")
+}
+
+// FidelityHeader is the column row of a fidelity CSV.
+const FidelityHeader = "scenario,mode,seed,epochs,epochs_to_target,final_accuracy,hours,issued,reissued,timeouts,assign_mix,wall_seconds"
+
+// FidelityRow renders one RunStats as a fidelity CSV line.
+func FidelityRow(s RunStats) string {
+	return fmt.Sprintf("%s,%s,%d,%d,%d,%.4f,%.4f,%d,%d,%d,%s,%.2f",
+		s.Scenario, s.Mode, s.Seed, s.Epochs, s.EpochsToTarget, s.FinalAccuracy,
+		s.Hours, s.Issued, s.Reissued, s.Timeouts, s.MixString(), s.WallSeconds)
+}
+
+// FidelityCSV renders a full fidelity report: a header plus one row per
+// run, in input order (the scenario driver emits sim/real pairs
+// back-to-back so divergence reads line over line).
+func FidelityCSV(rows []RunStats) string {
+	var b strings.Builder
+	b.WriteString(FidelityHeader)
+	b.WriteByte('\n')
+	for _, r := range rows {
+		b.WriteString(FidelityRow(r))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

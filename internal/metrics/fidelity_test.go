@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMixString(t *testing.T) {
+	s := RunStats{AssignMix: map[string]int{"fifo": 3, "paper": 12, "deadline-aware": 1}}
+	if got := s.MixString(); got != "deadline-aware:1|fifo:3|paper:12" {
+		t.Fatalf("MixString = %q", got)
+	}
+	if got := (RunStats{}).MixString(); got != "" {
+		t.Fatalf("empty MixString = %q", got)
+	}
+}
+
+func TestFidelityCSV(t *testing.T) {
+	rows := []RunStats{
+		{Scenario: "s", Mode: "sim", Seed: 7, Epochs: 4, EpochsToTarget: 3, FinalAccuracy: 0.61,
+			Hours: 0.4028, Issued: 40, Reissued: 2, Timeouts: 1,
+			AssignMix: map[string]int{"paper": 40}, WallSeconds: 0.88},
+		{Scenario: "s", Mode: "real", Seed: 7, Epochs: 4, EpochsToTarget: -1, FinalAccuracy: 0.6,
+			Hours: 0.3, Issued: 41, Reissued: 3, Timeouts: 2,
+			AssignMix: map[string]int{"paper": 41}, WallSeconds: 18.1},
+	}
+	csv := FidelityCSV(rows)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), csv)
+	}
+	if lines[0] != FidelityHeader {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "s,sim,7,4,3,0.6100,0.4028,40,2,1,paper:40,0.88" {
+		t.Fatalf("sim row = %q", lines[1])
+	}
+	if lines[2] != "s,real,7,4,-1,0.6000,0.3000,41,3,2,paper:41,18.10" {
+		t.Fatalf("real row = %q", lines[2])
+	}
+	// Header and rows carry the same column count.
+	want := len(strings.Split(FidelityHeader, ","))
+	for _, l := range lines[1:] {
+		if got := len(strings.Split(l, ",")); got != want {
+			t.Fatalf("row %q has %d columns, want %d", l, got, want)
+		}
+	}
+}

@@ -1,7 +1,9 @@
-// Package metrics provides the time-series recording and summary
-// statistics the experiment harness uses to emit the paper's figures:
-// accuracy-vs-time curves with per-epoch spread (Figures 2, 4, 5, 6) and
-// text tables.
+// Package metrics provides the reporting substrate every harness shares:
+// time-series recording and summary statistics for the paper's figures
+// — accuracy-vs-time curves with per-epoch spread (Figures 2, 4, 5, 6)
+// — text tables, and the engine-independent run summary (RunStats) both
+// scenario engines report into, rendered by FidelityCSV as the sim↔real
+// fidelity report (DESIGN.md §9).
 package metrics
 
 import (

@@ -114,7 +114,29 @@ func NewGroup(n int, st store.Store, alpha opt.Schedule) *Group {
 }
 
 // Size returns the number of parameter servers.
-func (g *Group) Size() int { return len(g.servers) }
+func (g *Group) Size() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.servers)
+}
+
+// Resize grows or shrinks the pool to n servers (minimum 1), the
+// failover/recovery hook of the real-mode scenario driver: shrinking
+// models PS processes dying (their queued updates drain through the
+// survivors, which share the same store), growing models standbys
+// joining. It returns the new size.
+func (g *Group) Resize(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for len(g.servers) < n {
+		g.servers = append(g.servers, NewServer(len(g.servers), g.servers[0].Store, g.servers[0].Alpha))
+	}
+	g.servers = g.servers[:n]
+	return len(g.servers)
+}
 
 // Pick returns the next server round-robin (the even load split).
 func (g *Group) Pick() *Server {
@@ -126,16 +148,31 @@ func (g *Group) Pick() *Server {
 }
 
 // Server returns server i.
-func (g *Group) Server(i int) *Server { return g.servers[i] }
+func (g *Group) Server(i int) *Server {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.servers[i]
+}
+
+// first returns server 0 under the lock (Resize may be concurrently
+// swapping the slice; server 0 always survives a resize).
+func (g *Group) first() *Server {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.servers[0]
+}
 
 // Publish seeds the shared copy via the first server.
-func (g *Group) Publish(params []float64) error { return g.servers[0].Publish(params) }
+func (g *Group) Publish(params []float64) error { return g.first().Publish(params) }
 
 // Current reads the shared copy via the first server.
-func (g *Group) Current() ([]float64, error) { return g.servers[0].Current() }
+func (g *Group) Current() ([]float64, error) { return g.first().Current() }
 
-// TotalAssimilations sums per-server counters.
+// TotalAssimilations sums per-server counters. A Resize can drop
+// servers (and their counts) mid-run; the survivors' counters persist.
 func (g *Group) TotalAssimilations() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	n := 0
 	for _, s := range g.servers {
 		n += s.Assimilations()

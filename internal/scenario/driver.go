@@ -1,0 +1,131 @@
+package scenario
+
+import (
+	"fmt"
+
+	"vcdl/internal/boinc"
+	"vcdl/internal/cloud"
+)
+
+// Mode names a scenario execution engine.
+type Mode string
+
+const (
+	// ModeSim compiles the scenario onto the deterministic virtual-time
+	// simulator (vcsim) — the default.
+	ModeSim Mode = "sim"
+	// ModeReal compiles the same scenario onto a live fleet: an
+	// in-process BOINC server plus real client daemons (goroutines or
+	// OS processes) speaking the HTTP protocol, with virtual event
+	// times mapped onto the wall clock (internal/live, DESIGN.md §9).
+	ModeReal Mode = "real"
+)
+
+// ParseMode validates a -mode flag value.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case "", ModeSim:
+		return ModeSim, nil
+	case ModeReal:
+		return ModeReal, nil
+	}
+	return "", fmt.Errorf("unknown mode %q (want sim or real)", s)
+}
+
+// Injector is the engine-side injection surface scenario events drive.
+// Both engines implement it: *vcsim.Sim natively (its hooks were built
+// for this) and *live.Fleet by translating each call into client
+// controls, process kills or scheduler reconfiguration on the live
+// deployment. Events that only one engine can express (graceful
+// detach) type-assert for the extra capability instead.
+type Injector interface {
+	ActiveClients() []string
+	AddClient(inst cloud.InstanceType, region cloud.Region) string
+	RemoveClients(n int) []string
+	RemoveClient(id string) bool
+	SlowClient(id string, factor float64) bool
+	SlowClientAt(i int, factor float64) (string, bool)
+	SetPreemptProb(p float64)
+	PreemptModel(p float64) cloud.PreemptModel
+	FleetShape() (subtasks, tasksPerClient int)
+	SetRegionRTT(region cloud.Region, rtt float64)
+	ClearRegionRTT(region cloud.Region)
+	PServers() int
+	SetPServers(n int)
+	SetTimeout(seconds float64)
+	SetReliabilityFloor(floor float64)
+	SetPolicy(p boinc.Policy)
+	PolicyName() string
+}
+
+// Detacher is the graceful-departure capability only the real engine
+// has: the client finishes its in-flight assignments before leaving.
+type Detacher interface {
+	DetachClient(id string) bool
+	DetachClients(n int) []string
+}
+
+// Modes reports which engines can execute the scenario, and for each
+// unsupported engine the constructs that rule it out.
+func (sc *Scenario) Modes() (modes []Mode, reasons map[Mode][]string) {
+	reasons = map[Mode][]string{}
+	f := sc.Fleet
+
+	// Simulator-only constructs: the real engine trains for real, so it
+	// has no compute backends to swap, runs only the quick workload at
+	// scenario time scales, has no §III-D autoscaler model and no cloud
+	// billing model.
+	var noReal []string
+	if f.Workload == "paper" {
+		noReal = append(noReal, "workload paper (real mode runs the quick workload)")
+	}
+	if f.Compute != "" && f.Compute != "real" {
+		noReal = append(noReal, fmt.Sprintf("compute %s (compute backends are a simulator concept)", f.Compute))
+	}
+	if f.AutoScale {
+		noReal = append(noReal, "autoscale (the PS autoscaler is modelled only in the simulator)")
+	}
+	for _, a := range sc.Asserts {
+		switch a.Metric {
+		case "cost_standard_usd", "cost_preemptible_usd":
+			noReal = append(noReal, fmt.Sprintf("assertion %q (cloud billing is modelled only in the simulator)", a.Raw))
+		}
+	}
+
+	// Real-only constructs: process isolation and graceful detach have
+	// no simulator equivalent.
+	var noSim []string
+	if f.Procs {
+		noSim = append(noSim, "procs on (process-isolated clients need the real engine)")
+	}
+	for _, ev := range sc.Events {
+		if _, ok := ev.(detachEvent); ok {
+			noSim = append(noSim, fmt.Sprintf("event %q (graceful detach needs the real engine; sim departures are abrupt)", ev.Desc()))
+		}
+	}
+
+	if len(noSim) == 0 {
+		modes = append(modes, ModeSim)
+	} else {
+		reasons[ModeSim] = noSim
+	}
+	if len(noReal) == 0 {
+		modes = append(modes, ModeReal)
+	} else {
+		reasons[ModeReal] = noReal
+	}
+	return modes, reasons
+}
+
+// SupportsMode reports whether the scenario can run under m, with the
+// blocking constructs in the error when it cannot.
+func (sc *Scenario) SupportsMode(m Mode) error {
+	modes, reasons := sc.Modes()
+	for _, got := range modes {
+		if got == m {
+			return nil
+		}
+	}
+	list := reasons[m]
+	return fmt.Errorf("scenario %s does not support -mode %s: %v", sc.Name, m, list)
+}

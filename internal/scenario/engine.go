@@ -5,22 +5,31 @@ import (
 	"io"
 	"time"
 
+	"vcdl/internal/live"
+	"vcdl/internal/metrics"
 	"vcdl/internal/vcsim"
 )
 
 // Report is the outcome of one scenario run.
 type Report struct {
 	Scenario *Scenario
-	Result   *vcsim.Result
+	// Mode is the engine that executed the run.
+	Mode   Mode
+	Result *vcsim.Result
 	// Trace records every applied event with its virtual time, plus the
-	// run's closing summary — the determinism contract is that the same
-	// scenario and seed always produce an identical trace.
+	// run's closing summary. In sim mode the determinism contract is
+	// that the same scenario and seed always produce an identical
+	// trace; real-mode traces are wall-clock honest and only
+	// approximately reproducible.
 	Trace []string
 	// WallclockSeconds is real elapsed time (excluded from Trace so the
-	// trace stays deterministic).
+	// sim trace stays deterministic).
 	WallclockSeconds float64
-	Checks           []Check
-	Passed           bool
+	// Stats is the engine-independent summary the fidelity report
+	// compares across modes.
+	Stats  metrics.RunStats
+	Checks []Check
+	Passed bool
 }
 
 // Options tunes a scenario run.
@@ -29,11 +38,32 @@ type Options struct {
 	Seed *int64
 	// Progress, when non-nil, receives trace lines as they happen.
 	Progress io.Writer
+	// Mode selects the engine ("" = ModeSim).
+	Mode Mode
+	// TimeScale is the real-mode virtual→wall mapping in wall seconds
+	// per virtual second (0 = live.DefaultTimeScale, one virtual minute
+	// per wall second). Ignored in sim mode.
+	TimeScale float64
+	// WallLimit aborts a real-mode run that exceeds this wall-clock
+	// budget (0 = 120s). Ignored in sim mode.
+	WallLimit time.Duration
+	// Spawn overrides how real-mode clients are launched (nil =
+	// in-process goroutines; cmd/vcdl-scenario's -procs mode passes a
+	// process spawner). Ignored in sim mode.
+	Spawn live.SpawnFunc
 }
 
-// RunScenario validates, compiles and runs a scenario to completion.
+// RunScenario validates, compiles and runs a scenario to completion on
+// the engine opts.Mode selects.
 func RunScenario(sc *Scenario, opts Options) (*Report, error) {
 	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	mode, err := ParseMode(string(opts.Mode))
+	if err != nil {
+		return nil, err
+	}
+	if err := sc.SupportsMode(mode); err != nil {
 		return nil, err
 	}
 	if opts.Seed != nil {
@@ -46,6 +76,65 @@ func RunScenario(sc *Scenario, opts Options) (*Report, error) {
 		}
 		sc.Fleet.Seed = *opts.Seed
 	}
+	if mode == ModeReal {
+		return runReal(sc, opts)
+	}
+	return runSim(sc, opts)
+}
+
+// traceTo appends a line to the report's trace, echoing to Progress.
+func (rep *Report) traceTo(progress io.Writer, line string) {
+	rep.Trace = append(rep.Trace, line)
+	if progress != nil {
+		fmt.Fprintln(progress, line)
+	}
+}
+
+// finishReport assembles the post-run bookkeeping shared by both
+// engines: the closing trace line, the fidelity stats and the
+// assertion checks.
+func (rep *Report) finish(sc *Scenario, opts Options, res *vcsim.Result) {
+	rep.Result = res
+	rep.traceTo(opts.Progress, fmt.Sprintf("[%7.3fh] done: %d epochs, final accuracy %.4f, issued %d, reissued %d, timeouts %d",
+		res.Hours, len(res.Curve.Points), res.Curve.FinalValue(), res.Issued, res.Reissued, res.Timeouts))
+	rep.Stats = buildStats(sc, rep.Mode, res, rep.WallclockSeconds)
+	rep.Checks, rep.Passed = evaluate(sc.Asserts, res, rep.WallclockSeconds)
+}
+
+// buildStats extracts the engine-independent fidelity summary.
+func buildStats(sc *Scenario, mode Mode, res *vcsim.Result, wallSec float64) metrics.RunStats {
+	seed := sc.Fleet.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	toTarget := 0
+	if target := sc.Fleet.TargetAccuracy; target > 0 {
+		toTarget = -1
+		for _, p := range res.Curve.Points {
+			if p.Value >= target {
+				toTarget = p.Epoch
+				break
+			}
+		}
+	}
+	return metrics.RunStats{
+		Scenario:       sc.Name,
+		Mode:           string(mode),
+		Seed:           seed,
+		Epochs:         len(res.Curve.Points),
+		FinalAccuracy:  res.Curve.FinalValue(),
+		EpochsToTarget: toTarget,
+		Hours:          res.Hours,
+		Issued:         res.Issued,
+		Reissued:       res.Reissued,
+		Timeouts:       res.Timeouts,
+		AssignMix:      res.AssignMix,
+		WallSeconds:    wallSec,
+	}
+}
+
+// runSim compiles the scenario onto the virtual-time simulator.
+func runSim(sc *Scenario, opts Options) (*Report, error) {
 	cfg, err := sc.BuildConfig()
 	if err != nil {
 		return nil, err
@@ -70,27 +159,21 @@ func RunScenario(sc *Scenario, opts Options) (*Report, error) {
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
 
-	rep := &Report{Scenario: sc}
-	trace := func(line string) {
-		rep.Trace = append(rep.Trace, line)
-		if opts.Progress != nil {
-			fmt.Fprintln(opts.Progress, line)
-		}
-	}
+	rep := &Report{Scenario: sc, Mode: ModeSim}
 	workload := sc.Fleet.Workload
 	if workload == "" {
 		workload = "quick"
 	}
-	live := s.Config()
-	trace(fmt.Sprintf("scenario %s: P%dC%dT%d %s workload, seed %d, %d events, %d assertions",
-		sc.Name, live.PServers, len(live.ClientInstances), live.TasksPerClient,
-		workload, live.Seed, len(sc.Events), len(sc.Asserts)))
+	lc := s.Config()
+	rep.traceTo(opts.Progress, fmt.Sprintf("scenario %s: P%dC%dT%d %s workload, seed %d, %d events, %d assertions",
+		sc.Name, lc.PServers, len(lc.ClientInstances), lc.TasksPerClient,
+		workload, lc.Seed, len(sc.Events), len(sc.Asserts)))
 
 	eng := s.Engine()
 	for _, ev := range sc.Events {
 		ev := ev
 		eng.ScheduleAt(ev.At(), func() {
-			trace(fmt.Sprintf("[%7.3fh] %s", eng.NowHours(), ev.Apply(s)))
+			rep.traceTo(opts.Progress, fmt.Sprintf("[%7.3fh] %s", eng.NowHours(), ev.Apply(s)))
 		})
 	}
 
@@ -100,10 +183,7 @@ func RunScenario(sc *Scenario, opts Options) (*Report, error) {
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
 	rep.WallclockSeconds = time.Since(start).Seconds()
-	rep.Result = res
-	trace(fmt.Sprintf("[%7.3fh] done: %d epochs, final accuracy %.4f, issued %d, reissued %d, timeouts %d",
-		res.Hours, len(res.Curve.Points), res.Curve.FinalValue(), res.Issued, res.Reissued, res.Timeouts))
-	rep.Checks, rep.Passed = evaluate(sc.Asserts, res, rep.WallclockSeconds)
+	rep.finish(sc, opts, res)
 	return rep, nil
 }
 
@@ -111,8 +191,8 @@ func RunScenario(sc *Scenario, opts Options) (*Report, error) {
 // Options.Progress or Report.Trace).
 func (rep *Report) Summary() string {
 	res := rep.Result
-	s := fmt.Sprintf("scenario %-24s %2d epochs  %7.2f h virtual  acc %.4f  (%.2fs wall)\n",
-		rep.Scenario.Name, len(res.Curve.Points), res.Hours, res.Curve.FinalValue(), rep.WallclockSeconds)
+	s := fmt.Sprintf("scenario %-24s %2d epochs  %7.2f h virtual  acc %.4f  (%.2fs wall, %s)\n",
+		rep.Scenario.Name, len(res.Curve.Points), res.Hours, res.Curve.FinalValue(), rep.WallclockSeconds, rep.Mode)
 	for _, c := range rep.Checks {
 		s += "  " + c.String() + "\n"
 	}

@@ -6,7 +6,6 @@ import (
 
 	"vcdl/internal/boinc"
 	"vcdl/internal/cloud"
-	"vcdl/internal/vcsim"
 )
 
 // fmtT renders an event's virtual firing time for descriptions.
@@ -38,7 +37,7 @@ func (e joinEvent) Desc() string {
 	}
 	return fmt.Sprintf("at %s join %d %s @%s", fmtT(e.at), e.n, name, e.region)
 }
-func (e joinEvent) Apply(s *vcsim.Sim) string {
+func (e joinEvent) Apply(s Injector) string {
 	types := []cloud.InstanceType{e.inst}
 	if e.mixed {
 		types = cloud.ClientTypes()
@@ -72,7 +71,7 @@ func (e leaveEvent) Desc() string {
 	}
 	return fmt.Sprintf("at %s leave %d", fmtT(e.at), e.n)
 }
-func (e leaveEvent) Apply(s *vcsim.Sim) string {
+func (e leaveEvent) Apply(s Injector) string {
 	if e.id != "" {
 		if s.RemoveClient(e.id) {
 			return "leave " + e.id
@@ -95,16 +94,15 @@ func (e preemptEvent) At() float64 { return e.at }
 func (e preemptEvent) Desc() string {
 	return fmt.Sprintf("at %s preempt %g", fmtT(e.at), e.p)
 }
-func (e preemptEvent) Apply(s *vcsim.Sim) string {
+func (e preemptEvent) Apply(s Injector) string {
 	s.SetPreemptProb(e.p)
 	if e.p == 0 {
 		return "preemption storm ends (p=0)"
 	}
-	cfg := s.Config()
 	m := s.PreemptModel(e.p)
-	ns := cfg.Job.Subtasks
+	ns, tn := s.FleetShape()
 	nc := len(s.ActiveClients())
-	inc := m.ExpectedIncreaseSeconds(ns, nc, cfg.TasksPerClient)
+	inc := m.ExpectedIncreaseSeconds(ns, nc, tn)
 	return fmt.Sprintf("preemption storm p=%g (binomial model: +%.1f min/epoch expected)", e.p, inc/60)
 }
 
@@ -120,7 +118,7 @@ func (e outageEvent) At() float64 { return e.at }
 func (e outageEvent) Desc() string {
 	return fmt.Sprintf("at %s outage %s rtt=%gs", fmtT(e.at), e.region, e.rtt)
 }
-func (e outageEvent) Apply(s *vcsim.Sim) string {
+func (e outageEvent) Apply(s Injector) string {
 	s.SetRegionRTT(e.region, e.rtt)
 	return fmt.Sprintf("region %s outage: RTT %.0f ms -> %.0f ms", e.region, e.region.RTT()*1000, e.rtt*1000)
 }
@@ -134,7 +132,7 @@ func (e recoverEvent) At() float64 { return e.at }
 func (e recoverEvent) Desc() string {
 	return fmt.Sprintf("at %s recover %s", fmtT(e.at), e.region)
 }
-func (e recoverEvent) Apply(s *vcsim.Sim) string {
+func (e recoverEvent) Apply(s Injector) string {
 	s.ClearRegionRTT(e.region)
 	return fmt.Sprintf("region %s recovered (RTT back to %.0f ms)", e.region, e.region.RTT()*1000)
 }
@@ -156,7 +154,7 @@ func (e slowEvent) Desc() string {
 	}
 	return fmt.Sprintf("at %s slow %s x%g", fmtT(e.at), who, e.factor)
 }
-func (e slowEvent) Apply(s *vcsim.Sim) string {
+func (e slowEvent) Apply(s Injector) string {
 	if e.id != "" {
 		if s.SlowClient(e.id, e.factor) {
 			return fmt.Sprintf("slow %s x%g", e.id, e.factor)
@@ -183,7 +181,7 @@ func (e psEvent) Desc() string {
 	}
 	return fmt.Sprintf("at %s ps-recover %d", fmtT(e.at), e.delta)
 }
-func (e psEvent) Apply(s *vcsim.Sim) string {
+func (e psEvent) Apply(s Injector) string {
 	before := s.PServers()
 	s.SetPServers(before + e.delta)
 	if e.delta < 0 {
@@ -205,7 +203,7 @@ func (e policyEvent) At() float64 { return e.at }
 func (e policyEvent) Desc() string {
 	return strings.TrimSpace(fmt.Sprintf("at %s policy %s %s", fmtT(e.at), e.name, strings.Join(e.args, " ")))
 }
-func (e policyEvent) Apply(s *vcsim.Sim) string {
+func (e policyEvent) Apply(s Injector) string {
 	p, err := boinc.NewPolicy(e.name, e.args...)
 	if err != nil {
 		return fmt.Sprintf("policy %s not swapped: %v", e.name, err)
@@ -226,7 +224,7 @@ func (e setEvent) At() float64 { return e.at }
 func (e setEvent) Desc() string {
 	return fmt.Sprintf("at %s set %s %g", fmtT(e.at), e.key, e.value)
 }
-func (e setEvent) Apply(s *vcsim.Sim) string {
+func (e setEvent) Apply(s Injector) string {
 	switch e.key {
 	case "timeout":
 		s.SetTimeout(e.value)
@@ -236,4 +234,36 @@ func (e setEvent) Apply(s *vcsim.Sim) string {
 		return fmt.Sprintf("scheduler reliability floor -> %g", e.value)
 	}
 	return "set " + e.key + " (unknown key)"
+}
+
+// detachEvent gracefully departs clients: they finish their in-flight
+// assignments before leaving (the server's detach control). Real-mode
+// only — the simulator's departures are always abrupt, so Modes marks
+// scenarios using it as real-only.
+type detachEvent struct {
+	at float64
+	n  int
+	id string // non-empty: detach this client instead of a count
+}
+
+func (e detachEvent) At() float64 { return e.at }
+func (e detachEvent) Desc() string {
+	if e.id != "" {
+		return fmt.Sprintf("at %s detach %s", fmtT(e.at), e.id)
+	}
+	return fmt.Sprintf("at %s detach %d", fmtT(e.at), e.n)
+}
+func (e detachEvent) Apply(s Injector) string {
+	d, ok := s.(Detacher)
+	if !ok {
+		return "detach skipped (engine cannot express graceful departure)"
+	}
+	if e.id != "" {
+		if d.DetachClient(e.id) {
+			return "detach " + e.id
+		}
+		return fmt.Sprintf("detach %s (no such active client)", e.id)
+	}
+	gone := d.DetachClients(e.n)
+	return fmt.Sprintf("detach %d clients %v (%d active remain)", len(gone), gone, len(s.ActiveClients()))
 }

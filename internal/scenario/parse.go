@@ -32,6 +32,7 @@ import (
 //	  timeout 20m
 //	  regions us-east us-west
 //	  sticky off
+//	  procs on                      # real mode: clients as OS processes
 //	  autoscale on 8
 //	  target-accuracy 0.8
 //	  policy fifo                   # scheduling policy (boinc.PolicyNames)
@@ -45,6 +46,7 @@ import (
 //	  at 50m  preempt 0             # storm end
 //	  at 5m   join 2 clientB us-west
 //	  at 40m  leave 2               # most recent joiners depart first
+//	  at 42m  detach 1              # graceful departure (real mode only)
 //	  at 20m  outage us-west 5s     # region RTT spikes to 5 s
 //	  at 45m  recover us-west
 //	  at 5m   slow 0 4.0            # straggler: client #0 runs 4x slower
@@ -223,6 +225,11 @@ func (p *parser) fleetLine(n int, key string, fields []string) {
 		if ok {
 			f.StickyOff = !v
 		}
+	case "procs":
+		v, ok := p.onOff(n, key, args)
+		if ok {
+			f.Procs = v
+		}
 	case "autoscale":
 		if len(args) < 1 || len(args) > 2 {
 			p.errorf(n, "want 'autoscale on|off [max]'")
@@ -337,6 +344,20 @@ func (p *parser) eventLine(n int, fields []string) {
 			return
 		}
 		p.sc.Events = append(p.sc.Events, leaveEvent{at: at, id: args[0]})
+	case "detach":
+		if len(args) != 1 {
+			bad("detach <n|client-id>")
+			return
+		}
+		if cnt, err := strconv.Atoi(args[0]); err == nil {
+			if cnt < 1 {
+				p.errorf(n, "bad detach count %q", args[0])
+				return
+			}
+			p.sc.Events = append(p.sc.Events, detachEvent{at: at, n: cnt})
+			return
+		}
+		p.sc.Events = append(p.sc.Events, detachEvent{at: at, id: args[0]})
 	case "preempt":
 		if len(args) != 1 {
 			bad("preempt <p>")
@@ -453,7 +474,7 @@ func (p *parser) eventLine(n int, fields []string) {
 			p.errorf(n, "unknown set key %q (want timeout or floor)", args[0])
 		}
 	default:
-		p.errorf(n, "unknown event %q (want join/leave/preempt/outage/recover/slow/ps-fail/ps-recover/policy/set)", fields[2])
+		p.errorf(n, "unknown event %q (want join/leave/detach/preempt/outage/recover/slow/ps-fail/ps-recover/policy/set)", fields[2])
 	}
 }
 

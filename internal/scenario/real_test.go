@@ -1,0 +1,184 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// loadString parses+validates a scenario from source text.
+func loadString(t *testing.T, src string) *Scenario {
+	t.Helper()
+	sc, err := Parse(strings.NewReader(src), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestRealModeTinyRun drives a minimal scenario through the live fleet:
+// server + 3 goroutine clients over real HTTP, checking the report maps
+// everything back into virtual units.
+func TestRealModeTinyRun(t *testing.T) {
+	sc := loadString(t, `
+scenario real-tiny
+fleet:
+  pservers 2
+  clients 3
+  tasks 2
+  epochs 2
+  subtasks 6
+  seed 3
+assert:
+  epochs == 2
+  final_accuracy >= 0.05
+  issued >= 12
+`)
+	rep, err := RunScenario(sc, Options{Mode: ModeReal, TimeScale: 1.0 / 600, WallLimit: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("assertions failed:\n%s", rep.Summary())
+	}
+	if rep.Mode != ModeReal || rep.Stats.Mode != "real" {
+		t.Fatalf("mode = %q / stats %q, want real", rep.Mode, rep.Stats.Mode)
+	}
+	if rep.Stats.Epochs != 2 || rep.Stats.Issued < 12 {
+		t.Fatalf("stats = %+v", rep.Stats)
+	}
+	if len(rep.Result.AssignMix) == 0 {
+		t.Fatalf("no assignment mix recorded")
+	}
+	if rep.Result.BytesDownloaded == 0 || rep.Result.BytesUploaded == 0 {
+		t.Fatalf("no traffic recorded: %d down %d up", rep.Result.BytesDownloaded, rep.Result.BytesUploaded)
+	}
+}
+
+// TestRealModeEvents exercises the wall-clock event mapping: churn,
+// straggler shaping, a PS failover and a policy swap, all against the
+// live fleet.
+func TestRealModeEvents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second real-mode run")
+	}
+	sc := loadString(t, `
+scenario real-events
+fleet:
+  pservers 2
+  clients 3
+  tasks 2
+  epochs 3
+  subtasks 6
+  seed 5
+events:
+  at 2m  join 1 clientB
+  at 3m  slow 0 3.0
+  at 4m  ps-fail 1
+  at 6m  ps-recover 1
+  at 7m  policy fifo
+  at 8m  leave 1
+assert:
+  epochs == 3
+  max_ps >= 2
+`)
+	rep, err := RunScenario(sc, Options{Mode: ModeReal, TimeScale: 1.0 / 300, WallLimit: 90 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("assertions failed:\n%s\ntrace:\n%s", rep.Summary(), strings.Join(rep.Trace, "\n"))
+	}
+	trace := strings.Join(rep.Trace, "\n")
+	for _, want := range []string{"join client-03", "slow client-00", "parameter-server failover: 2 -> 1 PS", "parameter-server recovery: 1 -> 2 PS", "scheduler policy paper -> fifo", "leave 1 clients"} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace missing %q:\n%s", want, trace)
+		}
+	}
+}
+
+// TestRealModeDetach pins the real-only graceful departure: the
+// detached client finishes in-flight work, so its scenario is marked
+// real-only by Modes.
+func TestRealModeDetach(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second real-mode run")
+	}
+	sc := loadString(t, `
+scenario real-detach
+fleet:
+  pservers 1
+  clients 3
+  tasks 1
+  epochs 2
+  subtasks 6
+  seed 9
+events:
+  at 2m detach 1
+assert:
+  epochs == 2
+`)
+	modes, reasons := sc.Modes()
+	if len(modes) != 1 || modes[0] != ModeReal {
+		t.Fatalf("modes = %v (reasons %v), want [real]", modes, reasons)
+	}
+	if err := sc.SupportsMode(ModeSim); err == nil {
+		t.Fatal("detach scenario unexpectedly supports sim mode")
+	}
+	rep, err := RunScenario(sc, Options{Mode: ModeReal, TimeScale: 1.0 / 300, WallLimit: 90 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("assertions failed:\n%s\ntrace:\n%s", rep.Summary(), strings.Join(rep.Trace, "\n"))
+	}
+	if !strings.Contains(strings.Join(rep.Trace, "\n"), "detach 1 clients") {
+		t.Fatalf("trace missing detach:\n%s", strings.Join(rep.Trace, "\n"))
+	}
+}
+
+// TestModesRules pins the mode-support matrix for sim-only constructs.
+func TestModesRules(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []Mode
+	}{
+		{"plain", "scenario s\nfleet:\n  clients 2\n", []Mode{ModeSim, ModeReal}},
+		{"paper", "scenario s\nfleet:\n  workload paper\n", []Mode{ModeSim}},
+		{"compute", "scenario s\nfleet:\n  compute cached\n", []Mode{ModeSim}},
+		{"compute-real", "scenario s\nfleet:\n  compute real\n", []Mode{ModeSim, ModeReal}},
+		{"autoscale", "scenario s\nfleet:\n  autoscale on 4\n", []Mode{ModeSim}},
+		{"cost", "scenario s\nassert:\n  cost_standard_usd <= 10\n", []Mode{ModeSim}},
+		{"procs", "scenario s\nfleet:\n  procs on\n", []Mode{ModeReal}},
+		{"detach", "scenario s\nevents:\n  at 1m detach 1\n", []Mode{ModeReal}},
+		{"procs-and-paper", "scenario s\nfleet:\n  workload paper\n  procs on\n", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := loadString(t, tc.src)
+			modes, reasons := sc.Modes()
+			if len(modes) != len(tc.want) {
+				t.Fatalf("modes = %v, want %v (reasons %v)", modes, tc.want, reasons)
+			}
+			for i := range modes {
+				if modes[i] != tc.want[i] {
+					t.Fatalf("modes = %v, want %v", modes, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestProcsDirectiveNeedsSpawner pins the 'procs on' contract: the
+// library refuses to silently downgrade to goroutine clients.
+func TestProcsDirectiveNeedsSpawner(t *testing.T) {
+	sc := loadString(t, "scenario p\nfleet:\n  clients 2\n  procs on\n")
+	_, err := RunScenario(sc, Options{Mode: ModeReal, TimeScale: 1.0 / 600})
+	if err == nil || !strings.Contains(err.Error(), "procs on") {
+		t.Fatalf("err = %v, want 'procs on' spawner error", err)
+	}
+}

@@ -1,12 +1,21 @@
-// Package scenario adds a declarative fault/churn scenario layer on top
-// of the deterministic simulator: a scenario file names a fleet, a list
-// of timed events (volunteer churn, preemption storms, region outages,
-// straggler slowdowns, parameter-server failover, live scheduler
-// reconfiguration) and a list of assertions over the run's metrics. The
-// engine compiles the events onto the sim.Engine clock, drives the run
-// through the vcsim injection hooks and checks the assertions — opening
-// the whole class of operational workloads the paper's fixed PnCnTn
-// evaluation never exercises (DESIGN.md §5).
+// Package scenario adds a declarative fault/churn scenario layer over
+// both execution stacks: a scenario file names a fleet, a list of timed
+// events (volunteer churn, preemption storms, region outages, straggler
+// slowdowns, parameter-server failover, live scheduler reconfiguration)
+// and a list of assertions over the run's metrics — opening the whole
+// class of operational workloads the paper's fixed PnCnTn evaluation
+// never exercises (DESIGN.md §5). The full grammar reference is
+// docs/scenario-dsl.md.
+//
+// The same file compiles onto two engines through one Injector
+// interface: ModeSim schedules the events on the deterministic
+// simulator's virtual clock (vcsim.Sim hooks; identical trace per
+// seed), and ModeReal maps them onto the wall clock against a live
+// fleet — an in-process BOINC server plus real HTTP client daemons
+// (internal/live) — with all reported times mapped back into virtual
+// hours. Scenario.Modes classifies which engines a file supports, and
+// both engines fill metrics.RunStats, the rows of the sim↔real
+// fidelity CSV (DESIGN.md §9).
 package scenario
 
 import (
@@ -73,17 +82,24 @@ type FleetSpec struct {
 	ComputeWorkers int
 	// Replication issues this many copies of every subtask (0/1 = one).
 	Replication int
+	// Procs asks the real-mode driver to run clients as separate OS
+	// processes instead of in-process goroutines (real mode only; the
+	// CLI's -procs flag is the same switch).
+	Procs bool
 }
 
-// Event is one timed injection against a running simulation.
+// Event is one timed injection against a running engine (simulated or
+// real — the same event applies to either through Injector).
 type Event interface {
-	// At is the virtual time (seconds) the event fires.
+	// At is the virtual time (seconds) the event fires. The sim engine
+	// fires it on the virtual clock; the real engine maps it onto the
+	// wall clock through the run's time scale.
 	At() float64
 	// Desc renders the event for listings and validation output.
 	Desc() string
-	// Apply mutates the running simulation and returns a trace line
+	// Apply mutates the running engine and returns a trace line
 	// fragment describing what happened.
-	Apply(s *vcsim.Sim) string
+	Apply(s Injector) string
 }
 
 // instanceByName resolves a fleet/client type name: the clientA..D
@@ -161,6 +177,31 @@ func (sc *Scenario) Validate() error {
 		return fmt.Errorf("scenario %s: %s", sc.Name, strings.Join(errs, "; "))
 	}
 	return nil
+}
+
+// BuildReal lowers the fleet spec for the real-mode driver: the same
+// simulation config BuildConfig produces (the real engine reads the
+// workload, fleet, timeout and policy from it) plus the serializable
+// model spec the live server publishes as model.json. Only the quick
+// workload has a wire-able spec; paper-workload scenarios are sim-only.
+func (sc *Scenario) BuildReal() (vcsim.Config, core.ModelSpec, error) {
+	if w := sc.Fleet.Workload; w != "" && w != "quick" {
+		return vcsim.Config{}, core.ModelSpec{}, fmt.Errorf("scenario %s: workload %q has no real-mode lowering", sc.Name, w)
+	}
+	cfg, err := sc.BuildConfig()
+	if err != nil {
+		return vcsim.Config{}, core.ModelSpec{}, err
+	}
+	dc := data.DefaultSynthConfig()
+	spec := core.SmallCNNSpec(dc.C, dc.H, dc.W, dc.Classes)
+	builder, err := spec.Builder()
+	if err != nil {
+		return vcsim.Config{}, core.ModelSpec{}, err
+	}
+	// Server, evaluator and clients all build the architecture from the
+	// published spec, so they cannot drift from one another.
+	cfg.Job.Builder = builder
+	return cfg, spec, nil
 }
 
 // BuildConfig turns the fleet spec into a runnable simulation config.

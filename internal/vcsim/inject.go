@@ -253,3 +253,9 @@ func (s *Sim) SetPolicy(p boinc.Policy) {
 func (s *Sim) PolicyName() string {
 	return s.r.sched.Policy().Name()
 }
+
+// FleetShape reports the run's subtasks-per-epoch and tasks-per-client,
+// the quantities the scenario engine's preemption narrative needs.
+func (s *Sim) FleetShape() (subtasks, tasksPerClient int) {
+	return s.r.cfg.Job.Subtasks, s.r.cfg.TasksPerClient
+}

@@ -173,6 +173,9 @@ type Result struct {
 	BytesDownloaded            int64
 	BytesUploaded              int64
 	StoreStats                 store.Stats
+	// AssignMix counts issued assignments per scheduling policy (runs
+	// with hot policy swaps split across the policies that decided).
+	AssignMix map[string]int
 
 	// Cost of the fleet (server + clients) for the run duration.
 	CostStandardUSD    float64
@@ -698,6 +701,7 @@ func (r *run) finish() (*Result, error) {
 	r.res.Issued = r.sched.Issued
 	r.res.Reissued = r.sched.Reissued
 	r.res.Timeouts = r.sched.Timeouts
+	r.res.AssignMix = r.sched.AssignmentMix()
 	r.res.StoreStats = r.st.Stats()
 	if r.res.MaxPSUsed < r.cfg.PServers {
 		r.res.MaxPSUsed = r.cfg.PServers
