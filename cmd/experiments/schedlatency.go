@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"vcdl/internal/boinc"
+	"vcdl/internal/metrics"
+	"vcdl/internal/obs"
+)
+
+// schedCell is one measured cell of the scheduler-latency grid,
+// serialized into BENCH_sched_latency.json.
+type schedCell struct {
+	Clients   int `json:"clients"`
+	Workunits int `json:"workunits"`
+	// Requests counts scheduler RPCs the cell issued (drain + the empty
+	// replies that end each worker).
+	Requests int64 `json:"requests"`
+	// RPC latencies are the server-side wall clock of the /scheduler
+	// handler, from vcdl_rpc_seconds{handler="scheduler"}.
+	RPCp50Ms float64 `json:"rpc_p50_ms"`
+	RPCp99Ms float64 `json:"rpc_p99_ms"`
+	// Assignment waits are how long workunits sat queued before issue,
+	// from vcdl_sched_assign_wait_seconds (wall seconds: this is the
+	// live server, there is no virtual clock).
+	AssignP50s float64 `json:"assign_wait_p50_s"`
+	AssignP99s float64 `json:"assign_wait_p99_s"`
+	// DrainSeconds is the wall clock to assign and complete the whole
+	// backlog; Throughput is workunits completed per second.
+	DrainSeconds float64 `json:"drain_seconds"`
+	Throughput   float64 `json:"workunits_per_second"`
+}
+
+// schedlatency drives an instrumented live boinc.Server with a grid of
+// concurrent HTTP client daemons draining a synthetic backlog, and
+// reports scheduler RPC latency and assignment-wait percentiles per
+// fleet size — the observability layer measuring the paper's central
+// server under §IV-A-style load. Cells run serially so each measures
+// one fleet alone; with -csv it also emits BENCH_sched_latency.json.
+func (r *runner) schedlatency() error {
+	sizes, err := r.selectedLoadClients()
+	if err != nil {
+		return err
+	}
+	const perClientWUs = 24
+	fmt.Fprintf(r.out, "scheduler latency under load — concurrent clients ∈ %v, %d workunits per client\n",
+		sizes, perClientWUs)
+
+	var cells []schedCell
+	var rows [][]string
+	for _, n := range sizes {
+		cell, err := schedLatencyCell(n, n*perClientWUs)
+		if err != nil {
+			return err
+		}
+		cells = append(cells, *cell)
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", cell.Clients),
+			fmt.Sprintf("%d", cell.Workunits),
+			fmt.Sprintf("%.2f", cell.RPCp50Ms),
+			fmt.Sprintf("%.2f", cell.RPCp99Ms),
+			fmt.Sprintf("%.3f", cell.AssignP50s),
+			fmt.Sprintf("%.3f", cell.AssignP99s),
+			fmt.Sprintf("%.2f s", cell.DrainSeconds),
+			fmt.Sprintf("%.0f", cell.Throughput),
+		})
+	}
+	fmt.Fprint(r.out, metrics.Table(
+		[]string{"clients", "workunits", "rpc p50(ms)", "rpc p99(ms)", "assign p50(s)", "assign p99(s)", "drain", "wu/s"}, rows))
+	fmt.Fprintln(r.out, "expected shape: rpc p50 stays sub-millisecond-ish while the fleet grows; assign")
+	fmt.Fprintln(r.out, "waits track backlog depth (more clients drain the queue faster per workunit).")
+
+	blob, err := json.MarshalIndent(map[string]any{"grid": cells}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return r.writeFile("BENCH_sched_latency.json", string(blob)+"\n")
+}
+
+// schedLatencyCell measures one fleet size: an instrumented server is
+// seeded with a workunit backlog, then n HTTP clients race to drain it,
+// each looping request→upload until the scheduler replies empty.
+func schedLatencyCell(n, wus int) (*schedCell, error) {
+	reg := obs.NewRegistry()
+	cfg := boinc.DefaultSchedulerConfig()
+	cfg.DefaultTimeout = 3600 // wall seconds; nothing should expire mid-bench
+	srv := boinc.NewServer(cfg, nil, nil)
+	srv.EnableMetrics(reg)
+	for i := 0; i < wus; i++ {
+		srv.AddWorkunit(boinc.Workunit{
+			Name:       fmt.Sprintf("bench-%d", i),
+			InputFiles: []string{"model", fmt.Sprintf("shard-%d", i%64)},
+		})
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var requests int64
+	var mu sync.Mutex
+	var firstErr error
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl := boinc.NewClient(fmt.Sprintf("load-%03d", id), ts.URL, 1, nil)
+			for {
+				asns, err := cl.RequestWork(1)
+				mu.Lock()
+				requests++
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				if err != nil || len(asns) == 0 {
+					return
+				}
+				if err := cl.Upload(asns[0].ResultID, []byte("ok"), nil); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	drain := time.Since(start).Seconds()
+	if firstErr != nil {
+		return nil, fmt.Errorf("schedlatency C=%d: %w", n, firstErr)
+	}
+
+	cell := &schedCell{Clients: n, Workunits: wus, Requests: requests, DrainSeconds: drain}
+	if drain > 0 {
+		cell.Throughput = float64(wus) / drain
+	}
+	if h := reg.FindHistogram(boinc.MetricRPCSeconds, "scheduler"); h != nil && h.Count() > 0 {
+		cell.RPCp50Ms = h.Quantile(0.5) * 1000
+		cell.RPCp99Ms = h.Quantile(0.99) * 1000
+	}
+	if h := reg.FindHistogram(boinc.MetricAssignWait); h != nil && h.Count() > 0 {
+		cell.AssignP50s = h.Quantile(0.5)
+		cell.AssignP99s = h.Quantile(0.99)
+	}
+	if done := reg.CounterValue("vcdl_sched_workunits_done_total"); done != int64(wus) {
+		return nil, fmt.Errorf("schedlatency C=%d: drained %d of %d workunits", n, done, wus)
+	}
+	return cell, nil
+}
+
+// selectedLoadClients resolves -loadclients into fleet sizes.
+func (r *runner) selectedLoadClients() ([]int, error) {
+	var sizes []int
+	for _, s := range strings.Split(r.loadClients, ",") {
+		s = strings.TrimSpace(s)
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -loadclients value %q (want integers >= 1)", s)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
+}

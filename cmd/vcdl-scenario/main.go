@@ -20,6 +20,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -30,6 +31,7 @@ import (
 
 	"vcdl/internal/live"
 	"vcdl/internal/metrics"
+	"vcdl/internal/obs"
 	"vcdl/internal/scenario"
 )
 
@@ -51,7 +53,9 @@ commands:
                    -trace (print event trace), -procs (real mode: clients as
                    OS processes), -speedup X (real mode: X virtual seconds
                    per wall second, default 60), -wall-limit D (real-mode
-                   wall-clock budget per scenario, default 2m)
+                   wall-clock budget per scenario, default 2m),
+                   -metrics FILE (write per-run metric snapshots as JSON),
+                   -v (real mode: structured fleet/client logging to stderr)
   compare   run each scenario in sim and real mode back-to-back and emit
             a sim<->real fidelity CSV (-csv FILE writes it, default stdout;
             -seed/-speedup/-wall-limit as for run)
@@ -140,6 +144,8 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 0, "override the scenario's seed (0 = use the file's)")
 	trace := fs.Bool("trace", false, "print the event trace while running")
 	modeFlag := fs.String("mode", "sim", "execution engine: sim (virtual time) or real (live fleet)")
+	metricsPath := fs.String("metrics", "", "write each run's metric snapshot to this file as JSON")
+	verbose := fs.Bool("v", false, "structured key=value logging to stderr (real-mode fleet and client daemons)")
 	rf := addRealFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -163,7 +169,19 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "vcdl-scenario run: %v\n", err)
 		return 2
 	}
+	if *verbose {
+		opts.Log = obs.NewLogger(stderr, obs.LevelDebug)
+	}
 	exit := 0
+	// snapshots collects one {scenario, mode, metrics} object per run for
+	// -metrics; each run records into its own fresh registry so families
+	// never bleed between scenario files.
+	type runSnapshot struct {
+		Scenario string               `json:"scenario"`
+		Mode     string               `json:"mode"`
+		Metrics  []obs.MetricSnapshot `json:"metrics"`
+	}
+	var snapshots []runSnapshot
 	for _, file := range files {
 		sc, err := scenario.Load(file)
 		if err != nil {
@@ -180,17 +198,45 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "vcdl-scenario: %s: %v\n", file, err)
 			return 2
 		}
+		fileOpts.Metrics = obs.NewRegistry()
 		rep, err := scenario.RunScenario(sc, fileOpts)
 		if err != nil {
 			fmt.Fprintf(stderr, "vcdl-scenario: %s: %v\n", file, err)
 			return 1
 		}
 		fmt.Fprint(stdout, rep.Summary())
+		fmt.Fprint(stdout, metricsSummary(rep.Stats))
 		if !rep.Passed {
 			exit = 1
 		}
+		snapshots = append(snapshots, runSnapshot{
+			Scenario: sc.Name, Mode: string(rep.Mode), Metrics: rep.Metrics.Snapshot()})
+	}
+	if *metricsPath != "" {
+		blob, err := json.MarshalIndent(snapshots, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*metricsPath, append(blob, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "vcdl-scenario run: write %s: %v\n", *metricsPath, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "metric snapshots written to %s (%d runs)\n", *metricsPath, len(snapshots))
 	}
 	return exit
+}
+
+// metricsSummary renders the post-run observability table: the
+// scheduler quantities the fidelity CSV folds in, in virtual seconds
+// for both engines.
+func metricsSummary(st metrics.RunStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  assign wait p50/p95/p99  %8.2f / %8.2f / %8.2f  virtual s\n",
+		st.AssignP50, st.AssignP95, st.AssignP99)
+	fmt.Fprintf(&b, "  cache hit ratio          %8.3f\n", st.CacheHitRatio)
+	fmt.Fprintf(&b, "  issued / reissued / timeouts  %d / %d / %d\n",
+		st.Issued, st.Reissued, st.Timeouts)
+	return b.String()
 }
 
 func cmdCompare(args []string, stdout, stderr io.Writer) int {

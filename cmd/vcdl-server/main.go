@@ -23,6 +23,7 @@ import (
 	"vcdl/internal/core"
 	"vcdl/internal/data"
 	"vcdl/internal/live"
+	"vcdl/internal/obs"
 	"vcdl/internal/store"
 )
 
@@ -42,6 +43,9 @@ type serveOptions struct {
 	// train/val shrink the synthetic corpus (0 = full default sizes);
 	// tests use them to finish in milliseconds.
 	train, val int
+	// metrics instruments the server: GET /metrics (Prometheus text),
+	// GET /debug/vars (JSON snapshot) and /debug/pprof on the same port.
+	metrics bool
 	// ready, when non-nil, receives the server's base URL once it is
 	// accepting requests.
 	ready chan<- string
@@ -60,6 +64,7 @@ func main() {
 	flag.DurationVar(&opts.timeout, "timeout", 0, "BOINC result deadline (0 = default 5m)")
 	flag.IntVar(&opts.train, "train", 0, "training-set size override (0 = default corpus)")
 	flag.IntVar(&opts.val, "val", 0, "validation-set size override (0 = default corpus)")
+	flag.BoolVar(&opts.metrics, "metrics", false, "expose /metrics, /debug/vars and /debug/pprof on the listen address")
 	flag.Parse()
 
 	if _, err := serve(opts, os.Stdout); err != nil {
@@ -115,6 +120,9 @@ func serve(opts serveOptions, out io.Writer) (core.RunResult, error) {
 		sched.Seed = opts.seed
 		scfg.Scheduler = &sched
 	}
+	if opts.metrics {
+		scfg.Metrics = obs.NewRegistry()
+	}
 	srv, err := live.StartServer(opts.addr, scfg)
 	if err != nil {
 		return core.RunResult{}, fmt.Errorf("create job: %w", err)
@@ -122,6 +130,10 @@ func serve(opts serveOptions, out io.Writer) (core.RunResult, error) {
 	defer srv.Close()
 	fmt.Fprintf(out, "vcdl-server listening on %s (%d subtasks/epoch, %d epochs, %d parameter servers, %s store)\n",
 		srv.URL(), opts.subtasks, opts.epochs, opts.pservers, st.Name())
+	if opts.metrics {
+		fmt.Fprintf(out, "observability: %s/metrics (Prometheus), %s/debug/vars (JSON), %s/debug/pprof\n",
+			srv.URL(), srv.URL(), srv.URL())
+	}
 	if opts.ready != nil {
 		opts.ready <- srv.URL()
 	}

@@ -12,6 +12,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"vcdl/internal/obs"
 )
 
 // App is the application a client runs for each assignment — VCDL's
@@ -41,6 +43,11 @@ type Client struct {
 	App       App
 	// Poll is the idle wait between scheduler requests.
 	Poll time.Duration
+	// Log receives structured client-daemon events (nil = silent). The
+	// daemon deliberately rides out transient failures — a flaky server
+	// must not kill a volunteer — so without a logger those retries are
+	// invisible; with one they become warnings.
+	Log *obs.Logger
 
 	httpc *http.Client
 
@@ -329,6 +336,7 @@ func (c *Client) upload(ctx context.Context, resultID int64, output []byte, appE
 func (c *Client) runOne(ctx context.Context, asn Assignment) {
 	ctl := c.Control()
 	if ctl.PreemptProb > 0 && c.coin(ctl.PreemptProb) {
+		c.Log.Debug("instance preempted, dropping assignment", "client", c.ID, "result", asn.ResultID)
 		c.mu.Lock()
 		c.Preempted++
 		c.cache = make(map[string][]byte)
@@ -344,6 +352,10 @@ func (c *Client) runOne(ctx context.Context, asn Assignment) {
 		data, err := c.download(ctx, f)
 		if err != nil {
 			appErr = err
+			if ctx.Err() == nil {
+				c.Log.Warn("input download failed, reporting result as failed",
+					"client", c.ID, "result", asn.ResultID, "file", f, "err", err)
+			}
 			break
 		}
 		inputs[f] = data
@@ -372,10 +384,15 @@ func (c *Client) runOne(ctx context.Context, asn Assignment) {
 	// server rejects it outright, or the client dies.
 	err := c.upload(ctx, asn.ResultID, output, appErr)
 	for round := 1; err != nil && ctx.Err() == nil && round < uploadRounds; round++ {
+		c.Log.Warn("upload failed, retrying", "client", c.ID, "result", asn.ResultID, "round", round, "err", err)
 		c.retryPause(ctx)
 		err = c.upload(ctx, asn.ResultID, output, appErr)
 	}
 	if err != nil {
+		if ctx.Err() == nil {
+			c.Log.Warn("upload abandoned, result stranded until server deadline",
+				"client", c.ID, "result", asn.ResultID, "err", err)
+		}
 		appErr = err
 	}
 	c.mu.Lock()
@@ -432,6 +449,7 @@ func (c *Client) Loop(ctx context.Context) error {
 			return err
 		}
 		if c.Control().Detach {
+			c.Log.Info("detached by server, finishing in-flight work", "client", c.ID)
 			wg.Wait() // graceful: finish in-flight work first
 			return ErrDetached
 		}
@@ -439,6 +457,9 @@ func (c *Client) Loop(ctx context.Context) error {
 		if free := c.freeSlots(); free > 0 {
 			c.rttSleep(ctx)
 			asns, err := c.requestWork(ctx, free)
+			if err != nil && ctx.Err() == nil {
+				c.Log.Warn("work request failed, retrying after poll", "client", c.ID, "err", err)
+			}
 			if err == nil {
 				got = len(asns)
 				c.mu.Lock()

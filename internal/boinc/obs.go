@@ -1,0 +1,206 @@
+package boinc
+
+import "vcdl/internal/obs"
+
+// SchedEventKind discriminates scheduler lifecycle observations.
+type SchedEventKind int
+
+// Scheduler lifecycle events, in rough workunit order.
+const (
+	// EvCreated fires when AddWorkunit registers a workunit.
+	EvCreated SchedEventKind = iota
+	// EvAssigned fires per assignment RequestWork hands out.
+	EvAssigned
+	// EvValid fires when a returned result passes validation.
+	EvValid
+	// EvInvalid fires when a returned result fails validation or the
+	// client reported failure.
+	EvInvalid
+	// EvTimeout fires per result a deadline sweep expires.
+	EvTimeout
+	// EvReissued fires when a failed or expired workunit re-enters the
+	// pending queue.
+	EvReissued
+	// EvWUDone fires when a workunit reaches quorum (terminal success).
+	EvWUDone
+	// EvWUFailed fires when a workunit exhausts its error budget
+	// (terminal failure).
+	EvWUFailed
+)
+
+// SchedEvent is one scheduler lifecycle observation. Every field is
+// derived from state the scheduler already holds and the time the
+// caller passed in — emitting events reads no clock and no randomness,
+// so an attached sink can never perturb a simulation.
+type SchedEvent struct {
+	Kind SchedEventKind
+	// T is the scheduler's time base: virtual seconds under the
+	// simulator, wall seconds since server start under the live server.
+	T float64
+	// WUID identifies the workunit; ResultID the issued copy (0 when no
+	// result is involved, e.g. EvCreated).
+	WUID, ResultID int64
+	// Client is the client involved, when one is.
+	Client string
+	// WUName is the workunit's name, carried on EvCreated.
+	WUName string
+	// Wait is the event's latency in the scheduler's time base:
+	// queue wait (enqueue → assignment) for EvAssigned, result
+	// turnaround (sent → outcome) for EvValid/EvInvalid/EvTimeout.
+	Wait float64
+	// CacheHits of CacheFiles input files were already in the client's
+	// sticky cache at assignment time (EvAssigned only).
+	CacheHits, CacheFiles int
+	// Pending and InFlight are the queue depths after the event.
+	Pending, InFlight int
+}
+
+// SchedSink receives scheduler lifecycle events. Implementations are
+// called synchronously from the scheduler's (single-threaded or
+// lock-serialized) context and must not call back into it.
+type SchedSink interface {
+	OnSchedEvent(SchedEvent)
+}
+
+// MultiSink fans events out to several sinks in order.
+type MultiSink []SchedSink
+
+// OnSchedEvent implements SchedSink.
+func (m MultiSink) OnSchedEvent(e SchedEvent) {
+	for _, s := range m {
+		s.OnSchedEvent(e)
+	}
+}
+
+// appendSink composes an existing sink (possibly nil) with a new one.
+func appendSink(cur, next SchedSink) SchedSink {
+	if cur == nil {
+		return next
+	}
+	if m, ok := cur.(MultiSink); ok {
+		return append(append(MultiSink(nil), m...), next)
+	}
+	return MultiSink{cur, next}
+}
+
+// Scheduler metric family names, exported so post-run reporting
+// (internal/scenario) can query the registry without string drift.
+const (
+	// MetricAssignWait is the queue-wait histogram (seconds, native
+	// time base): workunit enqueue or reissue → assignment.
+	MetricAssignWait = "vcdl_sched_assign_wait_seconds"
+	// MetricTurnaround is the result-turnaround histogram (seconds,
+	// native time base): assignment → validated/invalid/timeout.
+	MetricTurnaround = "vcdl_sched_turnaround_seconds"
+	// MetricCacheHitFiles / MetricCacheMissFiles count input files that
+	// were (not) already sticky-cached on the assignee.
+	MetricCacheHitFiles  = "vcdl_sched_cache_hit_files_total"
+	MetricCacheMissFiles = "vcdl_sched_cache_miss_files_total"
+	// MetricAssignments counts assignments handed out.
+	MetricAssignments = "vcdl_sched_assignments_total"
+	// MetricReissues counts workunit reissues (failures + timeouts that
+	// re-entered the queue).
+	MetricReissues = "vcdl_sched_reissues_total"
+	// MetricTimeouts counts expired results.
+	MetricTimeouts = "vcdl_sched_timeouts_total"
+	// MetricPending / MetricInFlight gauge the scheduler queue depths.
+	MetricPending  = "vcdl_sched_pending_workunits"
+	MetricInFlight = "vcdl_sched_inflight_results"
+	// MetricRPCSeconds is the live server's per-handler RPC latency
+	// histogram (wall seconds; real mode only).
+	MetricRPCSeconds = "vcdl_rpc_seconds"
+)
+
+// metricsSink bridges scheduler events into an obs.Registry.
+type metricsSink struct {
+	created, assigned, valid, invalid *obs.Counter
+	timeouts, reissues, done, failed  *obs.Counter
+	cacheHitFiles, cacheMissFiles     *obs.Counter
+	assignWait, turnaround            *obs.Histogram
+	pending, inflight                 *obs.Gauge
+}
+
+// MetricsSink returns a SchedSink that maintains the vcdl_sched_*
+// metric families in r. Histograms record in the scheduler's native
+// time base (virtual seconds in sim, wall seconds in real).
+func MetricsSink(r *obs.Registry) SchedSink {
+	return &metricsSink{
+		created:        r.Counter("vcdl_sched_workunits_created_total", "workunits registered with the scheduler"),
+		assigned:       r.Counter(MetricAssignments, "assignments handed to clients"),
+		valid:          r.Counter("vcdl_sched_results_valid_total", "returned results that passed validation"),
+		invalid:        r.Counter("vcdl_sched_results_invalid_total", "returned results that failed validation or errored"),
+		timeouts:       r.Counter(MetricTimeouts, "results expired by deadline sweeps"),
+		reissues:       r.Counter(MetricReissues, "workunit reissues after failure or timeout"),
+		done:           r.Counter("vcdl_sched_workunits_done_total", "workunits completed (quorum reached)"),
+		failed:         r.Counter("vcdl_sched_workunits_failed_total", "workunits failed (error budget exhausted)"),
+		cacheHitFiles:  r.Counter(MetricCacheHitFiles, "assigned input files already sticky-cached on the client"),
+		cacheMissFiles: r.Counter(MetricCacheMissFiles, "assigned input files the client had to download"),
+		assignWait:     r.Histogram(MetricAssignWait, "queue wait from (re)enqueue to assignment, seconds (native time base)", nil),
+		turnaround:     r.Histogram(MetricTurnaround, "result turnaround from assignment to outcome, seconds (native time base)", nil),
+		pending:        r.Gauge(MetricPending, "queued (unassigned) workunit copies"),
+		inflight:       r.Gauge(MetricInFlight, "outstanding results on clients"),
+	}
+}
+
+// OnSchedEvent implements SchedSink.
+func (m *metricsSink) OnSchedEvent(e SchedEvent) {
+	switch e.Kind {
+	case EvCreated:
+		m.created.Inc()
+	case EvAssigned:
+		m.assigned.Inc()
+		m.assignWait.Observe(e.Wait)
+		m.cacheHitFiles.Add(int64(e.CacheHits))
+		m.cacheMissFiles.Add(int64(e.CacheFiles - e.CacheHits))
+	case EvValid:
+		m.valid.Inc()
+		m.turnaround.Observe(e.Wait)
+	case EvInvalid:
+		m.invalid.Inc()
+		m.turnaround.Observe(e.Wait)
+	case EvTimeout:
+		m.timeouts.Inc()
+		m.turnaround.Observe(e.Wait)
+	case EvReissued:
+		m.reissues.Inc()
+	case EvWUDone:
+		m.done.Inc()
+	case EvWUFailed:
+		m.failed.Inc()
+	}
+	m.pending.Set(float64(e.Pending))
+	m.inflight.Set(float64(e.InFlight))
+}
+
+// traceSink bridges scheduler events into an obs.Tracer as lifecycle
+// span events.
+type traceSink struct{ t *obs.Tracer }
+
+// TraceSink returns a SchedSink that records workunit lifecycle spans
+// into t. The scheduler contributes the server-side span kinds; the
+// simulator adds the client-side ones (compute/upload/assimilate)
+// directly, since it watches the whole lifecycle from one event loop.
+func TraceSink(t *obs.Tracer) SchedSink { return traceSink{t} }
+
+var schedKindToSpan = map[SchedEventKind]string{
+	EvCreated:  obs.KindCreated,
+	EvAssigned: obs.KindAssigned,
+	EvValid:    obs.KindValidated,
+	EvInvalid:  obs.KindInvalid,
+	EvTimeout:  obs.KindTimeout,
+	EvReissued: obs.KindReissued,
+	EvWUDone:   obs.KindDone,
+	EvWUFailed: obs.KindFailed,
+}
+
+// OnSchedEvent implements SchedSink.
+func (ts traceSink) OnSchedEvent(e SchedEvent) {
+	ts.t.Record(obs.SpanEvent{
+		WU:     e.WUID,
+		Kind:   schedKindToSpan[e.Kind],
+		T:      e.T,
+		Client: e.Client,
+		Result: e.ResultID,
+		Name:   e.WUName,
+	})
+}

@@ -1,0 +1,222 @@
+package boinc
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vcdl/internal/obs"
+)
+
+// TestSchedSinkLifecycle drives one workunit through assignment,
+// timeout, reissue and completion and checks the emitted event stream
+// plus the derived metrics.
+func TestSchedSinkLifecycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(nil)
+	var events []SchedEvent
+	s := NewScheduler(SchedulerConfig{DefaultTimeout: 100, DefaultMaxErrors: 8})
+	s.SetSink(MultiSink{
+		sinkFunc(func(e SchedEvent) { events = append(events, e) }),
+		MetricsSink(reg),
+		TraceSink(tr),
+	})
+
+	id := s.AddWorkunit(Workunit{Name: "wu-0", InputFiles: []string{"a", "b"}})
+	asn := s.RequestWork("c1", 10, 1)
+	if len(asn) != 1 {
+		t.Fatalf("assignments = %d, want 1", len(asn))
+	}
+	// c1 never returns; the deadline sweep expires it at t=200.
+	if exp := s.ExpireTimeouts(200); len(exp) != 1 {
+		t.Fatalf("expired = %d, want 1", len(exp))
+	}
+	// Reissue goes to c2 at t=250 and completes at t=300.
+	asn = s.RequestWork("c2", 250, 1)
+	if len(asn) != 1 {
+		t.Fatalf("reissue assignments = %d, want 1", len(asn))
+	}
+	if _, done, err := s.CompleteResult(asn[0].ResultID, true, 300); err != nil || !done {
+		t.Fatalf("complete: done=%v err=%v", done, err)
+	}
+
+	wantKinds := []SchedEventKind{EvCreated, EvAssigned, EvTimeout, EvReissued, EvAssigned, EvValid, EvWUDone}
+	if len(events) != len(wantKinds) {
+		t.Fatalf("events = %d, want %d: %+v", len(events), len(wantKinds), events)
+	}
+	for i, k := range wantKinds {
+		if events[i].Kind != k {
+			t.Fatalf("event[%d].Kind = %v, want %v", i, events[i].Kind, k)
+		}
+	}
+	// First assignment waited 10 (created at lastNow=0, assigned at 10);
+	// the reissue waited 50 (requeued at 200, assigned at 250).
+	if w := events[1].Wait; w != 10 {
+		t.Fatalf("first assign wait = %g, want 10", w)
+	}
+	if w := events[4].Wait; w != 50 {
+		t.Fatalf("reissue assign wait = %g, want 50", w)
+	}
+	// Timeout turnaround: sent at 10, expired at 200.
+	if w := events[2].Wait; w != 190 {
+		t.Fatalf("timeout turnaround = %g, want 190", w)
+	}
+	if events[2].InFlight != 0 || events[1].InFlight != 1 {
+		t.Fatalf("inflight depths wrong: %+v", events)
+	}
+	// Cache hits: no files cached on first assignment; sticky caching
+	// makes the c2 assignment a miss too (different client).
+	if events[1].CacheHits != 0 || events[1].CacheFiles != 2 {
+		t.Fatalf("cache stats = %d/%d, want 0/2", events[1].CacheHits, events[1].CacheFiles)
+	}
+
+	if got := reg.CounterValue(MetricAssignments); got != 2 {
+		t.Fatalf("assignments metric = %d, want 2", got)
+	}
+	if got := reg.CounterValue(MetricTimeouts); got != 1 {
+		t.Fatalf("timeouts metric = %d, want 1", got)
+	}
+	if got := reg.CounterValue(MetricReissues); got != 1 {
+		t.Fatalf("reissues metric = %d, want 1", got)
+	}
+	if h := reg.FindHistogram(MetricAssignWait); h == nil || h.Count() != 2 || h.Sum() != 60 {
+		t.Fatalf("assign wait histogram = %+v", h)
+	}
+	if got := reg.GaugeValue(MetricInFlight); got != 0 {
+		t.Fatalf("inflight gauge = %g, want 0", got)
+	}
+
+	sp, ok := tr.Span(id)
+	if !ok || sp.Name != "wu-0" {
+		t.Fatalf("trace span missing: %+v %v", sp, ok)
+	}
+	for _, kind := range []string{obs.KindCreated, obs.KindAssigned, obs.KindTimeout, obs.KindReissued, obs.KindValidated, obs.KindDone} {
+		if sp.Count(kind) == 0 {
+			t.Fatalf("span missing %s event: %+v", kind, sp.Events)
+		}
+	}
+	if at, _ := sp.At(obs.KindDone); at != 300 {
+		t.Fatalf("done at %g, want 300", at)
+	}
+}
+
+type sinkFunc func(SchedEvent)
+
+func (f sinkFunc) OnSchedEvent(e SchedEvent) { f(e) }
+
+// TestSchedSinkCacheHits checks that cache hits are counted against the
+// client's sticky cache as it stood before the assignment.
+func TestSchedSinkCacheHits(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewScheduler(DefaultSchedulerConfig())
+	s.SetSink(MetricsSink(reg))
+	s.AddWorkunit(Workunit{Name: "w1", InputFiles: []string{"model", "shard1"}})
+	s.AddWorkunit(Workunit{Name: "w2", InputFiles: []string{"model", "shard2"}})
+	if n := len(s.RequestWork("c1", 1, 1)); n != 1 {
+		t.Fatalf("first request = %d", n)
+	}
+	// c1 now caches model+shard1; the second workunit shares "model".
+	if n := len(s.RequestWork("c1", 2, 1)); n != 1 {
+		t.Fatalf("second request = %d", n)
+	}
+	if hits := reg.CounterValue(MetricCacheHitFiles); hits != 1 {
+		t.Fatalf("cache hit files = %d, want 1", hits)
+	}
+	if misses := reg.CounterValue(MetricCacheMissFiles); misses != 3 {
+		t.Fatalf("cache miss files = %d, want 3", misses)
+	}
+}
+
+// TestInFlightCounter pins the incremental counter against the
+// ground-truth scan it replaced.
+func TestInFlightCounter(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{DefaultTimeout: 100})
+	for i := 0; i < 4; i++ {
+		s.AddWorkunit(Workunit{Name: "wu"})
+	}
+	s.RequestWork("c1", 0, 3)
+	scan := func() int {
+		n := 0
+		for _, res := range s.results {
+			if res.Status == ResInProgress {
+				n++
+			}
+		}
+		return n
+	}
+	if s.InFlight() != scan() || s.InFlight() != 3 {
+		t.Fatalf("inflight = %d, scan = %d, want 3", s.InFlight(), scan())
+	}
+	s.ExpireTimeouts(500)
+	if s.InFlight() != scan() || s.InFlight() != 0 {
+		t.Fatalf("after expiry inflight = %d, scan = %d, want 0", s.InFlight(), scan())
+	}
+	s.RequestWork("c2", 500, 2)
+	res := s.RequestWork("c3", 500, 2)
+	if len(res) == 0 {
+		t.Fatal("no work for c3")
+	}
+	s.CompleteResult(res[0].ResultID, false, 600)
+	if s.InFlight() != scan() {
+		t.Fatalf("after invalid completion inflight = %d, scan = %d", s.InFlight(), scan())
+	}
+}
+
+// TestServerMetricsEndpoints exercises the live observability surface:
+// /metrics, /debug/vars and /debug/pprof on an instrumented server.
+func TestServerMetricsEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := NewServer(DefaultSchedulerConfig(), nil, nil)
+	srv.EnableMetrics(reg)
+	if srv.Metrics() != reg {
+		t.Fatal("Metrics() must return the attached registry")
+	}
+	srv.AddWorkunit(Workunit{Name: "wu-0", Payload: []byte("p")})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	cl := NewClient("c1", ts.URL, 1, AppFunc(func(Assignment, map[string][]byte) ([]byte, error) {
+		return []byte("out"), nil
+	}))
+	asn, err := cl.RequestWork(4)
+	if err != nil || len(asn) != 1 {
+		t.Fatalf("request work: %v, %d assignments", err, len(asn))
+	}
+	if err := cl.Upload(asn[0].ResultID, []byte("out"), nil); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+
+	prom := get("/metrics")
+	for _, want := range []string{
+		"vcdl_sched_assignments_total 1",
+		"vcdl_sched_workunits_done_total 1",
+		`vcdl_rpc_seconds_bucket{handler="scheduler",le="+Inf"} 1`,
+		"vcdl_bytes_up_total 3",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, prom)
+		}
+	}
+	vars := get("/debug/vars")
+	if !strings.Contains(vars, `"vcdl_sched_assignments_total"`) {
+		t.Fatalf("/debug/vars missing families:\n%s", vars)
+	}
+	if pprofIdx := get("/debug/pprof/"); !strings.Contains(pprofIdx, "goroutine") {
+		t.Fatal("/debug/pprof/ index not mounted")
+	}
+}

@@ -91,6 +91,18 @@ type Scheduler struct {
 	candBuf  []Candidate
 	requests int64
 
+	// sink receives lifecycle events (nil = no observation). Every event
+	// is derived from state already at hand plus the caller-supplied
+	// clock, so attaching a sink cannot perturb a simulation.
+	sink SchedSink
+	// lastNow is the most recent time a clocked entry point saw; it
+	// stamps events from entry points without a time parameter
+	// (AddWorkunit) and the queue times of reissues.
+	lastNow float64
+	// inflight counts outstanding results incrementally so queue-depth
+	// reporting is O(1) instead of a scan over every result ever issued.
+	inflight int
+
 	// Counters for reports and tests.
 	Issued, Reissued, Timeouts, Failures, Completions int
 	// assignMix counts assignments grouped by the policy that made them,
@@ -119,6 +131,25 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 		eligible:   make(map[int64]int64),
 		assignMix:  make(map[string]int),
 	}
+}
+
+// SetSink installs the lifecycle event sink (nil disables observation).
+func (s *Scheduler) SetSink(sink SchedSink) { s.sink = sink }
+
+// Sink returns the installed lifecycle event sink, for composition.
+func (s *Scheduler) Sink() SchedSink { return s.sink }
+
+// AddSink composes an additional sink with whatever is installed.
+func (s *Scheduler) AddSink(sink SchedSink) { s.sink = appendSink(s.sink, sink) }
+
+// observe emits one lifecycle event, stamping the queue depths.
+func (s *Scheduler) observe(e SchedEvent) {
+	if s.sink == nil {
+		return
+	}
+	e.Pending = len(s.pending)
+	e.InFlight = s.inflight
+	s.sink.OnSchedEvent(e)
 }
 
 // AssignmentMix returns a copy of the per-policy assignment counts.
@@ -201,10 +232,15 @@ func (s *Scheduler) AddWorkunit(wu Workunit) int64 {
 	}
 	wu.status = WUPending
 	w := wu
+	// Stamped with the last clocked entry point's time: AddWorkunit has
+	// no clock parameter of its own, and the work generator runs inside
+	// the same scheduling turn in both engines.
+	w.queuedAt = s.lastNow
 	s.wus[wu.ID] = &w
 	for i := 0; i < wu.Replication; i++ {
 		s.enqueue(wu.ID)
 	}
+	s.observe(SchedEvent{Kind: EvCreated, T: s.lastNow, WUID: wu.ID, WUName: wu.Name})
 	return wu.ID
 }
 
@@ -325,6 +361,7 @@ func (s *Scheduler) RequestWork(clientID string, now float64, max int) []Assignm
 	if max <= 0 {
 		return nil
 	}
+	s.lastNow = now
 	s.requests++
 	view := s.buildView(c, now)
 	if len(view.Candidates) == 0 {
@@ -334,6 +371,7 @@ func (s *Scheduler) RequestWork(clientID string, now float64, max int) []Assignm
 
 	var out []Assignment
 	var issued []int64
+	var events []SchedEvent // emitted after the queue is settled
 	for _, id := range picks {
 		if len(out) >= max {
 			break // policy over-selected; hard-cap the batch
@@ -343,6 +381,9 @@ func (s *Scheduler) RequestWork(clientID string, now float64, max int) []Assignm
 		}
 		s.eligible[id] = 0 // consumed this round
 		wu := s.wus[id]
+		// Cache hits must be read before the sticky loop below marks the
+		// assigned files as cached.
+		hits := cacheScore(c, wu)
 		s.nextRes++
 		res := &Result{
 			ID:       s.nextRes,
@@ -356,6 +397,7 @@ func (s *Scheduler) RequestWork(clientID string, now float64, max int) []Assignm
 		wu.active++
 		wu.status = WUInProgress
 		c.inFlight++
+		s.inflight++
 		s.Issued++
 		if s.assignedTo[wu.ID] == nil {
 			s.assignedTo[wu.ID] = make(map[string]bool)
@@ -371,6 +413,13 @@ func (s *Scheduler) RequestWork(clientID string, now float64, max int) []Assignm
 			Deadline:   res.Deadline,
 		})
 		issued = append(issued, id)
+		if s.sink != nil {
+			events = append(events, SchedEvent{
+				Kind: EvAssigned, T: now, WUID: wu.ID, ResultID: res.ID,
+				Client: clientID, Wait: now - wu.queuedAt,
+				CacheHits: hits, CacheFiles: len(wu.InputFiles),
+			})
+		}
 		// Sticky files: the client will cache the inputs it downloads.
 		if s.cfg.StickyAffinity {
 			for _, f := range wu.InputFiles {
@@ -381,6 +430,9 @@ func (s *Scheduler) RequestWork(clientID string, now float64, max int) []Assignm
 	s.dequeueFirst(issued)
 	if len(out) > 0 {
 		s.assignMix[s.policy.Name()] += len(out)
+	}
+	for _, e := range events {
+		s.observe(e)
 	}
 	return out
 }
@@ -447,14 +499,18 @@ func (s *Scheduler) CompleteResult(resultID int64, valid bool, now float64) (*Wo
 	}
 	wu := s.wus[res.WUID]
 	c := s.client(res.ClientID)
+	s.lastNow = now
 	c.inFlight--
 	wu.active--
+	s.inflight--
+	turnaround := now - res.SentAt
 	if valid {
 		res.Status = ResSuccess
 		c.reliability = 0.9*c.reliability + 0.1
 		if wu.status == WUDone {
 			// A replica already completed this workunit.
 			res.Status = ResAbandoned
+			s.observe(SchedEvent{Kind: EvValid, T: now, WUID: wu.ID, ResultID: res.ID, Client: res.ClientID, Wait: turnaround})
 			return wu, false, nil
 		}
 		wu.valid++
@@ -462,8 +518,10 @@ func (s *Scheduler) CompleteResult(resultID int64, valid bool, now float64) (*Wo
 			// Quorum not yet reached; make sure enough copies remain in
 			// flight or queued to get there.
 			if wu.valid+wu.active+s.queuedCopies(wu.ID) < wu.Quorum {
+				wu.queuedAt = now
 				s.enqueue(wu.ID)
 			}
+			s.observe(SchedEvent{Kind: EvValid, T: now, WUID: wu.ID, ResultID: res.ID, Client: res.ClientID, Wait: turnaround})
 			return wu, false, nil
 		}
 		wu.status = WUDone
@@ -481,10 +539,13 @@ func (s *Scheduler) CompleteResult(resultID int64, valid bool, now float64) (*Wo
 			s.pending = kept
 			delete(s.queued, wu.ID)
 		}
+		s.observe(SchedEvent{Kind: EvValid, T: now, WUID: wu.ID, ResultID: res.ID, Client: res.ClientID, Wait: turnaround})
+		s.observe(SchedEvent{Kind: EvWUDone, T: now, WUID: wu.ID, Client: res.ClientID})
 		return wu, true, nil
 	}
 	res.Status = ResError
 	c.reliability = 0.9 * c.reliability
+	s.observe(SchedEvent{Kind: EvInvalid, T: now, WUID: wu.ID, ResultID: res.ID, Client: res.ClientID, Wait: turnaround})
 	s.noteFailure(wu)
 	return wu, false, nil
 }
@@ -498,11 +559,14 @@ func (s *Scheduler) noteFailure(wu *Workunit) {
 	if wu.errors > wu.MaxErrors {
 		wu.status = WUFailed
 		s.Failures++
+		s.observe(SchedEvent{Kind: EvWUFailed, T: s.lastNow, WUID: wu.ID})
 		return
 	}
 	wu.status = WUPending
+	wu.queuedAt = s.lastNow
 	s.enqueue(wu.ID)
 	s.Reissued++
+	s.observe(SchedEvent{Kind: EvReissued, T: s.lastNow, WUID: wu.ID})
 }
 
 // ExpireTimeouts marks overdue results as timed out and requeues their
@@ -518,6 +582,7 @@ func (s *Scheduler) ExpireTimeouts(now float64) []int64 {
 		}
 	}
 	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	s.lastNow = now
 	for _, id := range expired {
 		res := s.results[id]
 		res.Status = ResTimedOut
@@ -526,7 +591,9 @@ func (s *Scheduler) ExpireTimeouts(now float64) []int64 {
 		c.inFlight--
 		c.reliability = 0.9 * c.reliability
 		wu.active--
+		s.inflight--
 		s.Timeouts++
+		s.observe(SchedEvent{Kind: EvTimeout, T: now, WUID: wu.ID, ResultID: res.ID, Client: res.ClientID, Wait: now - res.SentAt})
 		s.noteFailure(wu)
 	}
 	return expired
@@ -558,13 +625,8 @@ func (s *Scheduler) Done() bool {
 // PendingCount returns the number of queued (unassigned) workunit copies.
 func (s *Scheduler) PendingCount() int { return len(s.pending) }
 
-// InFlight returns the number of outstanding results.
-func (s *Scheduler) InFlight() int {
-	n := 0
-	for _, res := range s.results {
-		if res.Status == ResInProgress {
-			n++
-		}
-	}
-	return n
-}
+// InFlight returns the number of outstanding results. It is maintained
+// incrementally (every transition out of ResInProgress passes through
+// CompleteResult or ExpireTimeouts), so the query is O(1) no matter how
+// many results the run has issued.
+func (s *Scheduler) InFlight() int { return s.inflight }

@@ -5,8 +5,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
+	"strings"
 	"sync"
 	"time"
+
+	"vcdl/internal/obs"
 )
 
 // AssimilateFunc processes the canonical output of a completed workunit —
@@ -38,6 +42,15 @@ type Server struct {
 
 	start time.Time
 	mux   *http.ServeMux
+
+	// obs, when enabled, holds the metrics registry plus the
+	// pre-resolved instruments the request path touches.
+	obs      *obs.Registry
+	rpcLat   *obs.HistogramVec
+	rpcCount *obs.CounterVec
+	obsDown  *obs.Counter
+	obsUp    *obs.Counter
+	obsAssim *obs.Counter
 }
 
 // NewServer creates a project server with the given scheduling policy and
@@ -59,8 +72,76 @@ func NewServer(cfg SchedulerConfig, validate ValidateFunc, assimilate Assimilate
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. With metrics enabled every request
+// is timed (wall clock) into vcdl_rpc_seconds{handler=...}.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.obs == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	handler := routeLabel(r.URL.Path)
+	t0 := time.Now()
+	s.mux.ServeHTTP(w, r)
+	s.rpcLat.With(handler).Observe(time.Since(t0).Seconds())
+	s.rpcCount.With(handler).Inc()
+}
+
+// routeLabel maps a request path to a bounded handler label so hostile
+// or mistyped paths cannot grow metric cardinality.
+func routeLabel(path string) string {
+	p := strings.TrimPrefix(path, "/")
+	if i := strings.IndexByte(p, '/'); i >= 0 {
+		p = p[:i]
+	}
+	switch p {
+	case "scheduler", "download", "upload", "status", "metrics", "debug":
+		return p
+	default:
+		return "other"
+	}
+}
+
+// EnableMetrics attaches a registry to the server: every scheduler
+// lifecycle event feeds the vcdl_sched_* families (wall-clock time
+// base), HTTP handlers are timed into vcdl_rpc_seconds, traffic and
+// assimilation counters are kept, and the mux gains GET /metrics
+// (Prometheus text), GET /debug/vars (JSON snapshot) and the
+// net/http/pprof endpoints under /debug/pprof/. Call before serving
+// traffic; it composes with any sink already installed on the
+// scheduler.
+func (s *Server) EnableMetrics(r *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.obs != nil {
+		return
+	}
+	s.obs = r
+	s.rpcLat = r.HistogramVec(MetricRPCSeconds, "server RPC handling latency, wall seconds", nil, "handler")
+	s.rpcCount = r.CounterVec("vcdl_http_requests_total", "HTTP requests served", "handler")
+	s.obsDown = r.Counter("vcdl_bytes_down_total", "payload bytes served to clients")
+	s.obsUp = r.Counter("vcdl_bytes_up_total", "payload bytes uploaded by clients")
+	s.obsAssim = r.Counter("vcdl_assimilations_total", "canonical results assimilated")
+	s.sched.AddSink(MetricsSink(r))
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	s.mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, r.Snapshot())
+	})
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Metrics returns the attached registry, or nil.
+func (s *Server) Metrics() *obs.Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.obs
+}
 
 // now returns seconds since server start — the scheduler clock.
 func (s *Server) now() float64 { return time.Since(s.start).Seconds() }
@@ -168,6 +249,9 @@ func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
 	data, ok := s.files[name]
 	if ok {
 		s.bytesDown += int64(len(data))
+		if s.obsDown != nil {
+			s.obsDown.Add(int64(len(data)))
+		}
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -193,6 +277,9 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	s.bytesUp += int64(len(output))
+	if s.obsUp != nil {
+		s.obsUp.Add(int64(len(output)))
+	}
 	res := s.sched.Result(resultID)
 	if res == nil {
 		s.mu.Unlock()
@@ -212,8 +299,13 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusGone)
 		return
 	}
-	if canonical && s.assimilate != nil {
-		s.assimilate(wu, output)
+	if canonical {
+		if s.obsAssim != nil {
+			s.obsAssim.Inc()
+		}
+		if s.assimilate != nil {
+			s.assimilate(wu, output)
+		}
 	}
 	w.WriteHeader(http.StatusOK)
 }

@@ -85,6 +85,10 @@ type Workunit struct {
 	active int
 	// valid counts accepted results toward the quorum.
 	valid int
+	// queuedAt is when the workunit last became assignable (creation or
+	// reissue), in the scheduler's time base; assignment latency is
+	// measured from here.
+	queuedAt float64
 }
 
 // ValidResults returns how many results have been accepted so far.

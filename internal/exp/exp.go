@@ -25,6 +25,7 @@ import (
 	"vcdl/internal/cloud"
 	"vcdl/internal/core"
 	"vcdl/internal/data"
+	"vcdl/internal/obs"
 	"vcdl/internal/store"
 	"vcdl/internal/vcsim"
 )
@@ -76,6 +77,10 @@ type Spec struct {
 	// mapping (0 = live.DefaultTimeScale).
 	realSpec  *core.ModelSpec
 	realScale float64
+	// metrics/trace are the observability attachments (WithMetrics,
+	// WithTrace); both lower into vcsim.Config or the live fleet.
+	metrics *obs.Registry
+	trace   *obs.Tracer
 }
 
 // New builds a Spec for running job on corpus. Without options the spec
@@ -145,6 +150,8 @@ func (s *Spec) Config() vcsim.Config {
 	default:
 		cfg.Observer = vcsim.Observers(append([]vcsim.Observer(nil), s.obs...))
 	}
+	cfg.Metrics = s.metrics
+	cfg.Trace = s.trace
 	return cfg
 }
 

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"vcdl/internal/obs"
+	"vcdl/internal/vcsim"
+)
+
+// TestObserverOrdering pins the fan-in contract: observers attached
+// across several Observe calls receive every event in attachment order,
+// and a WithMetrics registry composes with them (bridge first) without
+// the caller hand-wrapping vcsim.Observers.
+func TestObserverOrdering(t *testing.T) {
+	job, corpus := quickWorkload(t, 7, 2)
+	reg := obs.NewRegistry()
+	var order []string
+	tap := func(name string) Observer {
+		return ObserverFuncs{Epoch: func(EpochEvent) { order = append(order, name) }}
+	}
+	spec, err := New(job, corpus,
+		Topology(1, 2, 2),
+		Observe(tap("a"), tap("b")),
+		WithMetrics(reg),
+		Observe(tap("c")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs := len(res.Curve.Points)
+	if epochs == 0 {
+		t.Fatal("run produced no epochs")
+	}
+	if len(order) != 3*epochs {
+		t.Fatalf("delivered %d epoch events across 3 observers, want %d", len(order), 3*epochs)
+	}
+	for i := 0; i < epochs; i++ {
+		if got := strings.Join(order[3*i:3*i+3], ""); got != "abc" {
+			t.Fatalf("epoch %d delivered out of order: %q (full: %v)", i, got, order)
+		}
+	}
+	// The registry bridge saw the same stream the observers did.
+	if got := reg.CounterValue(vcsim.MetricEpochs); got != int64(epochs) {
+		t.Fatalf("%s = %d, want %d", vcsim.MetricEpochs, got, epochs)
+	}
+	if got := reg.CounterValue(vcsim.MetricAssimilations); got == 0 {
+		t.Fatal("metrics bridge observed no assimilations")
+	}
+}
+
+// TestMetricsAndTraceLowering checks WithMetrics/WithTrace reach the
+// simulator config and reject nil attachments.
+func TestMetricsAndTraceLowering(t *testing.T) {
+	job, corpus := quickWorkload(t, 7, 2)
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(nil)
+	spec, err := New(job, corpus, WithMetrics(reg), WithTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := spec.Config()
+	if cfg.Metrics != reg || cfg.Trace != tr {
+		t.Fatal("metrics/trace not lowered into vcsim.Config")
+	}
+	if _, err := New(job, corpus, WithMetrics(nil)); err == nil || !strings.Contains(err.Error(), "registry") {
+		t.Fatalf("nil registry accepted: %v", err)
+	}
+	if _, err := New(job, corpus, WithTrace(nil)); err == nil || !strings.Contains(err.Error(), "tracer") {
+		t.Fatalf("nil tracer accepted: %v", err)
+	}
+}
+
+// TestMetricsDoNotChangeResult extends the passivity contract to the
+// observability attachments: a run with a registry and tracer attached
+// must produce the identical Result to a bare run.
+func TestMetricsDoNotChangeResult(t *testing.T) {
+	job, corpus := quickWorkload(t, 9, 2)
+	bare, err := New(job, corpus, Topology(1, 2, 2), Preempt(0.2), Timeout(240))
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr, err := New(job, corpus, Topology(1, 2, 2), Preempt(0.2), Timeout(240),
+		WithMetrics(obs.NewRegistry()), WithTrace(obs.NewTracer(nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(instr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hours != b.Hours || a.Issued != b.Issued || a.Reissued != b.Reissued ||
+		a.Timeouts != b.Timeouts || a.Curve.FinalValue() != b.Curve.FinalValue() {
+		t.Fatalf("instrumentation changed the run: %+v vs %+v", a, b)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"vcdl/internal/boinc"
 	"vcdl/internal/cloud"
 	"vcdl/internal/core"
+	"vcdl/internal/obs"
 	"vcdl/internal/opt"
 	"vcdl/internal/store"
 )
@@ -238,15 +239,49 @@ func Warmstart(n int) Option {
 }
 
 // Observe attaches observers to the run; they receive events in the
-// order given, after any previously attached observers.
-func Observe(obs ...Observer) Option {
+// order given, after any previously attached observers. Observe composes
+// with itself and with WithMetrics without callers hand-wrapping
+// vcsim.Observers: the spec fans all attached sinks in.
+func Observe(observers ...Observer) Option {
 	return func(s *Spec) error {
-		for _, o := range obs {
+		for _, o := range observers {
 			if o == nil {
 				return fmt.Errorf("nil observer")
 			}
 			s.obs = append(s.obs, o)
 		}
+		return nil
+	}
+}
+
+// WithMetrics attaches a metrics registry to the run (DESIGN.md §10):
+// scheduler lifecycle metrics (vcdl_sched_*) and simulator event
+// metrics (vcdl_sim_*), histograms in virtual seconds. The registry
+// sink composes with any Observe observers — registry first, then the
+// observers in attachment order — and, like them, never perturbs the
+// run. In real mode (WithRealMode) the same registry is attached to the
+// live server instead, with wall-clock histograms.
+func WithMetrics(r *obs.Registry) Option {
+	return func(s *Spec) error {
+		if r == nil {
+			return fmt.Errorf("nil metrics registry")
+		}
+		s.metrics = r
+		return nil
+	}
+}
+
+// WithTrace attaches a workunit lifecycle tracer to the run. In sim
+// mode spans carry the full lifecycle (created → assigned →
+// compute_start/end → uploaded → validated → assimilated) in virtual
+// seconds; in real mode the scheduler-side kinds are recorded in wall
+// seconds.
+func WithTrace(t *obs.Tracer) Option {
+	return func(s *Spec) error {
+		if t == nil {
+			return fmt.Errorf("nil tracer")
+		}
+		s.trace = t
 		return nil
 	}
 }

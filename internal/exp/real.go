@@ -73,6 +73,8 @@ func runReal(s *Spec) (*Result, error) {
 		TimeoutVirtual:     cfg.TimeoutSeconds,
 		TimeScale:          s.realScale,
 		Preempt:            cfg.PreemptProb,
+		Metrics:            cfg.Metrics,
+		Trace:              cfg.Trace,
 	})
 	if err != nil {
 		return nil, err

@@ -10,6 +10,7 @@ import (
 	"vcdl/internal/boinc"
 	"vcdl/internal/cloud"
 	"vcdl/internal/metrics"
+	"vcdl/internal/obs"
 	"vcdl/internal/vcsim"
 )
 
@@ -68,6 +69,17 @@ type FleetConfig struct {
 	Poll time.Duration
 	// Spawn launches clients (nil = in-process goroutines).
 	Spawn SpawnFunc
+	// Metrics instruments the server half (shorthand for
+	// Server.Metrics; either spelling works, FleetConfig wins when both
+	// are set). Histograms record wall seconds.
+	Metrics *obs.Registry
+	// Trace records scheduler-side workunit lifecycle spans (shorthand
+	// for Server.Trace).
+	Trace *obs.Tracer
+	// Log receives fleet lifecycle events and is handed to every
+	// goroutine-spawned client daemon (nil = silent). Process spawners
+	// receive it in ClientConfig and may forward it as a -v flag.
+	Log *obs.Logger
 }
 
 // member is one tracked client daemon.
@@ -148,6 +160,12 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 	sched.DefaultTimeout = cfg.TimeoutVirtual * scale
 	sched.Seed = cfg.Server.Job.Seed
 	cfg.Server.Scheduler = &sched
+	if cfg.Metrics != nil {
+		cfg.Server.Metrics = cfg.Metrics
+	}
+	if cfg.Trace != nil {
+		cfg.Server.Trace = cfg.Trace
+	}
 
 	// The clock starts before the server so the distributed job's
 	// wall-stamped curve points always fall inside the run's duration.
@@ -156,6 +174,8 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.Log.Info("server listening", "url", srv.URL(),
+		"clients", len(cfg.Fleet), "timescale", scale, "metrics", cfg.Server.Metrics != nil)
 	ctx, cancel := context.WithCancel(context.Background())
 	f := &Fleet{
 		cfg:            cfg,
@@ -245,11 +265,13 @@ func (f *Fleet) addClientLocked(pi cloud.PlacedInstance) (*member, error) {
 		ServerURL: f.srv.URL(),
 		Slots:     f.cfg.TasksPerClient,
 		Poll:      f.cfg.Poll,
+		Log:       f.cfg.Log,
 	})
 	if err != nil {
 		cancel()
 		return nil, fmt.Errorf("live: spawn %s: %w", m.id, err)
 	}
+	f.cfg.Log.Info("client joined", "client", m.id, "instance", pi.Name, "region", string(pi.Region))
 	m.done = done
 	f.members = append(f.members, m)
 	return m, nil
@@ -265,6 +287,7 @@ func (f *Fleet) AddClient(inst cloud.InstanceType, region cloud.Region) string {
 	defer f.mu.Unlock()
 	m, err := f.addClientLocked(cloud.PlacedInstance{InstanceType: inst, Region: region})
 	if err != nil {
+		f.cfg.Log.Warn("client spawn failed", "instance", inst.Name, "region", string(region), "err", err)
 		return fmt.Sprintf("(spawn failed: %v)", err)
 	}
 	return m.id
@@ -295,6 +318,7 @@ func (f *Fleet) dropLocked(m *member) {
 // recovered by the scheduler at the deadline).
 func (f *Fleet) departLocked(m *member, graceful bool) {
 	m.departed = true
+	f.cfg.Log.Info("client departing", "client", m.id, "graceful", graceful)
 	if graceful {
 		m.detached = true
 		f.pushControlLocked(m)

@@ -21,6 +21,7 @@ import (
 	"vcdl/internal/boinc"
 	"vcdl/internal/core"
 	"vcdl/internal/data"
+	"vcdl/internal/obs"
 	"vcdl/internal/store"
 )
 
@@ -39,6 +40,15 @@ type ServerConfig struct {
 	Policy boinc.Policy
 	// Replication issues n concurrent copies of every workunit (0/1 = one).
 	Replication int
+	// Metrics, when set, instruments the server before it accepts traffic:
+	// scheduler lifecycle metrics plus GET /metrics, GET /debug/vars and
+	// /debug/pprof on the project mux (DESIGN.md §10). Histograms record
+	// wall seconds — the live stack has no virtual clock.
+	Metrics *obs.Registry
+	// Trace, when set, records workunit lifecycle spans from the
+	// scheduler's vantage point (created/assigned/validated/... in wall
+	// seconds since the scheduler's epoch).
+	Trace *obs.Tracer
 }
 
 // Server is a running project server listening on a TCP port.
@@ -61,6 +71,15 @@ func StartServer(addr string, cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Instrument before Serve: EnableMetrics must run before the mux
+	// takes traffic, and the trace sink must be attached before the first
+	// workunit event.
+	if cfg.Metrics != nil {
+		d.Server().EnableMetrics(cfg.Metrics)
+	}
+	if cfg.Trace != nil {
+		d.Server().Scheduler(func(s *boinc.Scheduler) { s.AddSink(boinc.TraceSink(cfg.Trace)) })
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("live: listen %s: %w", addr, err)
@@ -78,6 +97,10 @@ func StartServer(addr string, cfg ServerConfig) (*Server, error) {
 // URL returns the server's base URL for clients.
 func (s *Server) URL() string { return s.url }
 
+// Metrics returns the registry attached via ServerConfig.Metrics (nil
+// when the server is uninstrumented).
+func (s *Server) Metrics() *obs.Registry { return s.D.Server().Metrics() }
+
 // Close stops accepting connections.
 func (s *Server) Close() error { return s.hs.Close() }
 
@@ -89,6 +112,8 @@ type ClientConfig struct {
 	Slots int
 	// Poll is the idle wait between work requests (0 = client default).
 	Poll time.Duration
+	// Log receives the daemon's structured events (nil = silent).
+	Log *obs.Logger
 }
 
 // RunClient runs one volunteer client daemon to completion: it fetches
@@ -100,19 +125,31 @@ type ClientConfig struct {
 // even when the loop ends in an error.
 func RunClient(ctx context.Context, cfg ClientConfig) (*boinc.Client, error) {
 	cl := boinc.NewClient(cfg.ID, cfg.ServerURL, cfg.Slots, nil)
+	cl.Log = cfg.Log
 	if cfg.Poll > 0 {
 		cl.Poll = cfg.Poll
 	}
 	// Handshake: fetch job.json, waiting out a server that is still
-	// coming up (volunteer clients outlive server restarts).
+	// coming up (volunteer clients outlive server restarts). The first
+	// failure warns; the steady retry stream stays at debug so a slow
+	// server boot doesn't flood the log.
 	var params core.TrainParams
-	for {
+	for attempt := 0; ; attempt++ {
 		blob, err := cl.Download(core.TrainParamsFile)
 		if err == nil {
 			if params, err = core.DecodeTrainParams(blob); err != nil {
+				cfg.Log.Warn("job.json undecodable, giving up", "client", cfg.ID, "err", err)
 				return cl, err
 			}
+			if attempt > 0 {
+				cfg.Log.Info("handshake succeeded after retries", "client", cfg.ID, "attempts", attempt+1)
+			}
 			break
+		}
+		if attempt == 0 {
+			cfg.Log.Warn("job.json not yet available, retrying", "client", cfg.ID, "err", err)
+		} else {
+			cfg.Log.Debug("job.json still unavailable", "client", cfg.ID, "attempt", attempt+1, "err", err)
 		}
 		select {
 		case <-ctx.Done():

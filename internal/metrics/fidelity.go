@@ -29,6 +29,14 @@ type RunStats struct {
 	Issued, Reissued, Timeouts int
 	// AssignMix counts issued assignments per scheduling policy.
 	AssignMix map[string]int
+	// AssignP50/P95/P99 are scheduler assignment-wait percentiles in
+	// virtual seconds (how long a workunit sat queued before issue),
+	// pulled from the run's metrics registry (DESIGN.md §10). Zero when
+	// the run recorded no assignments.
+	AssignP50, AssignP95, AssignP99 float64
+	// CacheHitRatio is sticky-cache input-file hits over total input
+	// files assigned (0 when nothing was assigned).
+	CacheHitRatio float64
 	// WallSeconds is real elapsed time.
 	WallSeconds float64
 }
@@ -49,13 +57,14 @@ func (s RunStats) MixString() string {
 }
 
 // FidelityHeader is the column row of a fidelity CSV.
-const FidelityHeader = "scenario,mode,seed,epochs,epochs_to_target,final_accuracy,hours,issued,reissued,timeouts,assign_mix,wall_seconds"
+const FidelityHeader = "scenario,mode,seed,epochs,epochs_to_target,final_accuracy,hours,issued,reissued,timeouts,assign_mix,assign_p50,assign_p95,assign_p99,cache_hit_ratio,wall_seconds"
 
 // FidelityRow renders one RunStats as a fidelity CSV line.
 func FidelityRow(s RunStats) string {
-	return fmt.Sprintf("%s,%s,%d,%d,%d,%.4f,%.4f,%d,%d,%d,%s,%.2f",
+	return fmt.Sprintf("%s,%s,%d,%d,%d,%.4f,%.4f,%d,%d,%d,%s,%.2f,%.2f,%.2f,%.3f,%.2f",
 		s.Scenario, s.Mode, s.Seed, s.Epochs, s.EpochsToTarget, s.FinalAccuracy,
-		s.Hours, s.Issued, s.Reissued, s.Timeouts, s.MixString(), s.WallSeconds)
+		s.Hours, s.Issued, s.Reissued, s.Timeouts, s.MixString(),
+		s.AssignP50, s.AssignP95, s.AssignP99, s.CacheHitRatio, s.WallSeconds)
 }
 
 // FidelityCSV renders a full fidelity report: a header plus one row per

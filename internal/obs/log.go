@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is a log severity.
+type Level int
+
+// Severities, lowest first.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+)
+
+// String renders the level for log lines.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	default:
+		return "warn"
+	}
+}
+
+// Logger writes leveled key=value lines for the live path. A nil
+// *Logger discards everything, so components take a *Logger field and
+// log unconditionally. Lines are stamped with seconds since the logger
+// was created (wall clock — loggers exist only on the real-mode side;
+// sim-mode code must not hold one).
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	min   Level
+	start time.Time
+}
+
+// NewLogger creates a logger writing to w, dropping entries below min.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{w: w, min: min, start: time.Now()}
+}
+
+// Enabled reports whether entries at the given level are written.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && l.w != nil && level >= l.min
+}
+
+// Debug logs at debug level. kv are alternating keys and values.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%.3f level=%s msg=%s", time.Since(l.start).Seconds(), level, quote(msg))
+	for i := 0; i+1 < len(kv); i += 2 {
+		fmt.Fprintf(&b, " %v=%s", kv[i], quote(fmt.Sprint(kv[i+1])))
+	}
+	if len(kv)%2 == 1 {
+		fmt.Fprintf(&b, " EXTRA=%s", quote(fmt.Sprint(kv[len(kv)-1])))
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// quote renders a value, quoting only when it contains whitespace,
+// quotes or equals signs, so common values stay grep-friendly.
+func quote(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Span event kinds, in rough lifecycle order. A workunit's span is the
+// sequence created → assigned → compute_start → compute_end → uploaded
+// → validated → assimilated → done, with invalid/timeout/reissued/failed
+// edges where the lifecycle branched. Scheduler-side kinds (created,
+// assigned, validated, invalid, timeout, reissued, done, failed) exist
+// in both sim and real mode; client-side kinds (compute_start,
+// compute_end, uploaded, assimilated) are emitted by the simulator,
+// which sees the whole lifecycle from one event loop.
+const (
+	KindCreated      = "created"
+	KindAssigned     = "assigned"
+	KindComputeStart = "compute_start"
+	KindComputeEnd   = "compute_end"
+	KindUploaded     = "uploaded"
+	KindValidated    = "validated"
+	KindInvalid      = "invalid"
+	KindAssimilated  = "assimilated"
+	KindTimeout      = "timeout"
+	KindReissued     = "reissued"
+	KindDone         = "done"
+	KindFailed       = "failed"
+)
+
+// SpanEvent is one observation in a workunit's lifecycle.
+type SpanEvent struct {
+	// WU identifies the workunit the event belongs to.
+	WU int64 `json:"wu"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// T is the event time in the run's time base: virtual seconds under
+	// the simulator, wall seconds since server start in real mode.
+	T float64 `json:"t"`
+	// Client is the client involved, when one is.
+	Client string `json:"client,omitempty"`
+	// Result is the result (issued copy) involved, when one is.
+	Result int64 `json:"result,omitempty"`
+	// Name is the workunit's name, carried on the created event.
+	Name string `json:"name,omitempty"`
+}
+
+// Span is the recorded lifecycle of one workunit.
+type Span struct {
+	WU     int64       `json:"wu"`
+	Name   string      `json:"name,omitempty"`
+	Events []SpanEvent `json:"events"`
+}
+
+// At returns the time of the first event of the given kind.
+func (s *Span) At(kind string) (float64, bool) {
+	for _, e := range s.Events {
+		if e.Kind == kind {
+			return e.T, true
+		}
+	}
+	return 0, false
+}
+
+// Count returns how many events of the given kind the span holds.
+func (s *Span) Count(kind string) int {
+	n := 0
+	for _, e := range s.Events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Tracer records workunit lifecycle spans into a queryable in-memory
+// store and, when constructed with a writer, streams each event as one
+// JSON line (JSONL). It is safe for concurrent use; a nil *Tracer
+// ignores all records, so call sites need no guards.
+type Tracer struct {
+	mu    sync.Mutex
+	spans map[int64]*Span
+	order []int64
+	enc   *json.Encoder
+	err   error
+}
+
+// NewTracer creates a tracer. w may be nil for an in-memory-only store;
+// otherwise every event is appended to w as a JSON line as it arrives.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{spans: make(map[int64]*Span)}
+	if w != nil {
+		t.enc = json.NewEncoder(w)
+	}
+	return t
+}
+
+// Record appends one event to its workunit's span.
+func (t *Tracer) Record(ev SpanEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := t.spans[ev.WU]
+	if sp == nil {
+		sp = &Span{WU: ev.WU}
+		t.spans[ev.WU] = sp
+		t.order = append(t.order, ev.WU)
+	}
+	if sp.Name == "" && ev.Name != "" {
+		sp.Name = ev.Name
+	}
+	sp.Events = append(sp.Events, ev)
+	if t.enc != nil && t.err == nil {
+		t.err = t.enc.Encode(ev)
+	}
+}
+
+// Span returns a copy of one workunit's span.
+func (t *Tracer) Span(wu int64) (Span, bool) {
+	if t == nil {
+		return Span{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := t.spans[wu]
+	if sp == nil {
+		return Span{}, false
+	}
+	return copySpan(sp), true
+}
+
+// Spans returns copies of all spans in creation order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.order))
+	for _, wu := range t.order {
+		out = append(out, copySpan(t.spans[wu]))
+	}
+	return out
+}
+
+// Len returns the number of workunits with at least one recorded event.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.order)
+}
+
+// Err returns the first JSONL write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+func copySpan(sp *Span) Span {
+	return Span{WU: sp.WU, Name: sp.Name, Events: append([]SpanEvent(nil), sp.Events...)}
+}

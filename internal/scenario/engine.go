@@ -5,8 +5,10 @@ import (
 	"io"
 	"time"
 
+	"vcdl/internal/boinc"
 	"vcdl/internal/live"
 	"vcdl/internal/metrics"
+	"vcdl/internal/obs"
 	"vcdl/internal/vcsim"
 )
 
@@ -30,6 +32,9 @@ type Report struct {
 	Stats  metrics.RunStats
 	Checks []Check
 	Passed bool
+	// Metrics is the registry the run recorded into — Options.Metrics
+	// when supplied, otherwise the engine's private one.
+	Metrics *obs.Registry
 }
 
 // Options tunes a scenario run.
@@ -51,6 +56,17 @@ type Options struct {
 	// in-process goroutines; cmd/vcdl-scenario's -procs mode passes a
 	// process spawner). Ignored in sim mode.
 	Spawn live.SpawnFunc
+	// Metrics receives the run's metric families (DESIGN.md §10). When
+	// nil the engine still instruments itself with a private registry so
+	// the RunStats percentile columns always fill; supply one to keep
+	// the snapshot (Report.Metrics exposes whichever was used).
+	Metrics *obs.Registry
+	// Trace, when non-nil, records workunit lifecycle spans — virtual
+	// seconds in sim mode, wall seconds in real mode.
+	Trace *obs.Tracer
+	// Log receives structured fleet/client events in real mode (nil =
+	// silent). Ignored in sim mode, which has no daemons to narrate.
+	Log *obs.Logger
 }
 
 // RunScenario validates, compiles and runs a scenario to completion on
@@ -92,17 +108,29 @@ func (rep *Report) traceTo(progress io.Writer, line string) {
 
 // finishReport assembles the post-run bookkeeping shared by both
 // engines: the closing trace line, the fidelity stats and the
-// assertion checks.
-func (rep *Report) finish(sc *Scenario, opts Options, res *vcsim.Result) {
+// assertion checks. wallPerVirtual converts the registry's histogram
+// values back into virtual seconds (1 in sim mode, where histograms
+// are already virtual; the time scale in real mode, where they are
+// wall-clock).
+func (rep *Report) finish(sc *Scenario, opts Options, res *vcsim.Result, wallPerVirtual float64) {
 	rep.Result = res
 	rep.traceTo(opts.Progress, fmt.Sprintf("[%7.3fh] done: %d epochs, final accuracy %.4f, issued %d, reissued %d, timeouts %d",
 		res.Hours, len(res.Curve.Points), res.Curve.FinalValue(), res.Issued, res.Reissued, res.Timeouts))
-	rep.Stats = buildStats(sc, rep.Mode, res, rep.WallclockSeconds)
+	rep.Stats = buildStats(sc, rep.Mode, res, rep.WallclockSeconds, rep.Metrics, wallPerVirtual)
 	rep.Checks, rep.Passed = evaluate(sc.Asserts, res, rep.WallclockSeconds)
 }
 
+// runRegistry picks the registry a run records into: the caller's, or a
+// private one so the fidelity stats always have percentiles to read.
+func runRegistry(opts Options) *obs.Registry {
+	if opts.Metrics != nil {
+		return opts.Metrics
+	}
+	return obs.NewRegistry()
+}
+
 // buildStats extracts the engine-independent fidelity summary.
-func buildStats(sc *Scenario, mode Mode, res *vcsim.Result, wallSec float64) metrics.RunStats {
+func buildStats(sc *Scenario, mode Mode, res *vcsim.Result, wallSec float64, reg *obs.Registry, wallPerVirtual float64) metrics.RunStats {
 	seed := sc.Fleet.Seed
 	if seed == 0 {
 		seed = 1
@@ -117,7 +145,7 @@ func buildStats(sc *Scenario, mode Mode, res *vcsim.Result, wallSec float64) met
 			}
 		}
 	}
-	return metrics.RunStats{
+	st := metrics.RunStats{
 		Scenario:       sc.Name,
 		Mode:           string(mode),
 		Seed:           seed,
@@ -131,6 +159,21 @@ func buildStats(sc *Scenario, mode Mode, res *vcsim.Result, wallSec float64) met
 		AssignMix:      res.AssignMix,
 		WallSeconds:    wallSec,
 	}
+	if reg != nil {
+		if wallPerVirtual <= 0 {
+			wallPerVirtual = 1
+		}
+		if h := reg.FindHistogram(boinc.MetricAssignWait); h != nil && h.Count() > 0 {
+			st.AssignP50 = h.Quantile(0.5) / wallPerVirtual
+			st.AssignP95 = h.Quantile(0.95) / wallPerVirtual
+			st.AssignP99 = h.Quantile(0.99) / wallPerVirtual
+		}
+		hits := reg.CounterValue(boinc.MetricCacheHitFiles)
+		if total := hits + reg.CounterValue(boinc.MetricCacheMissFiles); total > 0 {
+			st.CacheHitRatio = float64(hits) / float64(total)
+		}
+	}
+	return st
 }
 
 // runSim compiles the scenario onto the virtual-time simulator.
@@ -139,6 +182,12 @@ func runSim(sc *Scenario, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Instrumentation is passive (DESIGN.md §10): the registry and tracer
+	// observe the run without perturbing it, so the determinism contract
+	// — identical trace with or without them — holds.
+	reg := runRegistry(opts)
+	cfg.Metrics = reg
+	cfg.Trace = opts.Trace
 	if opts.Progress != nil {
 		// Narrate the run live through the simulator's observer hooks.
 		// These lines go only to Progress, not into Trace: the trace
@@ -159,7 +208,7 @@ func runSim(sc *Scenario, opts Options) (*Report, error) {
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
 
-	rep := &Report{Scenario: sc, Mode: ModeSim}
+	rep := &Report{Scenario: sc, Mode: ModeSim, Metrics: reg}
 	workload := sc.Fleet.Workload
 	if workload == "" {
 		workload = "quick"
@@ -183,7 +232,7 @@ func runSim(sc *Scenario, opts Options) (*Report, error) {
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
 	rep.WallclockSeconds = time.Since(start).Seconds()
-	rep.finish(sc, opts, res)
+	rep.finish(sc, opts, res, 1)
 	return rep, nil
 }
 

@@ -37,6 +37,7 @@ func runReal(sc *Scenario, opts Options) (*Report, error) {
 	if scale <= 0 {
 		scale = live.DefaultTimeScale
 	}
+	reg := runRegistry(opts)
 	fleet, err := live.StartFleet(live.FleetConfig{
 		Server: live.ServerConfig{
 			Job:         cfg.Job,
@@ -57,13 +58,16 @@ func runReal(sc *Scenario, opts Options) (*Report, error) {
 		TimeScale:          scale,
 		Preempt:            cfg.PreemptProb,
 		Spawn:              opts.Spawn,
+		Metrics:            reg,
+		Trace:              opts.Trace,
+		Log:                opts.Log,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
 	defer fleet.Close()
 
-	rep := &Report{Scenario: sc, Mode: ModeReal}
+	rep := &Report{Scenario: sc, Mode: ModeReal, Metrics: reg}
 	var traceMu sync.Mutex
 	trace := func(line string) {
 		traceMu.Lock()
@@ -121,6 +125,6 @@ func runReal(sc *Scenario, opts Options) (*Report, error) {
 		return nil, fmt.Errorf("scenario %s (real mode): %w", sc.Name, err)
 	}
 	rep.WallclockSeconds = time.Since(start).Seconds()
-	rep.finish(sc, opts, res)
+	rep.finish(sc, opts, res, scale)
 	return rep, nil
 }

@@ -1,0 +1,77 @@
+package vcsim
+
+import "vcdl/internal/obs"
+
+// Simulator metric family names (the Observer-event bridge; the
+// scheduler's vcdl_sched_* families come from boinc.MetricsSink).
+const (
+	// MetricAssimilations counts assimilated canonical results.
+	MetricAssimilations = "vcdl_sim_assimilations_total"
+	// MetricEpochs counts closed training epochs.
+	MetricEpochs = "vcdl_sim_epochs_total"
+	// MetricPreempts counts preempted subtask executions.
+	MetricPreempts = "vcdl_sim_preempts_total"
+	// MetricExpired counts results expired by timeout sweeps.
+	MetricExpired = "vcdl_sim_expired_results_total"
+	// MetricAssimQueue gauges the assimilation backlog on the parameter
+	// servers after the latest assimilation.
+	MetricAssimQueue = "vcdl_sim_assim_queue"
+	// MetricAccuracy gauges the latest post-assimilation validation
+	// accuracy.
+	MetricAccuracy = "vcdl_sim_accuracy"
+	// MetricVirtualHours gauges the run's virtual clock at the latest
+	// observed event.
+	MetricVirtualHours = "vcdl_sim_virtual_hours"
+)
+
+// metricsObserver bridges the simulator's Observer event stream into an
+// obs.Registry so sim and real runs produce comparable metric
+// snapshots. It is a passive observer like any other: it derives every
+// value from the event payload and never touches the engine.
+type metricsObserver struct {
+	assims, epochs, preempts, expired *obs.Counter
+	queue, accuracy, hours            *obs.Gauge
+}
+
+func newMetricsObserver(r *obs.Registry) *metricsObserver {
+	return &metricsObserver{
+		assims:   r.Counter(MetricAssimilations, "canonical results assimilated into the server copy"),
+		epochs:   r.Counter(MetricEpochs, "training epochs closed"),
+		preempts: r.Counter(MetricPreempts, "subtask executions lost to instance preemption"),
+		expired:  r.Counter(MetricExpired, "results expired by deadline sweeps"),
+		queue:    r.Gauge(MetricAssimQueue, "assimilation backlog after the latest assimilation"),
+		accuracy: r.Gauge(MetricAccuracy, "latest post-assimilation validation accuracy"),
+		hours:    r.Gauge(MetricVirtualHours, "virtual clock at the latest observed event, hours"),
+	}
+}
+
+// OnAssimilate implements Observer.
+func (m *metricsObserver) OnAssimilate(e AssimEvent) {
+	m.assims.Inc()
+	m.queue.Set(float64(e.Queue))
+	m.accuracy.Set(e.Accuracy)
+	m.hours.Set(e.Hours)
+}
+
+// OnEpoch implements Observer.
+func (m *metricsObserver) OnEpoch(e EpochEvent) {
+	m.epochs.Inc()
+	m.hours.Set(e.Hours)
+}
+
+// OnPreempt implements Observer.
+func (m *metricsObserver) OnPreempt(e PreemptEvent) {
+	m.preempts.Inc()
+	m.hours.Set(e.Hours)
+}
+
+// OnTimeout implements Observer.
+func (m *metricsObserver) OnTimeout(e TimeoutEvent) {
+	m.expired.Add(int64(e.Expired))
+	m.hours.Set(e.Hours)
+}
+
+// OnFinish implements Observer.
+func (m *metricsObserver) OnFinish(res *Result) {
+	m.hours.Set(res.Hours)
+}

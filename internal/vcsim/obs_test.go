@@ -1,0 +1,101 @@
+package vcsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vcdl/internal/boinc"
+	"vcdl/internal/obs"
+)
+
+// TestSimTraceLifecycle runs a small simulation with a tracer attached
+// and checks every workunit's span carries the full lifecycle in
+// non-decreasing virtual time.
+func TestSimTraceLifecycle(t *testing.T) {
+	job, corpus := quickSetup(t)
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	reg := obs.NewRegistry()
+	cfg := DefaultConfig(job, corpus, 1, 3, 2)
+	cfg.Metrics = reg
+	cfg.Trace = tr
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != res.Issued {
+		t.Fatalf("traced %d workunits, result issued %d", tr.Len(), res.Issued)
+	}
+	want := []string{
+		obs.KindCreated, obs.KindAssigned, obs.KindComputeStart,
+		obs.KindComputeEnd, obs.KindUploaded, obs.KindValidated,
+		obs.KindDone, obs.KindAssimilated,
+	}
+	for _, sp := range tr.Spans() {
+		for _, kind := range want {
+			if sp.Count(kind) == 0 {
+				t.Fatalf("span %d (%s) missing %s: %+v", sp.WU, sp.Name, kind, sp.Events)
+			}
+		}
+		prev := 0.0
+		for _, ev := range sp.Events {
+			if ev.T < prev {
+				t.Fatalf("span %d time went backwards: %+v", sp.WU, sp.Events)
+			}
+			prev = ev.T
+		}
+	}
+	// The JSONL stream carries one line per event.
+	lines := strings.Count(buf.String(), "\n")
+	total := 0
+	for _, sp := range tr.Spans() {
+		total += len(sp.Events)
+	}
+	if lines != total || tr.Err() != nil {
+		t.Fatalf("JSONL lines = %d, events = %d, err = %v", lines, total, tr.Err())
+	}
+
+	// The registry bridge saw the run too: scheduler and simulator
+	// families both populated, with consistent counts.
+	if got := reg.CounterValue(boinc.MetricAssignments); got != int64(res.Issued) {
+		t.Fatalf("assignments metric = %d, result issued %d", got, res.Issued)
+	}
+	if got := reg.CounterValue(MetricEpochs); got != int64(len(res.Curve.Points)) {
+		t.Fatalf("epochs metric = %d, curve has %d", got, len(res.Curve.Points))
+	}
+	// Sim histograms are in virtual seconds: the top assignment wait
+	// cannot exceed the whole run.
+	if h := reg.FindHistogram(boinc.MetricAssignWait); h == nil || h.Count() == 0 {
+		t.Fatal("assign wait histogram empty")
+	} else if q := h.Quantile(0.99); q > res.Hours*3600 {
+		t.Fatalf("p99 assign wait %gs exceeds the %gh run", q, res.Hours)
+	}
+}
+
+// TestInstrumentationDeterminism pins the non-perturbation contract at
+// the simulator level: a run with metrics+trace attached is
+// byte-identical to a bare run.
+func TestInstrumentationDeterminism(t *testing.T) {
+	job, corpus := quickSetup(t)
+	bare := DefaultConfig(job, corpus, 2, 3, 2)
+	a, err := Run(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr := DefaultConfig(job, corpus, 2, 3, 2)
+	instr.Metrics = obs.NewRegistry()
+	instr.Trace = obs.NewTracer(nil)
+	b, err := Run(instr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hours != b.Hours || a.Issued != b.Issued || a.Reissued != b.Reissued {
+		t.Fatalf("instrumentation perturbed the run: %+v vs %+v", a, b)
+	}
+	for i := range a.Curve.Points {
+		if a.Curve.Points[i] != b.Curve.Points[i] {
+			t.Fatalf("curve differs at %d", i)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"vcdl/internal/core"
 	"vcdl/internal/data"
 	"vcdl/internal/metrics"
+	"vcdl/internal/obs"
 	"vcdl/internal/ps"
 	"vcdl/internal/sim"
 	"vcdl/internal/store"
@@ -98,6 +99,19 @@ type Config struct {
 	// virtual time. Use Observers to attach more than one. Observers are
 	// passive: they never change the Result.
 	Observer Observer
+
+	// Metrics, when non-nil, receives the run's metric families
+	// (DESIGN.md §10): the scheduler's vcdl_sched_* lifecycle metrics and
+	// the simulator's vcdl_sim_* event metrics, with histograms recorded
+	// in virtual seconds. Like observers, an attached registry never
+	// perturbs the run — the same seed produces the same Result and the
+	// same golden trace with or without one.
+	Metrics *obs.Registry
+	// Trace, when non-nil, records per-workunit lifecycle spans: the
+	// scheduler-side kinds (created/assigned/validated/…) plus the
+	// simulator-only client-side kinds (compute_start, compute_end,
+	// uploaded, assimilated), all stamped in virtual seconds.
+	Trace *obs.Tracer
 
 	// Backend selects the compute backend that executes subtask math
 	// (DESIGN.md §8): "" or "real" runs the full kernel inline in the
@@ -293,6 +307,25 @@ func newRun(cfg Config, st store.Store, backend core.Backend) *run {
 	if cfg.Policy != nil {
 		sched.SetPolicy(cfg.Policy)
 	}
+	// Instrumentation attaches before the first workunit exists so
+	// created events are never missed. Sinks only derive values from
+	// scheduler state and the virtual clock the run already passes in,
+	// so attaching them cannot change the event order or RNG stream.
+	if cfg.Metrics != nil {
+		sched.AddSink(boinc.MetricsSink(cfg.Metrics))
+	}
+	if cfg.Trace != nil {
+		sched.AddSink(boinc.TraceSink(cfg.Trace))
+	}
+	observer := cfg.Observer
+	if cfg.Metrics != nil {
+		bridge := newMetricsObserver(cfg.Metrics)
+		if observer != nil {
+			observer = Observers{bridge, observer}
+		} else {
+			observer = bridge
+		}
+	}
 	r := &run{
 		cfg:         cfg,
 		eng:         sim.NewEngine(cfg.Seed),
@@ -306,7 +339,7 @@ func newRun(cfg Config, st store.Store, backend core.Backend) *run {
 		rule:        cfg.Rule,
 		preempt:     cloud.NewPreemptionProcess(cfg.Seed + 7),
 		res:         &Result{Name: name},
-		obs:         cfg.Observer,
+		obs:         observer,
 		rttOverride: make(map[cloud.Region]float64),
 	}
 	r.res.Curve.Name = name
@@ -510,6 +543,9 @@ func (r *run) startSubtask(c *simClient, asn boinc.Assignment, wave int) {
 		return
 	}
 
+	// Execution begins once the download finishes; the span event is
+	// stamped with that already-determined virtual time, not a clock read.
+	r.trace(asn.WUID, obs.KindComputeStart, c.id, r.eng.Now()+dl)
 	// The subtask's output is a pure function of (epoch snapshot, shard,
 	// seed) — none of the engine's RNG is consumed — so the computation
 	// is launched now, when execution is scheduled, and awaited in the
@@ -532,6 +568,7 @@ func (r *run) startSubtask(c *simClient, asn boinc.Assignment, wave int) {
 		}
 		updated, _ := fut.Wait()
 		c.busy--
+		r.trace(asn.WUID, obs.KindComputeEnd, c.id, r.eng.Now())
 		r.tryAssign(c)
 		up := r.xfer(r.paramBytes, c)
 		r.eng.Schedule(up, func() {
@@ -541,15 +578,27 @@ func (r *run) startSubtask(c *simClient, asn boinc.Assignment, wave int) {
 				return
 			}
 			r.res.BytesUploaded += int64(r.paramBytes)
+			r.trace(asn.WUID, obs.KindUploaded, c.id, r.eng.Now())
 			if _, canonical, err := r.sched.CompleteResult(asn.ResultID, true, r.eng.Now()); err == nil && canonical {
 				r.autoscale()
 				r.assim.Submit(r.assimService(), func() {
+					r.trace(asn.WUID, obs.KindAssimilated, c.id, r.eng.Now())
 					r.assimilate(epoch, updated)
 				})
 			}
 		})
 	})
 	r.scheduleSweep()
+}
+
+// trace records one client-side lifecycle span event at virtual time t
+// (a no-op without a tracer). Only the simulator can contribute these
+// kinds — it watches the whole lifecycle from one event loop.
+func (r *run) trace(wu int64, kind, client string, t float64) {
+	if r.cfg.Trace == nil {
+		return
+	}
+	r.cfg.Trace.Record(obs.SpanEvent{WU: wu, Kind: kind, T: t, Client: client})
 }
 
 // assimService is the PS service time per result: validation plus the
