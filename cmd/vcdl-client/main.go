@@ -32,6 +32,11 @@ type clientOptions struct {
 	slots  int
 	poll   time.Duration
 	runFor time.Duration
+	// blobs fetches digest-published inputs from /blob/{digest}
+	// (resumable, digest-verified); blobDir backs the cache with a
+	// directory that survives restarts (warm cache on rejoin).
+	blobs   bool
+	blobDir string
 }
 
 func main() {
@@ -41,6 +46,8 @@ func main() {
 	flag.IntVar(&opts.slots, "slots", 2, "simultaneous subtasks (the paper's Tn)")
 	flag.DurationVar(&opts.poll, "poll", 250*time.Millisecond, "idle poll interval")
 	flag.DurationVar(&opts.runFor, "run-for", 0, "exit after this duration (0 = until interrupted)")
+	flag.BoolVar(&opts.blobs, "blobs", false, "fetch digest-published inputs via /blob/{digest} (resumable transfers)")
+	flag.StringVar(&opts.blobDir, "blob-dir", "", "disk-backed blob cache directory, kept across restarts (implies -blobs)")
 	flag.Parse()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -61,13 +68,20 @@ func runClient(ctx context.Context, opts clientOptions, out io.Writer) error {
 		defer cancel()
 	}
 	cl, err := live.RunClient(ctx, live.ClientConfig{
-		ID:        opts.id,
-		ServerURL: opts.server,
-		Slots:     opts.slots,
-		Poll:      opts.poll,
+		ID:           opts.id,
+		ServerURL:    opts.server,
+		Slots:        opts.slots,
+		Poll:         opts.poll,
+		Blobs:        opts.blobs,
+		BlobCacheDir: opts.blobDir,
 	})
 	fmt.Fprintf(out, "client %s exiting (%v): %d subtasks completed, %d failed, %d preempted, %d downloads, %d cache hits\n",
 		opts.id, err, cl.Completed, cl.Failed, cl.Preempted, cl.Downloads, cl.CacheHits)
+	if opts.blobs || opts.blobDir != "" {
+		bs := cl.BlobStats()
+		fmt.Fprintf(out, "client %s blob stats: %d fetched (%d bytes), %d resumes, %d cache hits (%d bytes), %d misses\n",
+			opts.id, bs.Fetched, bs.BytesFetched, bs.Resumes, bs.CacheHits, bs.CacheHitBytes, bs.CacheMisses)
+	}
 	if errors.Is(err, boinc.ErrDetached) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return nil
 	}

@@ -51,9 +51,10 @@ commands:
   run       execute scenarios and check their assertions
             flags: -mode sim|real (engine), -seed N (override scenario seed),
                    -trace (print event trace), -procs (real mode: clients as
-                   OS processes), -speedup X (real mode: X virtual seconds
-                   per wall second, default 60), -wall-limit D (real-mode
-                   wall-clock budget per scenario, default 2m),
+                   OS processes), -store eventual|strong (real mode: override
+                   the parameter store backend), -speedup X (real mode: X
+                   virtual seconds per wall second, default 60), -wall-limit D
+                   (real-mode wall-clock budget per scenario, default 2m),
                    -metrics FILE (write per-run metric snapshots as JSON),
                    -v (real mode: structured fleet/client logging to stderr)
   compare   run each scenario in sim and real mode back-to-back and emit
@@ -91,6 +92,7 @@ type realFlags struct {
 	speedup   *float64
 	wallLimit *time.Duration
 	procs     *bool
+	storeKind *string
 }
 
 func addRealFlags(fs *flag.FlagSet) realFlags {
@@ -98,6 +100,7 @@ func addRealFlags(fs *flag.FlagSet) realFlags {
 		speedup:   fs.Float64("speedup", 60, "real mode: virtual seconds that elapse per wall second"),
 		wallLimit: fs.Duration("wall-limit", 2*time.Minute, "real mode: wall-clock budget per scenario"),
 		procs:     fs.Bool("procs", false, "real mode: run clients as separate OS processes"),
+		storeKind: fs.String("store", "", "real mode: parameter store backend, eventual or strong (empty = scenario's 'store' key, default eventual)"),
 	}
 }
 
@@ -115,6 +118,12 @@ func (rf realFlags) options(mode scenario.Mode, seed int64, trace bool, stdout i
 	}
 	opts.TimeScale = 1 / *rf.speedup
 	opts.WallLimit = *rf.wallLimit
+	switch *rf.storeKind {
+	case "", "eventual", "strong":
+		opts.Store = *rf.storeKind
+	default:
+		return opts, fmt.Errorf("-store %q: want eventual or strong", *rf.storeKind)
+	}
 	if *rf.procs {
 		spawn, err := selfSpawner()
 		if err != nil {

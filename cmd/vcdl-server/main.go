@@ -12,11 +12,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"vcdl/internal/boinc"
@@ -29,14 +32,29 @@ import (
 
 // serveOptions collects the flags so tests can drive serve directly.
 type serveOptions struct {
-	addr       string
-	subtasks   int
-	epochs     int
-	pservers   int
-	target     float64
-	strong     bool
-	seed       int64
+	addr     string
+	subtasks int
+	epochs   int
+	pservers int
+	target   float64
+	// storeKind selects the parameter store backend ("eventual" or
+	// "strong"); strong is the deprecated -strong-store alias.
+	storeKind string
+	strong    bool
+	seed      int64
+	// checkpoint is an epoch-stamped checkpoint file: written on SIGTERM
+	// and on completion, loaded (if present) on startup so a restarted
+	// server resumes training instead of starting over.
 	checkpoint string
+	// blobs serves every published input at /blob/{digest} (resumable,
+	// digest-verified transfers) alongside the classic /download path.
+	blobs bool
+	// ckptStore persists epoch checkpoints through the parameter store
+	// so PS failover restores instead of restarting the epoch.
+	ckptStore bool
+	// stop, when non-nil, triggers the graceful-shutdown path (main
+	// wires SIGINT/SIGTERM to it; tests send on it directly).
+	stop <-chan os.Signal
 	// timeout is the BOINC result deadline (0 = scheduler default,
 	// 300s); work stranded on a vanished client is reissued after it.
 	timeout time.Duration
@@ -58,15 +76,21 @@ func main() {
 	flag.IntVar(&opts.epochs, "epochs", 5, "maximum training epochs")
 	flag.IntVar(&opts.pservers, "pservers", 2, "parameter servers sharing the store")
 	flag.Float64Var(&opts.target, "target", 0, "stop when epoch validation accuracy reaches this (0 = run all epochs)")
-	flag.BoolVar(&opts.strong, "strong-store", false, "use the strong-consistency store instead of eventual")
+	flag.StringVar(&opts.storeKind, "store", "eventual", "parameter store backend: eventual or strong")
+	flag.BoolVar(&opts.strong, "strong-store", false, "deprecated alias for -store strong")
 	flag.Int64Var(&opts.seed, "seed", 1, "seed for data generation and initialization")
-	flag.StringVar(&opts.checkpoint, "checkpoint", "", "write the final parameter vector to this file")
+	flag.StringVar(&opts.checkpoint, "checkpoint", "", "epoch-stamped checkpoint file: saved on SIGTERM and completion, resumed from on restart")
+	flag.BoolVar(&opts.blobs, "blobs", false, "serve inputs at /blob/{digest} (content-addressed, resumable transfers)")
+	flag.BoolVar(&opts.ckptStore, "checkpoints", false, "persist epoch checkpoints through the parameter store (PS failover restores instead of restarting)")
 	flag.DurationVar(&opts.timeout, "timeout", 0, "BOINC result deadline (0 = default 5m)")
 	flag.IntVar(&opts.train, "train", 0, "training-set size override (0 = default corpus)")
 	flag.IntVar(&opts.val, "val", 0, "validation-set size override (0 = default corpus)")
 	flag.BoolVar(&opts.metrics, "metrics", false, "expose /metrics, /debug/vars and /debug/pprof on the listen address")
 	flag.Parse()
 
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	opts.stop = sig
 	if _, err := serve(opts, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
@@ -103,16 +127,43 @@ func serve(opts serveOptions, out io.Writer) (core.RunResult, error) {
 	cfg.ValSubset = 200
 	cfg.Seed = opts.seed
 
-	var st store.Store = store.NewEventual(3, 4, opts.seed)
+	kind := opts.storeKind
 	if opts.strong {
+		kind = "strong"
+	}
+	var st store.Store
+	switch kind {
+	case "", "eventual":
+		st = store.NewEventual(3, 4, opts.seed)
+	case "strong":
 		st = store.NewStrong()
+	default:
+		return core.RunResult{}, fmt.Errorf("unknown -store %q (want eventual or strong)", kind)
 	}
 	scfg := live.ServerConfig{
-		Job:      cfg,
-		Spec:     spec,
-		Corpus:   corpus,
-		PServers: opts.pservers,
-		Store:    st,
+		Job:        cfg,
+		Spec:       spec,
+		Corpus:     corpus,
+		PServers:   opts.pservers,
+		Store:      st,
+		Blobs:      opts.blobs,
+		Checkpoint: opts.ckptStore,
+	}
+	// A checkpoint file from a previous (interrupted or finished) run
+	// resumes training at the epoch after the one it captured; the epoch
+	// budget is absolute, so a resumed job still stops at -epochs.
+	if opts.checkpoint != "" {
+		epoch, params, err := core.LoadCheckpoint(opts.checkpoint)
+		switch {
+		case err == nil && epoch > 0:
+			scfg.ResumeEpoch = epoch
+			scfg.ResumeParams = params
+			fmt.Fprintf(out, "resuming from checkpoint %s (epoch %d)\n", opts.checkpoint, epoch)
+		case errors.Is(err, os.ErrNotExist):
+			// Fresh start; the file appears on the first save.
+		case err != nil:
+			fmt.Fprintf(out, "checkpoint %s unreadable (%v), starting fresh\n", opts.checkpoint, err)
+		}
 	}
 	if opts.timeout > 0 {
 		sched := boinc.DefaultSchedulerConfig()
@@ -130,6 +181,9 @@ func serve(opts serveOptions, out io.Writer) (core.RunResult, error) {
 	defer srv.Close()
 	fmt.Fprintf(out, "vcdl-server listening on %s (%d subtasks/epoch, %d epochs, %d parameter servers, %s store)\n",
 		srv.URL(), opts.subtasks, opts.epochs, opts.pservers, st.Name())
+	if opts.blobs {
+		fmt.Fprintf(out, "data plane: inputs published at %s/blob/{digest} (resumable, digest-verified)\n", srv.URL())
+	}
 	if opts.metrics {
 		fmt.Fprintf(out, "observability: %s/metrics (Prometheus), %s/debug/vars (JSON), %s/debug/pprof\n",
 			srv.URL(), srv.URL(), srv.URL())
@@ -154,11 +208,35 @@ func serve(opts serveOptions, out io.Writer) (core.RunResult, error) {
 			fmt.Fprintf(out, "training finished: %d epochs, final accuracy %.3f (stopped early: %v)\n",
 				len(res.Curve.Points), res.Curve.FinalValue(), res.Stopped)
 			if opts.checkpoint != "" && len(res.FinalParams) > 0 {
-				if err := core.SaveParams(opts.checkpoint, res.FinalParams); err != nil {
+				epoch := scfg.ResumeEpoch + len(res.Curve.Points)
+				if n := len(res.Curve.Points); n > 0 {
+					epoch = res.Curve.Points[n-1].Epoch
+				}
+				if err := core.SaveCheckpoint(opts.checkpoint, epoch, res.FinalParams); err != nil {
 					fmt.Fprintf(out, "checkpoint: %v\n", err)
 				} else {
-					fmt.Fprintf(out, "checkpoint written to %s\n", opts.checkpoint)
+					fmt.Fprintf(out, "checkpoint written to %s (epoch %d)\n", opts.checkpoint, epoch)
 				}
+			}
+			return res, nil
+		case <-opts.stop:
+			// Graceful shutdown: snapshot the live parameter copy so a
+			// restart with the same -checkpoint resumes mid-run instead of
+			// retraining the finished epochs.
+			res, _ := job.Result()
+			reportNew(out, &seen, res)
+			if opts.checkpoint != "" {
+				epoch, params, err := job.Snapshot()
+				if err != nil {
+					fmt.Fprintf(out, "shutdown: snapshot failed: %v\n", err)
+				} else if err := core.SaveCheckpoint(opts.checkpoint, epoch, params); err != nil {
+					fmt.Fprintf(out, "shutdown: %v\n", err)
+				} else {
+					fmt.Fprintf(out, "interrupted: checkpoint written to %s (epoch %d); restart with the same -checkpoint to resume\n",
+						opts.checkpoint, epoch)
+				}
+			} else {
+				fmt.Fprintln(out, "interrupted (no -checkpoint file; progress not saved)")
 			}
 			return res, nil
 		case <-tick.C:

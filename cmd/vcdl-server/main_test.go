@@ -2,11 +2,16 @@ package main
 
 import (
 	"context"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
+	"vcdl/internal/core"
 	"vcdl/internal/live"
 )
 
@@ -92,6 +97,86 @@ func TestServeRunsToCompletion(t *testing.T) {
 	}
 	if !strings.Contains(output, "epoch  1") || !strings.Contains(output, "epoch  2") {
 		t.Fatalf("missing per-epoch progress in output:\n%s", output)
+	}
+}
+
+// TestServeSigtermCheckpointResume pins the graceful-shutdown contract:
+// an interrupted server writes an epoch-stamped checkpoint, and a
+// restart with the same -checkpoint resumes mid-run instead of
+// retraining the finished epochs.
+func TestServeSigtermCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second real-HTTP training run")
+	}
+	ckpt := filepath.Join(t.TempDir(), "server.ckpt")
+	opts := tinyOpts()
+	opts.epochs = 4
+	opts.subtasks = 10 // long enough epochs that the SIGTERM lands mid-run
+	opts.checkpoint = ckpt
+	stop := make(chan os.Signal, 1)
+	opts.stop = stop
+	var out lockedWriter
+	url, errc := startServe(t, opts, &out)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	clientCtx, stopClients := context.WithCancel(ctx)
+	for _, id := range []string{"c0", "c1"} {
+		cfg := live.ClientConfig{ID: id, ServerURL: url, Slots: 2, Poll: 10 * time.Millisecond}
+		go live.RunClient(clientCtx, cfg)
+	}
+
+	// Interrupt once the first epoch has closed, so the checkpoint has
+	// progress worth resuming.
+	deadline := time.After(60 * time.Second)
+	for !strings.Contains(out.String(), "epoch  1") {
+		select {
+		case <-deadline:
+			t.Fatalf("epoch 1 never closed:\n%s", out.String())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	stop <- syscall.SIGTERM
+	if err := <-errc; err != nil {
+		t.Fatalf("interrupted serve: %v", err)
+	}
+	stopClients()
+	if !strings.Contains(out.String(), "interrupted: checkpoint written to") {
+		t.Fatalf("no shutdown checkpoint reported:\n%s", out.String())
+	}
+	epoch, params, err := core.LoadCheckpoint(ckpt)
+	if err != nil || epoch < 1 || len(params) == 0 {
+		t.Fatalf("checkpoint unreadable: epoch %d, %d params, err %v", epoch, len(params), err)
+	}
+
+	// Restart with the same checkpoint file: the run resumes at epoch+1
+	// and still stops at the absolute 4-epoch budget.
+	var out2 lockedWriter
+	url2, errc2 := startServe(t, opts, &out2)
+	for _, id := range []string{"c2", "c3"} {
+		cfg := live.ClientConfig{ID: id, ServerURL: url2, Slots: 2, Poll: 10 * time.Millisecond}
+		go live.RunClient(ctx, cfg)
+	}
+	select {
+	case err := <-errc2:
+		if err != nil {
+			t.Fatalf("resumed serve: %v", err)
+		}
+	case <-ctx.Done():
+		t.Fatal("resumed run did not finish in time")
+	}
+	output := out2.String()
+	if !strings.Contains(output, fmt.Sprintf("resuming from checkpoint %s (epoch %d)", ckpt, epoch)) {
+		t.Fatalf("restart did not resume from the checkpoint:\n%s", output)
+	}
+	if !strings.Contains(output, "epoch  4") {
+		t.Fatalf("resumed run never reached epoch 4:\n%s", output)
+	}
+	if want := fmt.Sprintf("epoch %2d", epoch); strings.Contains(output, want) {
+		t.Fatalf("resumed run retrained epoch %d it should have skipped:\n%s", epoch, output)
+	}
+	if finalEpoch, _, err := core.LoadCheckpoint(ckpt); err != nil || finalEpoch != 4 {
+		t.Fatalf("final checkpoint epoch = %d (err %v), want 4", finalEpoch, err)
 	}
 }
 

@@ -1,0 +1,252 @@
+// Package blob is the VCDL data plane: a content-addressed blob
+// subsystem for moving training shards, model specs and parameter
+// snapshots between the project server and volunteer clients
+// (DESIGN.md §11). Blobs are immutable byte strings keyed by the
+// SHA-256 of their content, which buys three properties the name-keyed
+// /download path cannot offer:
+//
+//   - end-to-end integrity: both sides recompute the digest, so a
+//     corrupted or truncated transfer is detected structurally, not by
+//     trusting the transport;
+//   - resumable transfer: an interrupted download restarts with an HTTP
+//     Range request from the byte where it died — the digest check at
+//     the end proves the spliced reassembly is exact;
+//   - transparent caching: a client that already holds a digest never
+//     transfers it again, regardless of which file name, epoch or
+//     server instance referenced it.
+//
+// The package is deliberately layered: Store (content-addressed
+// storage, in-memory or on-disk), Service (the HTTP data-plane handler
+// mounted at /blob/{digest} with Range support, bounded concurrency
+// and fault injection), and Fetcher (the client side: digest-keyed
+// cache, resume-on-kill, verification). The design follows kubevirt's
+// containerized-data-importer: streaming, checksummed, restartable
+// data movement.
+package blob
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Digest returns the content address of data: the lowercase hex
+// SHA-256 of its bytes.
+func Digest(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// ErrNotFound is returned for digests the store does not hold.
+var ErrNotFound = errors.New("blob: not found")
+
+// ErrCorrupt is returned when stored or transferred bytes fail digest
+// verification.
+var ErrCorrupt = errors.New("blob: digest mismatch")
+
+// ValidDigest reports whether s is syntactically a SHA-256 hex digest.
+// Handlers reject anything else before touching storage, so hostile
+// path values cannot probe the filesystem.
+func ValidDigest(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for _, c := range s {
+		switch {
+		case c >= '0' && c <= '9':
+		case c >= 'a' && c <= 'f':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Store is content-addressed blob storage. Implementations must be
+// safe for concurrent use. Blobs are immutable: Put of existing
+// content is a no-op returning the same digest.
+type Store interface {
+	// Put stores data and returns its digest.
+	Put(data []byte) (string, error)
+	// Get returns the blob's bytes, verified against its digest.
+	Get(digest string) ([]byte, error)
+	// Has reports whether the digest is present.
+	Has(digest string) bool
+	// Size returns the blob's length in bytes (ok=false when absent).
+	Size(digest string) (int64, bool)
+	// Digests lists held digests in sorted order.
+	Digests() []string
+}
+
+// MemStore is an in-memory Store — the live server's default backend
+// (blobs there are regenerated from the job on restart; durability
+// comes from the checkpoint path, not the data plane).
+type MemStore struct {
+	mu    sync.RWMutex
+	blobs map[string][]byte
+}
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{blobs: make(map[string][]byte)}
+}
+
+// Put implements Store.
+func (m *MemStore) Put(data []byte) (string, error) {
+	d := Digest(data)
+	m.mu.Lock()
+	if _, ok := m.blobs[d]; !ok {
+		m.blobs[d] = append([]byte(nil), data...)
+	}
+	m.mu.Unlock()
+	return d, nil
+}
+
+// Get implements Store.
+func (m *MemStore) Get(digest string) ([]byte, error) {
+	m.mu.RLock()
+	data, ok := m.blobs[digest]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, digest)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Has implements Store.
+func (m *MemStore) Has(digest string) bool {
+	m.mu.RLock()
+	_, ok := m.blobs[digest]
+	m.mu.RUnlock()
+	return ok
+}
+
+// Size implements Store.
+func (m *MemStore) Size(digest string) (int64, bool) {
+	m.mu.RLock()
+	data, ok := m.blobs[digest]
+	m.mu.RUnlock()
+	return int64(len(data)), ok
+}
+
+// Digests implements Store.
+func (m *MemStore) Digests() []string {
+	m.mu.RLock()
+	out := make([]string, 0, len(m.blobs))
+	for d := range m.blobs {
+		out = append(out, d)
+	}
+	m.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// DiskStore is an on-disk Store: each blob lives in one file named by
+// its digest under a two-character fan-out directory (aa/aabbcc...),
+// written atomically (temp file + rename) and digest-verified on every
+// read, so a torn write or bit rot surfaces as ErrCorrupt instead of
+// silently feeding a client bad training data.
+type DiskStore struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewDiskStore creates (or reopens) a disk store rooted at dir.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("blob: create store dir: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+func (s *DiskStore) path(digest string) string {
+	return filepath.Join(s.dir, digest[:2], digest)
+}
+
+// Put implements Store.
+func (s *DiskStore) Put(data []byte) (string, error) {
+	d := Digest(data)
+	path := s.path(d)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := os.Stat(path); err == nil {
+		return d, nil // immutable: content already present
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return "", fmt.Errorf("blob: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return "", fmt.Errorf("blob: write: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("blob: commit: %w", err)
+	}
+	return d, nil
+}
+
+// Get implements Store, verifying the content against its address.
+func (s *DiskStore) Get(digest string) ([]byte, error) {
+	if !ValidDigest(digest) {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, digest)
+	}
+	data, err := os.ReadFile(s.path(digest))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, digest)
+		}
+		return nil, fmt.Errorf("blob: read: %w", err)
+	}
+	if Digest(data) != digest {
+		return nil, fmt.Errorf("%w: %s", ErrCorrupt, digest)
+	}
+	return data, nil
+}
+
+// Has implements Store.
+func (s *DiskStore) Has(digest string) bool {
+	if !ValidDigest(digest) {
+		return false
+	}
+	_, err := os.Stat(s.path(digest))
+	return err == nil
+}
+
+// Size implements Store.
+func (s *DiskStore) Size(digest string) (int64, bool) {
+	if !ValidDigest(digest) {
+		return 0, false
+	}
+	fi, err := os.Stat(s.path(digest))
+	if err != nil {
+		return 0, false
+	}
+	return fi.Size(), true
+}
+
+// Digests implements Store.
+func (s *DiskStore) Digests() []string {
+	var out []string
+	filepath.Walk(s.dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return nil
+		}
+		name := filepath.Base(path)
+		if ValidDigest(name) && !strings.HasSuffix(name, ".tmp") {
+			out = append(out, name)
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out
+}

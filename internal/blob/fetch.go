@@ -1,0 +1,284 @@
+package blob
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Cache is a client-side digest-keyed blob cache over any Store
+// backend (in-memory for goroutine clients, on-disk for OS-process
+// clients that must stay warm across restarts). Because keys are
+// content addresses, a cache entry can never be stale — only present
+// or absent — so there is no invalidation protocol at all; that is
+// the point of content addressing.
+type Cache struct {
+	store Store
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	hitBytes atomic.Int64
+}
+
+// NewMemCache creates a fresh in-memory cache.
+func NewMemCache() *Cache { return &Cache{store: NewMemStore()} }
+
+// NewDiskCache opens (or creates) a disk-backed cache at dir — warm
+// across process restarts, which is what makes a rejoining volunteer
+// skip re-downloading its shard.
+func NewDiskCache(dir string) (*Cache, error) {
+	st, err := NewDiskStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{store: st}, nil
+}
+
+// Get returns the cached blob (counting a hit) or nil (counting a
+// miss).
+func (c *Cache) Get(digest string) []byte {
+	data, err := c.store.Get(digest)
+	if err != nil {
+		c.misses.Add(1)
+		return nil
+	}
+	c.hits.Add(1)
+	c.hitBytes.Add(int64(len(data)))
+	return data
+}
+
+// Put stores a verified blob.
+func (c *Cache) Put(data []byte) { c.store.Put(data) }
+
+// Has reports presence without touching the hit/miss counters.
+func (c *Cache) Has(digest string) bool { return c.store.Has(digest) }
+
+// Stats returns cumulative hit/miss counters.
+func (c *Cache) Stats() (hits, misses int64, hitBytes int64) {
+	return c.hits.Load(), c.misses.Load(), c.hitBytes.Load()
+}
+
+// FetchStats is a Fetcher's cumulative transfer accounting.
+type FetchStats struct {
+	// Fetched counts transfers that went to the network (cache misses).
+	Fetched int64
+	// BytesFetched counts payload bytes received over the network.
+	BytesFetched int64
+	// Resumes counts Range-resume requests after severed connections.
+	Resumes int64
+	// CacheHits / CacheMisses mirror the cache counters.
+	CacheHits, CacheMisses int64
+	// CacheHitBytes counts bytes served locally instead of transferred.
+	CacheHitBytes int64
+	// Corrupt counts completed transfers that failed digest
+	// verification and were restarted from scratch.
+	Corrupt int64
+}
+
+// Fetcher is the client half of the data plane: it resolves digests
+// through a local Cache and fetches misses from the server's
+// /blob/{digest} endpoint with resumable, verified transfers. Safe
+// for concurrent use by a client's task slots.
+type Fetcher struct {
+	// BaseURL is the project server base (http://host:port).
+	BaseURL string
+	// HTTPClient is the transport (nil = a default with a 60s timeout).
+	HTTPClient *http.Client
+	// Cache is the digest-keyed local cache (required).
+	Cache *Cache
+	// MaxAttempts bounds transfer attempts per blob, counting the
+	// initial request and every resume (0 = DefaultMaxAttempts).
+	MaxAttempts int
+	// RetryWait is the pause before a resume attempt (0 = 20ms).
+	RetryWait time.Duration
+
+	fetched      atomic.Int64
+	bytesFetched atomic.Int64
+	resumes      atomic.Int64
+	corrupt      atomic.Int64
+
+	mu       sync.Mutex
+	reported FetchStats // last snapshot handed out by ReportDelta
+}
+
+// DefaultMaxAttempts bounds per-blob transfer attempts. Under
+// injected kills every attempt still makes forward progress (the
+// server moves killAfter bytes per request), so this needs to cover
+// size/killAfter requests for the worst test blobs.
+const DefaultMaxAttempts = 64
+
+// NewFetcher creates a fetcher against a server base URL with the
+// given cache (nil = fresh in-memory cache).
+func NewFetcher(baseURL string, cache *Cache) *Fetcher {
+	if cache == nil {
+		cache = NewMemCache()
+	}
+	return &Fetcher{
+		BaseURL:    baseURL,
+		HTTPClient: &http.Client{Timeout: 60 * time.Second},
+		Cache:      cache,
+		RetryWait:  20 * time.Millisecond,
+	}
+}
+
+// Stats returns the fetcher's cumulative accounting.
+func (f *Fetcher) Stats() FetchStats {
+	hits, misses, hitBytes := f.Cache.Stats()
+	return FetchStats{
+		Fetched:       f.fetched.Load(),
+		BytesFetched:  f.bytesFetched.Load(),
+		Resumes:       f.resumes.Load(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		CacheHitBytes: hitBytes,
+		Corrupt:       f.corrupt.Load(),
+	}
+}
+
+// ReportDelta returns the change in stats since the previous call —
+// the increments a client piggybacks on its next scheduler request so
+// the server's aggregate cache/resume metrics stay current.
+func (f *Fetcher) ReportDelta() FetchStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cur := f.Stats()
+	d := FetchStats{
+		Fetched:       cur.Fetched - f.reported.Fetched,
+		BytesFetched:  cur.BytesFetched - f.reported.BytesFetched,
+		Resumes:       cur.Resumes - f.reported.Resumes,
+		CacheHits:     cur.CacheHits - f.reported.CacheHits,
+		CacheMisses:   cur.CacheMisses - f.reported.CacheMisses,
+		CacheHitBytes: cur.CacheHitBytes - f.reported.CacheHitBytes,
+		Corrupt:       cur.Corrupt - f.reported.Corrupt,
+	}
+	f.reported = cur
+	return d
+}
+
+// Fetch returns the blob for digest: from the local cache when warm,
+// otherwise transferred from the server with Range-based resume after
+// connection failures and SHA-256 verification of the reassembled
+// bytes. A verification failure discards the buffer and restarts the
+// transfer from byte zero.
+func (f *Fetcher) Fetch(ctx context.Context, digest string) ([]byte, error) {
+	if !ValidDigest(digest) {
+		return nil, fmt.Errorf("blob: malformed digest %q", digest)
+	}
+	if data := f.Cache.Get(digest); data != nil {
+		return data, nil
+	}
+	f.fetched.Add(1)
+
+	maxAttempts := f.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = DefaultMaxAttempts
+	}
+	httpc := f.HTTPClient
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 60 * time.Second}
+	}
+	wait := f.RetryWait
+	if wait <= 0 {
+		wait = 20 * time.Millisecond
+	}
+
+	var buf []byte
+	var total int64 = -1 // unknown until the first response
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(wait):
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.BaseURL+"/blob/"+digest, nil)
+		if err != nil {
+			return nil, err
+		}
+		if len(buf) > 0 {
+			req.Header.Set("Range", fmt.Sprintf("bytes=%d-", len(buf)))
+			f.resumes.Add(1)
+		}
+		resp, err := httpc.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("blob: fetch %s: %w", digest[:12], err)
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			// Full-content reply (or a server that ignored our Range):
+			// restart assembly from byte zero either way.
+			buf = buf[:0]
+		case http.StatusPartialContent:
+		case http.StatusServiceUnavailable:
+			resp.Body.Close()
+			lastErr = fmt.Errorf("blob: fetch %s: throttled", digest[:12])
+			continue
+		case http.StatusRequestedRangeNotSatisfiable:
+			// Our offset outran the blob (e.g. a corrupt over-long
+			// buffer); restart from scratch.
+			resp.Body.Close()
+			buf = buf[:0]
+			lastErr = fmt.Errorf("blob: fetch %s: range not satisfiable", digest[:12])
+			continue
+		default:
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusNotFound || code == http.StatusBadRequest {
+				return nil, fmt.Errorf("blob: fetch %s: status %d", digest[:12], code)
+			}
+			lastErr = fmt.Errorf("blob: fetch %s: status %d", digest[:12], code)
+			continue
+		}
+		if cr := resp.Header.Get("Content-Range"); cr != "" {
+			if i := lastIndexByte(cr, '/'); i >= 0 {
+				if v, perr := strconv.ParseInt(cr[i+1:], 10, 64); perr == nil {
+					total = v
+				}
+			}
+		} else if resp.ContentLength >= 0 && len(buf) == 0 {
+			total = resp.ContentLength
+		}
+		chunk, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		buf = append(buf, chunk...)
+		f.bytesFetched.Add(int64(len(chunk)))
+		if err != nil {
+			// Severed mid-stream; keep what arrived and resume.
+			lastErr = fmt.Errorf("blob: fetch %s: %w", digest[:12], err)
+			continue
+		}
+		if total >= 0 && int64(len(buf)) < total {
+			// Clean EOF short of the promised length (killed transfer
+			// behind a buffering proxy): resume from where we are.
+			lastErr = fmt.Errorf("blob: fetch %s: short body %d/%d", digest[:12], len(buf), total)
+			continue
+		}
+		// Transfer complete: verify end-to-end before trusting it.
+		if Digest(buf) != digest {
+			f.corrupt.Add(1)
+			buf = buf[:0]
+			lastErr = fmt.Errorf("%w: %s", ErrCorrupt, digest[:12])
+			continue
+		}
+		f.Cache.Put(buf)
+		return buf, nil
+	}
+	return nil, fmt.Errorf("blob: fetch gave up after %d attempts: %w", maxAttempts, lastErr)
+}
+
+func lastIndexByte(s string, b byte) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"vcdl/internal/blob"
 	"vcdl/internal/obs"
 )
 
@@ -51,6 +52,11 @@ type Client struct {
 
 	httpc *http.Client
 
+	// fetcher is the data-plane client (nil until EnableBlobs): inputs
+	// whose assignment carries a digest are fetched through it —
+	// resumable, verified, digest-cached — instead of via /download.
+	fetcher *blob.Fetcher
+
 	mu    sync.Mutex
 	cache map[string][]byte
 	apps  map[string]App
@@ -86,6 +92,30 @@ func NewClient(id, serverURL string, slots int, app App) *Client {
 		cache:     make(map[string][]byte),
 		rng:       rand.New(rand.NewSource(int64(h.Sum64()))),
 	}
+}
+
+// EnableBlobs switches the client onto the content-addressed data
+// plane: assignment inputs published as blobs are fetched by digest
+// through cache (nil = a fresh in-memory cache; pass a disk-backed
+// cache to stay warm across process restarts). Call before Loop.
+func (c *Client) EnableBlobs(cache *blob.Cache) {
+	f := blob.NewFetcher(c.ServerURL, cache)
+	f.HTTPClient = c.httpc
+	c.mu.Lock()
+	c.fetcher = f
+	c.mu.Unlock()
+}
+
+// BlobStats returns the data-plane transfer accounting (zero when
+// blobs are disabled).
+func (c *Client) BlobStats() blob.FetchStats {
+	c.mu.Lock()
+	f := c.fetcher
+	c.mu.Unlock()
+	if f == nil {
+		return blob.FetchStats{}
+	}
+	return f.Stats()
 }
 
 // Control returns the shaping most recently pushed by the server.
@@ -165,7 +195,17 @@ func (c *Client) RequestWork(n int) ([]Assignment, error) {
 }
 
 func (c *Client) requestWork(ctx context.Context, n int) ([]Assignment, error) {
-	body, err := json.Marshal(WorkRequest{ClientID: c.ID, MaxTasks: n, CachedFiles: c.cachedNames()})
+	wreq := WorkRequest{ClientID: c.ID, MaxTasks: n, CachedFiles: c.cachedNames()}
+	c.mu.Lock()
+	f := c.fetcher
+	c.mu.Unlock()
+	if f != nil {
+		d := f.ReportDelta()
+		wreq.BlobHits = int(d.CacheHits)
+		wreq.BlobMisses = int(d.CacheMisses)
+		wreq.BlobHitBytes = d.CacheHitBytes
+	}
+	body, err := json.Marshal(wreq)
 	if err != nil {
 		return nil, err
 	}
@@ -273,6 +313,34 @@ func (c *Client) download(ctx context.Context, name string) ([]byte, error) {
 	return nil, lastErr
 }
 
+// fetchInput resolves one assignment input: through the blob data
+// plane when the assignment references it by digest and blobs are
+// enabled (the Downloads counter still counts network transfers; a
+// digest-cache hit counts as a CacheHit like a sticky-file hit),
+// otherwise through the name-keyed /download path.
+func (c *Client) fetchInput(ctx context.Context, asn Assignment, name string) ([]byte, error) {
+	c.mu.Lock()
+	f := c.fetcher
+	c.mu.Unlock()
+	digest, ok := asn.Blobs[name]
+	if f == nil || !ok {
+		return c.download(ctx, name)
+	}
+	warm := f.Cache.Has(digest)
+	data, err := f.Fetch(ctx, digest)
+	if err != nil {
+		return nil, fmt.Errorf("boinc: blob input %s: %w", name, err)
+	}
+	c.mu.Lock()
+	if warm {
+		c.CacheHits++
+	} else {
+		c.Downloads++
+	}
+	c.mu.Unlock()
+	return data, nil
+}
+
 // Invalidate drops a file from the sticky cache (used when the server
 // republishes a file name with new content, e.g. fresh parameters).
 func (c *Client) Invalidate(name string) {
@@ -349,7 +417,7 @@ func (c *Client) runOne(ctx context.Context, asn Assignment) {
 	inputs := make(map[string][]byte, len(asn.InputFiles))
 	var appErr error
 	for _, f := range asn.InputFiles {
-		data, err := c.download(ctx, f)
+		data, err := c.fetchInput(ctx, asn, f)
 		if err != nil {
 			appErr = err
 			if ctx.Err() == nil {

@@ -57,8 +57,11 @@ type Assignment struct {
 	Name       string
 	App        string
 	InputFiles []string
-	Payload    []byte
-	Deadline   float64
+	// Blobs maps input file names to blob digests (see
+	// Workunit.BlobFiles); empty when the data plane is off.
+	Blobs    map[string]string `json:"Blobs,omitempty"`
+	Payload  []byte
+	Deadline float64
 }
 
 // Scheduler tracks workunits and results and implements the BOINC
@@ -358,6 +361,10 @@ func (s *Scheduler) buildView(c *clientState, now float64) PolicyView {
 // most max per request.
 func (s *Scheduler) RequestWork(clientID string, now float64, max int) []Assignment {
 	c := s.client(clientID)
+	// A client asking for work is present by definition: a volunteer that
+	// left (DropClient) and rejoined counts as reliable-and-available
+	// again for retry gating.
+	c.gone = false
 	if max <= 0 {
 		return nil
 	}
@@ -409,6 +416,7 @@ func (s *Scheduler) RequestWork(clientID string, now float64, max int) []Assignm
 			Name:       wu.Name,
 			App:        wu.App,
 			InputFiles: append([]string(nil), wu.InputFiles...),
+			Blobs:      wu.BlobFiles,
 			Payload:    wu.Payload,
 			Deadline:   res.Deadline,
 		})

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"vcdl/internal/blob"
 	"vcdl/internal/obs"
 )
 
@@ -42,6 +43,9 @@ type Server struct {
 
 	start time.Time
 	mux   *http.ServeMux
+
+	// blobs is the content-addressed data plane (nil until EnableBlobs).
+	blobs *blob.Service
 
 	// obs, when enabled, holds the metrics registry plus the
 	// pre-resolved instruments the request path touches.
@@ -94,7 +98,7 @@ func routeLabel(path string) string {
 		p = p[:i]
 	}
 	switch p {
-	case "scheduler", "download", "upload", "status", "metrics", "debug":
+	case "scheduler", "download", "upload", "status", "metrics", "debug", "blob":
 		return p
 	default:
 		return "other"
@@ -134,6 +138,38 @@ func (s *Server) EnableMetrics(r *obs.Registry) {
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// EnableBlobs mounts the content-addressed data plane at /blob/{digest}
+// (DESIGN.md §11): blob-enabled clients fetch assignment inputs by
+// digest through svc — resumable, verified, backpressured — while the
+// name-keyed /download path keeps serving everyone else. Served payload
+// bytes feed the server's traffic accounting. Call before serving
+// traffic; a second call is a no-op.
+func (s *Server) EnableBlobs(svc *blob.Service) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.blobs != nil || svc == nil {
+		return
+	}
+	s.blobs = svc
+	svc.OnBytes(func(n int64) {
+		s.mu.Lock()
+		s.bytesDown += n
+		down := s.obsDown
+		s.mu.Unlock()
+		if down != nil {
+			down.Add(n)
+		}
+	})
+	s.mux.Handle("GET /blob/{digest}", svc)
+}
+
+// Blobs returns the data-plane service, or nil when disabled.
+func (s *Server) Blobs() *blob.Service {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.blobs
 }
 
 // Metrics returns the attached registry, or nil.
@@ -208,6 +244,12 @@ type WorkRequest struct {
 	MaxTasks int    `json:"max_tasks"`
 	// CachedFiles lets a reconnecting client re-declare its sticky cache.
 	CachedFiles []string `json:"cached_files,omitempty"`
+	// Blob cache deltas since the client's previous request, piggybacked
+	// so OS-process clients' data-plane locality is observable
+	// server-side (vcdl_blob_cache_* families).
+	BlobHits     int   `json:"blob_hits,omitempty"`
+	BlobMisses   int   `json:"blob_misses,omitempty"`
+	BlobHitBytes int64 `json:"blob_hit_bytes,omitempty"`
 }
 
 // WorkReply is the scheduler RPC response body.
@@ -226,6 +268,9 @@ func (s *Server) handleScheduler(w http.ResponseWriter, r *http.Request) {
 	if req.ClientID == "" {
 		http.Error(w, "missing client_id", http.StatusBadRequest)
 		return
+	}
+	if svc := s.Blobs(); svc != nil && (req.BlobHits != 0 || req.BlobMisses != 0) {
+		svc.NoteCacheStats(req.BlobHits, req.BlobMisses, req.BlobHitBytes)
 	}
 	s.mu.Lock()
 	now := s.now()

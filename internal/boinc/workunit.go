@@ -63,6 +63,11 @@ type Workunit struct {
 	// architecture, parameter copy, data shard). Sticky files among them
 	// are cached client-side.
 	InputFiles []string
+	// BlobFiles maps input file names to content digests for files also
+	// published on the blob data plane (/blob/{digest}). Blob-enabled
+	// clients fetch those by digest — resumable, verified, digest-cached
+	// — instead of by name from /download; others ignore the map.
+	BlobFiles map[string]string
 	// Payload is opaque application data shipped with the assignment.
 	Payload []byte
 	// Timeout is the per-result completion deadline in seconds; results

@@ -7,13 +7,24 @@ import (
 	"sync"
 	"time"
 
+	"vcdl/internal/blob"
 	"vcdl/internal/boinc"
 	"vcdl/internal/data"
 	"vcdl/internal/metrics"
 	"vcdl/internal/nn"
+	"vcdl/internal/obs"
 	"vcdl/internal/ps"
 	"vcdl/internal/store"
 	"vcdl/internal/wire"
+)
+
+// Checkpoint metric families (DESIGN.md §11): the epoch of the last
+// durable snapshot and how many times a failover rolled the live copy
+// back to one.
+const (
+	MetricCkptEpoch    = "vcdl_ckpt_epoch"
+	MetricCkptSaves    = "vcdl_ckpt_saves_total"
+	MetricCkptRestores = "vcdl_ckpt_restores_total"
 )
 
 // SubtaskPayload is the opaque payload attached to each training workunit:
@@ -81,6 +92,22 @@ type Distributed struct {
 	result  RunResult
 	done    chan struct{}
 	failed  error
+
+	// blobs, when non-nil, is the data plane: shard/model/parameter
+	// files are also published content-addressed, and workunits carry
+	// the digests (blobMu guards the name→digest map).
+	blobs   *blob.Service
+	blobMu  sync.Mutex
+	digests map[string]string
+
+	// checkpoint enables durable per-epoch snapshots through the PS
+	// store; ckptEpoch/restores (under mu) track the recovery state.
+	checkpoint bool
+	ckptEpoch  int
+	restores   int
+	obsCkptEp  *obs.Gauge
+	obsSaves   *obs.Counter
+	obsRest    *obs.Counter
 }
 
 // DistOptions tunes the server-side half of a distributed job beyond
@@ -96,6 +123,23 @@ type DistOptions struct {
 	// Replication issues this many concurrent copies of every workunit
 	// (0/1 = single copy).
 	Replication int
+	// Blobs, when non-nil, publishes every distributable file on the
+	// content-addressed data plane as well as /download, and stamps
+	// workunits with the digests (mount it with Server.EnableBlobs).
+	Blobs *blob.Service
+	// Checkpoint persists an epoch-stamped parameter snapshot through
+	// the PS store at every epoch close, and makes SetPServers restore
+	// from it on failover. If the store already holds a checkpoint at
+	// construction, the job resumes after it instead of starting fresh.
+	Checkpoint bool
+	// ResumeEpoch/ResumeParams, when ResumeParams is non-nil, seed the
+	// job from an external checkpoint (e.g. a file saved at SIGTERM):
+	// ResumeParams is published and training continues at ResumeEpoch+1.
+	ResumeEpoch  int
+	ResumeParams []float64
+	// Metrics, when set with Checkpoint, registers the vcdl_ckpt_*
+	// families.
+	Metrics *obs.Registry
 }
 
 // NewDistributed creates the server-side half of a distributed training
@@ -123,10 +167,17 @@ func NewDistributedJob(cfg JobConfig, spec ModelSpec, corpus *data.Corpus, pn in
 		eval:        NewEvaluator(cfg.Builder, corpus.Val, cfg.ValSubset, cfg.BatchSize*4),
 		replication: opts.Replication,
 		start:       time.Now(),
-		tracker:     ps.NewEpochTracker(cfg.Subtasks),
 		stop:        ps.StopCriterion{TargetAccuracy: cfg.TargetAccuracy, MaxEpochs: cfg.MaxEpochs},
 		shards:      cfg.SplitShards(corpus),
 		done:        make(chan struct{}),
+		blobs:       opts.Blobs,
+		digests:     make(map[string]string),
+		checkpoint:  opts.Checkpoint,
+	}
+	if opts.Metrics != nil && opts.Checkpoint {
+		d.obsCkptEp = opts.Metrics.Gauge(MetricCkptEpoch, "epoch of the last durable parameter checkpoint")
+		d.obsSaves = opts.Metrics.Counter(MetricCkptSaves, "durable parameter checkpoints written")
+		d.obsRest = opts.Metrics.Counter(MetricCkptRestores, "failovers restored from the checkpoint store")
 	}
 	d.result.Curve.Name = fmt.Sprintf("distributed-P%d", pn)
 	sched := boinc.DefaultSchedulerConfig()
@@ -138,33 +189,104 @@ func NewDistributedJob(cfg JobConfig, spec ModelSpec, corpus *data.Corpus, pn in
 		d.server.Scheduler(func(s *boinc.Scheduler) { s.SetPolicy(opts.Policy) })
 	}
 
-	// Initialize and publish the model.
-	net := nn.NewNetwork(cfg.Builder)
-	net.Init(rand.New(rand.NewSource(cfg.Seed)))
-	if err := d.group.Publish(net.Parameters()); err != nil {
-		return nil, err
+	// Seed the live parameter copy: resume from an external checkpoint
+	// (a file a SIGTERMed server saved), resume from a checkpoint already
+	// in the PS store, or initialize fresh.
+	startEpoch := 1
+	switch {
+	case opts.ResumeParams != nil:
+		if err := d.group.Publish(opts.ResumeParams); err != nil {
+			return nil, err
+		}
+		startEpoch = opts.ResumeEpoch + 1
+		d.ckptEpoch = opts.ResumeEpoch
+	default:
+		resumed := false
+		if opts.Checkpoint {
+			if e, params, err := d.group.LatestCheckpoint(); err == nil && e > 0 {
+				if err := d.group.Publish(params); err != nil {
+					return nil, err
+				}
+				startEpoch = e + 1
+				d.ckptEpoch = e
+				resumed = true
+			}
+		}
+		if !resumed {
+			net := nn.NewNetwork(cfg.Builder)
+			net.Init(rand.New(rand.NewSource(cfg.Seed)))
+			if err := d.group.Publish(net.Parameters()); err != nil {
+				return nil, err
+			}
+		}
 	}
+	d.tracker = ps.NewEpochTrackerAt(cfg.Subtasks, startEpoch)
+	if d.obsCkptEp != nil && d.ckptEpoch > 0 {
+		d.obsCkptEp.Set(float64(d.ckptEpoch))
+	}
+
 	specBlob, err := EncodeSpec(spec)
 	if err != nil {
 		return nil, err
 	}
-	d.server.PutFile("model.json", specBlob)
+	if err := d.publishFile("model.json", specBlob); err != nil {
+		return nil, err
+	}
 	jobBlob, err := EncodeTrainParams(TrainParamsOf(cfg))
 	if err != nil {
 		return nil, err
 	}
-	d.server.PutFile(TrainParamsFile, jobBlob)
+	if err := d.publishFile(TrainParamsFile, jobBlob); err != nil {
+		return nil, err
+	}
 	for i, s := range d.shards {
-		blob, err := s.Encode()
+		enc, err := s.Encode()
 		if err != nil {
 			return nil, err
 		}
-		d.server.PutFile(shardFileName(i), blob)
+		if err := d.publishFile(shardFileName(i), enc); err != nil {
+			return nil, err
+		}
 	}
-	if err := d.generateEpoch(1); err != nil {
+	if err := d.generateEpoch(startEpoch); err != nil {
 		return nil, err
 	}
 	return d, nil
+}
+
+// publishFile stores a downloadable file and, with the data plane on,
+// also publishes it content-addressed, remembering its digest for
+// workunit references.
+func (d *Distributed) publishFile(name string, data []byte) error {
+	d.server.PutFile(name, data)
+	if d.blobs == nil {
+		return nil
+	}
+	dg, err := d.blobs.Store().Put(data)
+	if err != nil {
+		return fmt.Errorf("core: publish blob %s: %w", name, err)
+	}
+	d.blobMu.Lock()
+	d.digests[name] = dg
+	d.blobMu.Unlock()
+	return nil
+}
+
+// blobRefs returns the name→digest map for the given published files,
+// or nil when the data plane is off.
+func (d *Distributed) blobRefs(names ...string) map[string]string {
+	if d.blobs == nil {
+		return nil
+	}
+	d.blobMu.Lock()
+	defer d.blobMu.Unlock()
+	refs := make(map[string]string, len(names))
+	for _, n := range names {
+		if dg, ok := d.digests[n]; ok {
+			refs[n] = dg
+		}
+	}
+	return refs
 }
 
 func shardFileName(i int) string { return fmt.Sprintf("shard_%03d.npz", i) }
@@ -179,8 +301,56 @@ func (d *Distributed) PServers() int { return d.group.Size() }
 
 // SetPServers resizes the parameter-server pool (failover when PS
 // processes die, recovery when standbys join); assimilations in flight
-// drain through whatever servers remain, sharing one store.
-func (d *Distributed) SetPServers(n int) { d.group.Resize(n) }
+// drain through whatever servers remain, sharing one store. With
+// checkpointing on, a shrink restores the live parameter copy from the
+// last durable snapshot — the dead servers may have left it torn or
+// (on an eventual store) mid-merge — so the epoch resumes instead of
+// restarting.
+func (d *Distributed) SetPServers(n int) {
+	old := d.group.Size()
+	d.group.Resize(n)
+	if !d.checkpoint || n >= old {
+		return
+	}
+	if e, err := d.group.RestoreCheckpoint(); err == nil && e > 0 {
+		d.mu.Lock()
+		d.restores++
+		d.mu.Unlock()
+		if d.obsRest != nil {
+			d.obsRest.Inc()
+		}
+		if d.obsCkptEp != nil {
+			d.obsCkptEp.Set(float64(e))
+		}
+	}
+}
+
+// CheckpointEpoch returns the epoch of the last durable snapshot (0 =
+// none yet).
+func (d *Distributed) CheckpointEpoch() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ckptEpoch
+}
+
+// CheckpointRestores returns how many failovers rolled the live copy
+// back to a durable snapshot.
+func (d *Distributed) CheckpointRestores() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.restores
+}
+
+// Snapshot returns the live parameter copy and the last closed epoch —
+// what an external checkpointer (the vcdl-server SIGTERM handler)
+// persists so a restarted server resumes instead of retraining.
+func (d *Distributed) Snapshot() (epoch int, params []float64, err error) {
+	params, err = d.group.Current()
+	d.mu.Lock()
+	epoch = d.tracker.Epoch() - 1
+	d.mu.Unlock()
+	return epoch, params, err
+}
 
 // Done is closed when training finishes (target met, epoch budget
 // exhausted, or unrecoverable failure).
@@ -200,12 +370,14 @@ func (d *Distributed) generateEpoch(epoch int) error {
 	if err != nil {
 		return err
 	}
-	blob, err := wire.EncodeParams(snapshot)
+	enc, err := wire.EncodeParams(snapshot)
 	if err != nil {
 		return err
 	}
 	pf := paramsFileName(epoch)
-	d.server.PutFile(pf, blob)
+	if err := d.publishFile(pf, enc); err != nil {
+		return err
+	}
 	for i := range d.shards {
 		payload, err := json.Marshal(SubtaskPayload{
 			Epoch:      epoch,
@@ -220,6 +392,7 @@ func (d *Distributed) generateEpoch(epoch int) error {
 		d.server.AddWorkunit(boinc.Workunit{
 			Name:        fmt.Sprintf("train_e%03d_s%03d", epoch, i),
 			InputFiles:  []string{"model.json", pf, shardFileName(i)},
+			BlobFiles:   d.blobRefs("model.json", pf, shardFileName(i)),
 			Payload:     payload,
 			Replication: d.replication,
 		})
@@ -283,6 +456,24 @@ func (d *Distributed) assimilate(wu *boinc.Workunit, output []byte) {
 	}
 	next := summary.Epoch + 1
 	d.mu.Unlock()
+
+	// Durable snapshot at every epoch close: the coherent (epoch,
+	// params) pair failover and restart recovery roll back to.
+	if d.checkpoint {
+		if err := d.group.SaveCheckpoint(summary.Epoch, cur); err == nil {
+			d.mu.Lock()
+			if summary.Epoch > d.ckptEpoch {
+				d.ckptEpoch = summary.Epoch
+			}
+			d.mu.Unlock()
+			if d.obsSaves != nil {
+				d.obsSaves.Inc()
+			}
+			if d.obsCkptEp != nil {
+				d.obsCkptEp.Set(float64(summary.Epoch))
+			}
+		}
+	}
 
 	if stopNow {
 		close(d.done)

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -67,6 +69,14 @@ type FleetConfig struct {
 	Preempt float64
 	// Poll is the client idle poll (0 = 25ms).
 	Poll time.Duration
+	// Blobs enables the content-addressed data plane end to end: the
+	// server publishes inputs at /blob/{digest}, every client gets a
+	// per-member disk cache that survives depart/rejoin (warm caches skip
+	// the transfer), and shards travel by digest (DESIGN.md §11).
+	Blobs bool
+	// Checkpoint persists epoch checkpoints through the PS group's store
+	// so failover (SetPServers shrink) restores instead of restarting.
+	Checkpoint bool
 	// Spawn launches clients (nil = in-process goroutines).
 	Spawn SpawnFunc
 	// Metrics instruments the server half (shorthand for
@@ -91,6 +101,10 @@ type member struct {
 	slow     float64
 	departed bool
 	detached bool
+	// cacheDir is the member's blob cache directory. It is keyed by the
+	// member ID and deliberately outlives departure, so a rejoining
+	// volunteer comes back with a warm digest cache.
+	cacheDir string
 }
 
 // Fleet is a running real-mode deployment. Its mutating methods mirror
@@ -115,6 +129,9 @@ type Fleet struct {
 	rttOverride    map[cloud.Region]float64 // virtual seconds
 	timeoutVirtual float64
 	maxPS          int
+	// blobRoot holds the per-member blob cache directories when the data
+	// plane is on; removed on Close.
+	blobRoot string
 }
 
 // StartFleet boots the server and the initial client fleet. The fleet
@@ -166,6 +183,20 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 	if cfg.Trace != nil {
 		cfg.Server.Trace = cfg.Trace
 	}
+	if cfg.Blobs {
+		cfg.Server.Blobs = true
+	}
+	if cfg.Checkpoint {
+		cfg.Server.Checkpoint = true
+	}
+	var blobRoot string
+	if cfg.Server.Blobs {
+		root, err := os.MkdirTemp("", "vcdl-blobcache-")
+		if err != nil {
+			return nil, fmt.Errorf("live: blob cache root: %w", err)
+		}
+		blobRoot = root
+	}
 
 	// The clock starts before the server so the distributed job's
 	// wall-stamped curve points always fall inside the run's duration.
@@ -188,6 +219,7 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 		rttOverride:    make(map[cloud.Region]float64),
 		timeoutVirtual: cfg.TimeoutVirtual,
 		maxPS:          cfg.Server.PServers,
+		blobRoot:       blobRoot,
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -249,6 +281,28 @@ func (f *Fleet) pushAllLocked() {
 	}
 }
 
+// spawnLocked launches (or relaunches) the daemon for a member whose
+// control is already installed.
+func (f *Fleet) spawnLocked(m *member) error {
+	ctx, cancel := context.WithCancel(f.ctx)
+	m.cancel = cancel
+	done, err := f.cfg.Spawn(ctx, ClientConfig{
+		ID:           m.id,
+		ServerURL:    f.srv.URL(),
+		Slots:        f.cfg.TasksPerClient,
+		Poll:         f.cfg.Poll,
+		Blobs:        f.blobRoot != "",
+		BlobCacheDir: m.cacheDir,
+		Log:          f.cfg.Log,
+	})
+	if err != nil {
+		cancel()
+		return fmt.Errorf("live: spawn %s: %w", m.id, err)
+	}
+	m.done = done
+	return nil
+}
+
 // addClientLocked spawns one client daemon with its control installed.
 func (f *Fleet) addClientLocked(pi cloud.PlacedInstance) (*member, error) {
 	m := &member{
@@ -257,22 +311,14 @@ func (f *Fleet) addClientLocked(pi cloud.PlacedInstance) (*member, error) {
 		slow: 1,
 	}
 	f.nextID++
+	if f.blobRoot != "" {
+		m.cacheDir = filepath.Join(f.blobRoot, m.id)
+	}
 	f.pushControlLocked(m)
-	ctx, cancel := context.WithCancel(f.ctx)
-	m.cancel = cancel
-	done, err := f.cfg.Spawn(ctx, ClientConfig{
-		ID:        m.id,
-		ServerURL: f.srv.URL(),
-		Slots:     f.cfg.TasksPerClient,
-		Poll:      f.cfg.Poll,
-		Log:       f.cfg.Log,
-	})
-	if err != nil {
-		cancel()
-		return nil, fmt.Errorf("live: spawn %s: %w", m.id, err)
+	if err := f.spawnLocked(m); err != nil {
+		return nil, err
 	}
 	f.cfg.Log.Info("client joined", "client", m.id, "instance", pi.Name, "region", string(pi.Region))
-	m.done = done
 	f.members = append(f.members, m)
 	return m, nil
 }
@@ -369,6 +415,72 @@ func (f *Fleet) DetachClient(id string) bool { return f.departByID(id, true) }
 // DetachClients gracefully departs the n most recently joined active
 // clients (LIFO), returning their IDs.
 func (f *Fleet) DetachClients(n int) []string { return f.departLIFO(n, true) }
+
+// rejoinLocked revives one departed member under its original ID and —
+// when the data plane is on — its original blob cache directory, so the
+// volunteer returns with a warm digest cache and only fetches what it
+// never finished. The scheduler revives the client automatically on its
+// first work request.
+func (f *Fleet) rejoinLocked(m *member) error {
+	m.departed = false
+	m.detached = false
+	m.slow = 1
+	f.pushControlLocked(m)
+	if err := f.spawnLocked(m); err != nil {
+		m.departed = true
+		return err
+	}
+	f.cfg.Log.Info("client rejoined", "client", m.id, "warm_cache", m.cacheDir != "")
+	return nil
+}
+
+// RejoinClient revives the named departed client (same ID, retained
+// blob cache). Returns false when no such departed member exists.
+func (f *Fleet) RejoinClient(id string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, m := range f.members {
+		if m.id == id && m.departed {
+			if err := f.rejoinLocked(m); err != nil {
+				f.cfg.Log.Warn("client rejoin failed", "client", id, "err", err)
+				return false
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// RejoinClients revives the n most recently departed clients (LIFO —
+// the mirror image of RemoveClients) and returns their IDs.
+func (f *Fleet) RejoinClients(n int) []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var back []string
+	for i := len(f.members) - 1; i >= 0 && len(back) < n; i-- {
+		if m := f.members[i]; m.departed {
+			if err := f.rejoinLocked(m); err != nil {
+				f.cfg.Log.Warn("client rejoin failed", "client", m.id, "err", err)
+				continue
+			}
+			back = append(back, m.id)
+		}
+	}
+	return back
+}
+
+// SetBlobKill arms (n > 0) or disarms (0) data-plane fault injection:
+// every blob transfer is severed after n bytes, forcing clients through
+// the Range-resume path. Each client attempt advances by n bytes, so
+// transfers still converge. Returns false when the data plane is off.
+func (f *Fleet) SetBlobKill(n int64) bool {
+	svc := f.srv.Blobs()
+	if svc == nil {
+		return false
+	}
+	svc.SetKillAfter(n)
+	return true
+}
 
 // SlowClient turns a client into a straggler (factor > 1) or restores
 // it (factor 1).
@@ -547,6 +659,13 @@ func (f *Fleet) Wait(ctx context.Context) (*vcsim.Result, error) {
 		res.AssignMix = s.AssignmentMix()
 	})
 	res.BytesDownloaded, res.BytesUploaded = srv.Traffic()
+	if svc := f.srv.Blobs(); svc != nil {
+		res.BlobBytes = svc.ServedBytes()
+		res.BlobResumes = int(svc.Resumes())
+		res.BlobCacheHits = int(svc.CacheHits())
+	}
+	res.CkptEpoch = f.srv.D.CheckpointEpoch()
+	res.CkptRestores = f.srv.D.CheckpointRestores()
 	return res, nil
 }
 
@@ -568,5 +687,9 @@ func (f *Fleet) closeLocked() {
 		case <-m.done:
 		case <-time.After(2 * time.Second):
 		}
+	}
+	if f.blobRoot != "" {
+		os.RemoveAll(f.blobRoot)
+		f.blobRoot = ""
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"time"
 
+	"vcdl/internal/blob"
 	"vcdl/internal/boinc"
 	"vcdl/internal/core"
 	"vcdl/internal/data"
@@ -40,6 +41,19 @@ type ServerConfig struct {
 	Policy boinc.Policy
 	// Replication issues n concurrent copies of every workunit (0/1 = one).
 	Replication int
+	// Blobs enables the content-addressed data plane: every published
+	// input file is also stored under its SHA-256 digest and served at
+	// /blob/{digest} with resumable Range transfers (DESIGN.md §11).
+	Blobs bool
+	// Checkpoint persists the model through the PS group's store after
+	// every closed epoch, so Resize/failover restores parameters instead
+	// of restarting the epoch.
+	Checkpoint bool
+	// ResumeEpoch/ResumeParams seed the job from an externally loaded
+	// checkpoint (vcdl-server's SIGTERM save file): training resumes at
+	// ResumeEpoch+1. ResumeParams nil means no external resume.
+	ResumeEpoch  int
+	ResumeParams []float64
 	// Metrics, when set, instruments the server before it accepts traffic:
 	// scheduler lifecycle metrics plus GET /metrics, GET /debug/vars and
 	// /debug/pprof on the project mux (DESIGN.md §10). Histograms record
@@ -63,10 +77,19 @@ type Server struct {
 // (":0" picks a free port). The returned server is already accepting
 // scheduler requests.
 func StartServer(addr string, cfg ServerConfig) (*Server, error) {
+	var svc *blob.Service
+	if cfg.Blobs {
+		svc = blob.NewService(blob.NewMemStore(), 0)
+	}
 	d, err := core.NewDistributedJob(cfg.Job, cfg.Spec, cfg.Corpus, cfg.PServers, cfg.Store, core.DistOptions{
-		Scheduler:   cfg.Scheduler,
-		Policy:      cfg.Policy,
-		Replication: cfg.Replication,
+		Scheduler:    cfg.Scheduler,
+		Policy:       cfg.Policy,
+		Replication:  cfg.Replication,
+		Blobs:        svc,
+		Checkpoint:   cfg.Checkpoint,
+		ResumeEpoch:  cfg.ResumeEpoch,
+		ResumeParams: cfg.ResumeParams,
+		Metrics:      cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -76,6 +99,12 @@ func StartServer(addr string, cfg ServerConfig) (*Server, error) {
 	// workunit event.
 	if cfg.Metrics != nil {
 		d.Server().EnableMetrics(cfg.Metrics)
+		if svc != nil {
+			svc.EnableMetrics(cfg.Metrics)
+		}
+	}
+	if svc != nil {
+		d.Server().EnableBlobs(svc)
 	}
 	if cfg.Trace != nil {
 		d.Server().Scheduler(func(s *boinc.Scheduler) { s.AddSink(boinc.TraceSink(cfg.Trace)) })
@@ -101,6 +130,10 @@ func (s *Server) URL() string { return s.url }
 // when the server is uninstrumented).
 func (s *Server) Metrics() *obs.Registry { return s.D.Server().Metrics() }
 
+// Blobs returns the blob data-plane service (nil when ServerConfig.Blobs
+// was off).
+func (s *Server) Blobs() *blob.Service { return s.D.Server().Blobs() }
+
 // Close stops accepting connections.
 func (s *Server) Close() error { return s.hs.Close() }
 
@@ -112,6 +145,14 @@ type ClientConfig struct {
 	Slots int
 	// Poll is the idle wait between work requests (0 = client default).
 	Poll time.Duration
+	// Blobs enables digest-keyed input fetching: assignments that carry
+	// blob digests are fetched from /blob/{digest} — resumable, verified,
+	// and cached locally — instead of by name from /download.
+	Blobs bool
+	// BlobCacheDir backs the blob cache with a directory that survives
+	// daemon restarts (warm cache on rejoin skips the transfer). Empty
+	// means an in-memory cache. Implies Blobs.
+	BlobCacheDir string
 	// Log receives the daemon's structured events (nil = silent).
 	Log *obs.Logger
 }
@@ -129,15 +170,28 @@ func RunClient(ctx context.Context, cfg ClientConfig) (*boinc.Client, error) {
 	if cfg.Poll > 0 {
 		cl.Poll = cfg.Poll
 	}
+	if cfg.Blobs || cfg.BlobCacheDir != "" {
+		var cache *blob.Cache
+		if cfg.BlobCacheDir != "" {
+			c, err := blob.NewDiskCache(cfg.BlobCacheDir)
+			if err != nil {
+				return cl, fmt.Errorf("live: blob cache %s: %w", cfg.BlobCacheDir, err)
+			}
+			cache = c
+		} else {
+			cache = blob.NewMemCache()
+		}
+		cl.EnableBlobs(cache)
+	}
 	// Handshake: fetch job.json, waiting out a server that is still
 	// coming up (volunteer clients outlive server restarts). The first
 	// failure warns; the steady retry stream stays at debug so a slow
 	// server boot doesn't flood the log.
 	var params core.TrainParams
 	for attempt := 0; ; attempt++ {
-		blob, err := cl.Download(core.TrainParamsFile)
+		raw, err := cl.Download(core.TrainParamsFile)
 		if err == nil {
-			if params, err = core.DecodeTrainParams(blob); err != nil {
+			if params, err = core.DecodeTrainParams(raw); err != nil {
 				cfg.Log.Warn("job.json undecodable, giving up", "client", cfg.ID, "err", err)
 				return cl, err
 			}

@@ -26,6 +26,12 @@ func SpawnProcess(ctx context.Context, exe string, cfg ClientConfig) (<-chan err
 	if cfg.Poll > 0 {
 		args = append(args, "-poll", cfg.Poll.String())
 	}
+	if cfg.Blobs || cfg.BlobCacheDir != "" {
+		args = append(args, "-blobs")
+	}
+	if cfg.BlobCacheDir != "" {
+		args = append(args, "-blob-dir", cfg.BlobCacheDir)
+	}
 	cmd := exec.CommandContext(ctx, exe, args...)
 	cmd.Stdout, cmd.Stderr = io.Discard, io.Discard
 	if err := cmd.Start(); err != nil {
@@ -45,6 +51,8 @@ func ClientProcMain(args []string) error {
 	id := fs.String("id", "client", "client identifier")
 	slots := fs.Int("slots", 1, "simultaneous subtasks")
 	poll := fs.Duration("poll", 25*time.Millisecond, "idle poll interval")
+	blobs := fs.Bool("blobs", false, "fetch digest-published inputs via /blob/{digest}")
+	blobDir := fs.String("blob-dir", "", "disk-backed blob cache directory (implies -blobs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,10 +60,12 @@ func ClientProcMain(args []string) error {
 		return fmt.Errorf("missing -server")
 	}
 	_, err := RunClient(context.Background(), ClientConfig{
-		ID:        *id,
-		ServerURL: *server,
-		Slots:     *slots,
-		Poll:      *poll,
+		ID:           *id,
+		ServerURL:    *server,
+		Slots:        *slots,
+		Poll:         *poll,
+		Blobs:        *blobs,
+		BlobCacheDir: *blobDir,
 	})
 	if errors.Is(err, boinc.ErrDetached) {
 		return nil

@@ -1,0 +1,127 @@
+package ps
+
+import (
+	"testing"
+
+	"vcdl/internal/opt"
+	"vcdl/internal/store"
+)
+
+func TestGroupCheckpointRoundtrip(t *testing.T) {
+	for _, st := range []store.Store{store.NewStrong(), store.NewEventual(1, 0, 1)} {
+		t.Run(st.Name(), func(t *testing.T) {
+			g := NewGroup(2, st, opt.Constant{V: 0.95})
+			params := []float64{1.5, -2.25, 3.125}
+			if err := g.Publish(params); err != nil {
+				t.Fatal(err)
+			}
+
+			// No checkpoint yet: Latest and Restore are benign no-ops.
+			if e, p, err := g.LatestCheckpoint(); err != nil || e != 0 || p != nil {
+				t.Fatalf("empty LatestCheckpoint = %d,%v,%v", e, p, err)
+			}
+			if e, err := g.RestoreCheckpoint(); err != nil || e != 0 {
+				t.Fatalf("empty RestoreCheckpoint = %d,%v", e, err)
+			}
+
+			if err := g.SaveCheckpoint(3, params); err != nil {
+				t.Fatal(err)
+			}
+			e, p, err := g.LatestCheckpoint()
+			if err != nil || e != 3 || len(p) != 3 {
+				t.Fatalf("LatestCheckpoint = %d,%v,%v", e, p, err)
+			}
+
+			// Clobber the live copy (the torn-failover state), restore,
+			// and the live copy must be the snapshot again.
+			if err := g.Publish([]float64{9, 9, 9}); err != nil {
+				t.Fatal(err)
+			}
+			re, err := g.RestoreCheckpoint()
+			if err != nil || re != 3 {
+				t.Fatalf("RestoreCheckpoint = %d,%v", re, err)
+			}
+			cur, err := g.Current()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range params {
+				if cur[i] != params[i] {
+					t.Fatalf("restored[%d] = %v, want %v", i, cur[i], params[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSaveCheckpointMonotonic(t *testing.T) {
+	g := NewGroup(1, store.NewStrong(), opt.Constant{V: 0.95})
+	if err := g.SaveCheckpoint(5, []float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	// A stale epoch-2 save (replayed upload, lagging PS) must not
+	// overwrite the epoch-5 snapshot.
+	if err := g.SaveCheckpoint(2, []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	e, p, err := g.LatestCheckpoint()
+	if err != nil || e != 5 || p[0] != 5 {
+		t.Fatalf("after stale save: epoch %d params %v err %v", e, p, err)
+	}
+	// Newer epochs do advance it.
+	if err := g.SaveCheckpoint(6, []float64{6}); err != nil {
+		t.Fatal(err)
+	}
+	if e, _, _ := g.LatestCheckpoint(); e != 6 {
+		t.Fatalf("epoch = %d, want 6", e)
+	}
+}
+
+func TestCheckpointSurvivesResize(t *testing.T) {
+	st := store.NewStrong()
+	g := NewGroup(3, st, opt.Constant{V: 0.95})
+	if err := g.Publish([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SaveCheckpoint(4, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	g.Resize(1) // two PS processes die
+	e, err := g.RestoreCheckpoint()
+	if err != nil || e != 4 {
+		t.Fatalf("restore after shrink = %d,%v", e, err)
+	}
+	g.Resize(5) // standbys join; checkpoint still visible to all
+	if e, _, _ := g.LatestCheckpoint(); e != 4 {
+		t.Fatalf("after grow: epoch %d, want 4", e)
+	}
+}
+
+func TestEpochTrackerAt(t *testing.T) {
+	tr := NewEpochTrackerAt(2, 7)
+	if tr.Epoch() != 7 {
+		t.Fatalf("start epoch = %d, want 7", tr.Epoch())
+	}
+	tr.Record(0.5)
+	sum, done := tr.Record(0.7)
+	if !done || sum.Epoch != 7 {
+		t.Fatalf("first closed epoch = %+v done=%v", sum, done)
+	}
+	if tr.Epoch() != 8 {
+		t.Fatalf("next epoch = %d, want 8", tr.Epoch())
+	}
+	// StopCriterion on absolute epochs: a job resumed at 7 with a
+	// 8-epoch budget stops after one more epoch, not eight.
+	c := StopCriterion{MaxEpochs: 8}
+	if c.ShouldStop(sum) {
+		t.Fatal("stopped at epoch 7 with budget 8")
+	}
+	tr.Record(0.8)
+	sum, _ = tr.Record(0.9)
+	if !c.ShouldStop(sum) {
+		t.Fatal("did not stop at epoch 8 budget 8")
+	}
+	if NewEpochTrackerAt(2, 0).Epoch() != 1 {
+		t.Fatal("start epoch below 1 not clamped")
+	}
+}

@@ -34,6 +34,18 @@ func NewEpochTracker(subtasks int) *EpochTracker {
 	return &EpochTracker{subtasks: subtasks, epoch: 1}
 }
 
+// NewEpochTrackerAt tracks epochs starting at start (minimum 1) — the
+// resume path: a job restored from an epoch-e checkpoint continues at
+// e+1 instead of recounting from scratch. StopCriterion compares
+// against absolute epoch numbers, so a resumed job still stops at the
+// original budget.
+func NewEpochTrackerAt(subtasks, start int) *EpochTracker {
+	if start < 1 {
+		start = 1
+	}
+	return &EpochTracker{subtasks: subtasks, epoch: start}
+}
+
 // Epoch returns the current (1-based) epoch number.
 func (t *EpochTracker) Epoch() int {
 	t.mu.Lock()

@@ -34,6 +34,13 @@ var knownMetrics = map[string]func(res *vcsim.Result, wallSec float64) float64{
 	"cost_preemptible_usd": func(r *vcsim.Result, _ float64) float64 { return r.CostPreemptibleUSD },
 	"max_ps":               func(r *vcsim.Result, _ float64) float64 { return float64(r.MaxPSUsed) },
 	"wallclock_seconds":    func(_ *vcsim.Result, w float64) float64 { return w },
+	// Data-plane and checkpoint metrics (real mode only; Modes marks
+	// scenarios asserting on them real-only).
+	"blob_mb":         func(r *vcsim.Result, _ float64) float64 { return float64(r.BlobBytes) / 1e6 },
+	"blob_resumes":    func(r *vcsim.Result, _ float64) float64 { return float64(r.BlobResumes) },
+	"blob_cache_hits": func(r *vcsim.Result, _ float64) float64 { return float64(r.BlobCacheHits) },
+	"ckpt_epoch":      func(r *vcsim.Result, _ float64) float64 { return float64(r.CkptEpoch) },
+	"ckpt_restores":   func(r *vcsim.Result, _ float64) float64 { return float64(r.CkptRestores) },
 }
 
 // check validates the assertion's shape (used by Scenario.Validate).

@@ -65,6 +65,20 @@ type Detacher interface {
 	DetachClients(n int) []string
 }
 
+// Rejoiner is the churn-recovery capability only the real engine has:
+// a departed client is revived under its original ID, keeping its blob
+// cache warm (DESIGN.md §11).
+type Rejoiner interface {
+	RejoinClient(id string) bool
+	RejoinClients(n int) []string
+}
+
+// BlobKiller is the data-plane fault-injection capability only the real
+// engine has: sever every blob transfer after n bytes (0 disarms).
+type BlobKiller interface {
+	SetBlobKill(n int64) bool
+}
+
 // Modes reports which engines can execute the scenario, and for each
 // unsupported engine the constructs that rule it out.
 func (sc *Scenario) Modes() (modes []Mode, reasons map[Mode][]string) {
@@ -92,15 +106,37 @@ func (sc *Scenario) Modes() (modes []Mode, reasons map[Mode][]string) {
 		}
 	}
 
-	// Real-only constructs: process isolation and graceful detach have
-	// no simulator equivalent.
+	// Real-only constructs: process isolation, graceful detach and the
+	// whole data-plane/checkpoint surface have no simulator equivalent —
+	// the simulator's golden traces must stay byte-identical, so nothing
+	// here may leak into sim runs.
 	var noSim []string
 	if f.Procs {
 		noSim = append(noSim, "procs on (process-isolated clients need the real engine)")
 	}
+	if f.Blobs {
+		noSim = append(noSim, "blobs on (the content-addressed data plane needs the real engine)")
+	}
+	if f.Checkpoint {
+		noSim = append(noSim, "checkpoints on (durable PS checkpoints need the real engine)")
+	}
+	if f.StoreKind != "" {
+		noSim = append(noSim, fmt.Sprintf("store %s (store selection is a real-engine concern)", f.StoreKind))
+	}
 	for _, ev := range sc.Events {
-		if _, ok := ev.(detachEvent); ok {
+		switch ev.(type) {
+		case detachEvent:
 			noSim = append(noSim, fmt.Sprintf("event %q (graceful detach needs the real engine; sim departures are abrupt)", ev.Desc()))
+		case rejoinEvent:
+			noSim = append(noSim, fmt.Sprintf("event %q (reviving departed clients needs the real engine)", ev.Desc()))
+		case blobKillEvent:
+			noSim = append(noSim, fmt.Sprintf("event %q (blob fault injection needs the real engine)", ev.Desc()))
+		}
+	}
+	for _, a := range sc.Asserts {
+		switch a.Metric {
+		case "blob_mb", "blob_resumes", "blob_cache_hits", "ckpt_epoch", "ckpt_restores":
+			noSim = append(noSim, fmt.Sprintf("assertion %q (data-plane/checkpoint metrics exist only in the real engine)", a.Raw))
 		}
 	}
 

@@ -56,6 +56,10 @@ type Options struct {
 	// in-process goroutines; cmd/vcdl-scenario's -procs mode passes a
 	// process spawner). Ignored in sim mode.
 	Spawn live.SpawnFunc
+	// Store overrides the real-mode parameter store backend ("eventual"
+	// or "strong"; "" keeps the scenario's `store` key, which itself
+	// defaults to eventual). Ignored in sim mode.
+	Store string
 	// Metrics receives the run's metric families (DESIGN.md §10). When
 	// nil the engine still instruments itself with a private registry so
 	// the RunStats percentile columns always fill; supply one to keep

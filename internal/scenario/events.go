@@ -267,3 +267,64 @@ func (e detachEvent) Apply(s Injector) string {
 	gone := d.DetachClients(e.n)
 	return fmt.Sprintf("detach %d clients %v (%d active remain)", len(gone), gone, len(s.ActiveClients()))
 }
+
+// rejoinEvent revives departed clients under their original identity —
+// with the data plane on, they return holding a warm blob cache, so the
+// re-transfer cost of churn is what the scenario measures. Real-mode
+// only: the simulator has no notion of a volunteer coming back.
+type rejoinEvent struct {
+	at float64
+	n  int
+	id string // non-empty: rejoin this client instead of a count
+}
+
+func (e rejoinEvent) At() float64 { return e.at }
+func (e rejoinEvent) Desc() string {
+	if e.id != "" {
+		return fmt.Sprintf("at %s rejoin %s", fmtT(e.at), e.id)
+	}
+	return fmt.Sprintf("at %s rejoin %d", fmtT(e.at), e.n)
+}
+func (e rejoinEvent) Apply(s Injector) string {
+	r, ok := s.(Rejoiner)
+	if !ok {
+		return "rejoin skipped (engine cannot revive departed clients)"
+	}
+	if e.id != "" {
+		if r.RejoinClient(e.id) {
+			return "rejoin " + e.id
+		}
+		return fmt.Sprintf("rejoin %s (no such departed client)", e.id)
+	}
+	back := r.RejoinClients(e.n)
+	return fmt.Sprintf("rejoin %d clients %v (%d active now)", len(back), back, len(s.ActiveClients()))
+}
+
+// blobKillEvent arms (bytes > 0) or disarms (bytes 0) data-plane fault
+// injection: the server severs every blob transfer after that many
+// bytes, forcing clients through the Range-resume path. Real-mode only.
+type blobKillEvent struct {
+	at    float64
+	bytes int64 // 0 disarms
+}
+
+func (e blobKillEvent) At() float64 { return e.at }
+func (e blobKillEvent) Desc() string {
+	if e.bytes == 0 {
+		return fmt.Sprintf("at %s blob-kill off", fmtT(e.at))
+	}
+	return fmt.Sprintf("at %s blob-kill %d", fmtT(e.at), e.bytes)
+}
+func (e blobKillEvent) Apply(s Injector) string {
+	k, ok := s.(BlobKiller)
+	if !ok {
+		return "blob-kill skipped (engine has no data plane)"
+	}
+	if !k.SetBlobKill(e.bytes) {
+		return "blob-kill skipped (data plane is off — add 'blobs on' to the fleet)"
+	}
+	if e.bytes == 0 {
+		return "blob transfer kills disarmed"
+	}
+	return fmt.Sprintf("blob transfers now severed after %d bytes (clients resume via Range)", e.bytes)
+}

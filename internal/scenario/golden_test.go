@@ -7,6 +7,19 @@ import (
 	"testing"
 )
 
+// supportsSim reports whether a bundled scenario can run on the
+// simulator at all — the real-only recovery scenarios (data plane,
+// durable checkpoints; DESIGN.md §11) have no sim goldens.
+func supportsSim(sc *Scenario) bool {
+	modes, _ := sc.Modes()
+	for _, m := range modes {
+		if m == ModeSim {
+			return true
+		}
+	}
+	return false
+}
+
 // TestBundledScenarioGolden pins the end-to-end output of every bundled
 // scenario against golden trace files: the same scenario file and seed
 // must keep producing the identical event trace and closing metrics
@@ -25,6 +38,9 @@ func TestBundledScenarioGolden(t *testing.T) {
 			sc, err := Load(file)
 			if err != nil {
 				t.Fatal(err)
+			}
+			if !supportsSim(sc) {
+				t.Skipf("real-only scenario (no sim golden); covered by the real-mode tests")
 			}
 			rep, err := RunScenario(sc, Options{})
 			if err != nil {
@@ -73,6 +89,9 @@ func TestBundledScenarioBackendEquivalence(t *testing.T) {
 				sc, err := Load(file)
 				if err != nil {
 					t.Fatal(err)
+				}
+				if !supportsSim(sc) {
+					t.Skipf("real-only scenario (no sim golden); covered by the real-mode tests")
 				}
 				if sc.Fleet.Compute != "" {
 					t.Skipf("scenario pins its own backend %q", sc.Fleet.Compute)

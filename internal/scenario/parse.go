@@ -33,6 +33,9 @@ import (
 //	  regions us-east us-west
 //	  sticky off
 //	  procs on                      # real mode: clients as OS processes
+//	  blobs on                      # real mode: content-addressed data plane
+//	  checkpoints on                # real mode: durable PS checkpoints
+//	  store strong                  # real mode: eventual (default) | strong
 //	  autoscale on 8
 //	  target-accuracy 0.8
 //	  policy fifo                   # scheduling policy (boinc.PolicyNames)
@@ -47,6 +50,9 @@ import (
 //	  at 5m   join 2 clientB us-west
 //	  at 40m  leave 2               # most recent joiners depart first
 //	  at 42m  detach 1              # graceful departure (real mode only)
+//	  at 50m  rejoin 1              # revive departed client, warm blob cache
+//	  at 12m  blob-kill 8000        # sever blob transfers after 8000 bytes
+//	  at 25m  blob-kill off         # ... and disarm (both real mode only)
 //	  at 20m  outage us-west 5s     # region RTT spikes to 5 s
 //	  at 45m  recover us-west
 //	  at 5m   slow 0 4.0            # straggler: client #0 runs 4x slower
@@ -63,6 +69,11 @@ import (
 //	  hours <= 12
 //	  reissued <= 400
 //	  wallclock_seconds <= 120
+//	  blob_resumes > 0              # real-mode data-plane/checkpoint metrics
+//	  blob_cache_hits > 0
+//	  blob_mb <= 64
+//	  ckpt_epoch >= 2
+//	  ckpt_restores >= 1
 //
 // Durations accept s/m/h suffixes (bare numbers are seconds). Events
 // must be listed in time order.
@@ -230,6 +241,27 @@ func (p *parser) fleetLine(n int, key string, fields []string) {
 		if ok {
 			f.Procs = v
 		}
+	case "blobs":
+		v, ok := p.onOff(n, key, args)
+		if ok {
+			f.Blobs = v
+		}
+	case "checkpoints":
+		v, ok := p.onOff(n, key, args)
+		if ok {
+			f.Checkpoint = v
+		}
+	case "store":
+		if len(args) != 1 {
+			p.errorf(n, "want 'store eventual|strong'")
+			return
+		}
+		switch strings.ToLower(args[0]) {
+		case "eventual", "strong":
+			f.StoreKind = strings.ToLower(args[0])
+		default:
+			p.errorf(n, "unknown store %q (want eventual or strong)", args[0])
+		}
 	case "autoscale":
 		if len(args) < 1 || len(args) > 2 {
 			p.errorf(n, "want 'autoscale on|off [max]'")
@@ -358,6 +390,35 @@ func (p *parser) eventLine(n int, fields []string) {
 			return
 		}
 		p.sc.Events = append(p.sc.Events, detachEvent{at: at, id: args[0]})
+	case "rejoin":
+		if len(args) != 1 {
+			bad("rejoin <n|client-id>")
+			return
+		}
+		if cnt, err := strconv.Atoi(args[0]); err == nil {
+			if cnt < 1 {
+				p.errorf(n, "bad rejoin count %q", args[0])
+				return
+			}
+			p.sc.Events = append(p.sc.Events, rejoinEvent{at: at, n: cnt})
+			return
+		}
+		p.sc.Events = append(p.sc.Events, rejoinEvent{at: at, id: args[0]})
+	case "blob-kill":
+		if len(args) != 1 {
+			bad("blob-kill <bytes|off>")
+			return
+		}
+		if strings.EqualFold(args[0], "off") {
+			p.sc.Events = append(p.sc.Events, blobKillEvent{at: at})
+			return
+		}
+		bytes, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil || bytes < 1 {
+			p.errorf(n, "bad blob-kill byte count %q (want a positive count or off)", args[0])
+			return
+		}
+		p.sc.Events = append(p.sc.Events, blobKillEvent{at: at, bytes: bytes})
 	case "preempt":
 		if len(args) != 1 {
 			bad("preempt <p>")
@@ -474,7 +535,7 @@ func (p *parser) eventLine(n int, fields []string) {
 			p.errorf(n, "unknown set key %q (want timeout or floor)", args[0])
 		}
 	default:
-		p.errorf(n, "unknown event %q (want join/leave/detach/preempt/outage/recover/slow/ps-fail/ps-recover/policy/set)", fields[2])
+		p.errorf(n, "unknown event %q (want join/leave/detach/rejoin/preempt/outage/recover/slow/ps-fail/ps-recover/blob-kill/policy/set)", fields[2])
 	}
 }
 

@@ -157,6 +157,74 @@ func TestParseComputeDirective(t *testing.T) {
 	}
 }
 
+// TestParseDataPlaneDirectives pins the blob/checkpoint/store grammar:
+// fleet switches, the blob-kill and rejoin events, and the real-only
+// assertion metrics.
+func TestParseDataPlaneDirectives(t *testing.T) {
+	sc, err := Parse(strings.NewReader(`
+scenario data-plane
+fleet:
+  clients 3
+  blobs on
+  checkpoints on
+  store strong
+events:
+  at 1m  blob-kill 8000
+  at 2m  leave 1
+  at 3m  rejoin 1
+  at 4m  rejoin client-02-t2.small
+  at 5m  blob-kill off
+assert:
+  blob_resumes > 0
+  blob_cache_hits >= 1
+  blob_mb <= 64
+  ckpt_epoch >= 2
+  ckpt_restores >= 0
+`), "dp.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := sc.Fleet
+	if !f.Blobs || !f.Checkpoint || f.StoreKind != "strong" {
+		t.Fatalf("fleet = %+v", f)
+	}
+	if len(sc.Events) != 5 {
+		t.Fatalf("parsed %d events, want 5", len(sc.Events))
+	}
+	if e, ok := sc.Events[0].(blobKillEvent); !ok || e.bytes != 8000 {
+		t.Fatalf("event 0 = %#v, want blob-kill 8000", sc.Events[0])
+	}
+	if e, ok := sc.Events[2].(rejoinEvent); !ok || e.n != 1 || e.id != "" {
+		t.Fatalf("event 2 = %#v, want rejoin 1", sc.Events[2])
+	}
+	if e, ok := sc.Events[3].(rejoinEvent); !ok || e.id != "client-02-t2.small" {
+		t.Fatalf("event 3 = %#v, want rejoin by id", sc.Events[3])
+	}
+	if e, ok := sc.Events[4].(blobKillEvent); !ok || e.bytes != 0 {
+		t.Fatalf("event 4 = %#v, want blob-kill off", sc.Events[4])
+	}
+	if len(sc.Asserts) != 5 || sc.Asserts[0].Metric != "blob_resumes" || sc.Asserts[3].Metric != "ckpt_epoch" {
+		t.Fatalf("asserts = %+v", sc.Asserts)
+	}
+
+	for _, bad := range []string{
+		"scenario s\nfleet:\n  store bogus\n",
+		"scenario s\nfleet:\n  blobs maybe\n",
+		"scenario s\nfleet:\n  checkpoints\n",
+		"scenario s\nevents:\n  at 1m blob-kill 0\n",
+		"scenario s\nevents:\n  at 1m blob-kill -5\n",
+		"scenario s\nevents:\n  at 1m rejoin 0\n",
+		"scenario s\nassert:\n  blob_bogus > 0\n",
+	} {
+		if _, err := Parse(strings.NewReader(bad), "bad.txt"); err == nil {
+			t.Errorf("accepted malformed input %q", bad)
+		}
+	}
+}
+
 // TestMalformedScenariosGolden asserts that every malformed scenario
 // under testdata/bad is rejected with exactly the error text recorded in
 // the sibling .err golden file. Regenerate with: go test -run Golden -update

@@ -37,6 +37,16 @@ func runReal(sc *Scenario, opts Options) (*Report, error) {
 	if scale <= 0 {
 		scale = live.DefaultTimeScale
 	}
+	// The CLI's -store flag wins over the scenario's `store` key; both
+	// default to the eventual store (the paper's Redis-style backend).
+	storeKind := opts.Store
+	if storeKind == "" {
+		storeKind = sc.Fleet.StoreKind
+	}
+	st, err := store.ByName(storeKind, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
 	reg := runRegistry(opts)
 	fleet, err := live.StartFleet(live.FleetConfig{
 		Server: live.ServerConfig{
@@ -44,10 +54,12 @@ func runReal(sc *Scenario, opts Options) (*Report, error) {
 			Spec:        spec,
 			Corpus:      cfg.Corpus,
 			PServers:    cfg.PServers,
-			Store:       store.NewEventual(1, 0, cfg.Seed),
+			Store:       st,
 			Policy:      cfg.Policy,
 			Replication: cfg.Replication,
 		},
+		Blobs:              sc.Fleet.Blobs,
+		Checkpoint:         sc.Fleet.Checkpoint,
 		Name:               sc.Name,
 		Fleet:              cloud.Place(cfg.ClientInstances, cfg.Regions),
 		TasksPerClient:     cfg.TasksPerClient,
@@ -82,9 +94,16 @@ func runReal(sc *Scenario, opts Options) (*Report, error) {
 	if opts.Spawn != nil {
 		clients = "process clients"
 	}
-	trace(fmt.Sprintf("scenario %s: P%dC%dT%d %s workload, seed %d, %d events, %d assertions (real mode, %s, 1 virtual min = %.3gs wall)",
+	extras := st.Name() + " store"
+	if sc.Fleet.Blobs {
+		extras += ", blob data plane"
+	}
+	if sc.Fleet.Checkpoint {
+		extras += ", durable checkpoints"
+	}
+	trace(fmt.Sprintf("scenario %s: P%dC%dT%d %s workload, seed %d, %d events, %d assertions (real mode, %s, %s, 1 virtual min = %.3gs wall)",
 		sc.Name, cfg.PServers, len(cfg.ClientInstances), cfg.TasksPerClient,
-		workload, cfg.Seed, len(sc.Events), len(sc.Asserts), clients, scale*60))
+		workload, cfg.Seed, len(sc.Events), len(sc.Asserts), clients, extras, scale*60))
 
 	// Fire the events on the wall clock. The goroutine dies with the
 	// run context, so events scheduled past training completion simply

@@ -140,6 +140,83 @@ assert:
 	}
 }
 
+// TestRealModeBlobRecovery drives the full data-plane story end to end:
+// digest-published inputs, mid-transfer kills recovered via Range
+// resume, churn with a warm-cache rejoin, and durable checkpoints on
+// the strong store.
+func TestRealModeBlobRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second real-mode run")
+	}
+	sc := loadString(t, `
+scenario real-blob-recovery
+fleet:
+  pservers 2
+  clients 3
+  tasks 2
+  epochs 2
+  subtasks 6
+  seed 7
+  blobs on
+  checkpoints on
+  store strong
+events:
+  at 10s blob-kill 2000
+  at 2m  leave 1
+  at 4m  rejoin 1
+assert:
+  epochs == 2
+  blob_mb > 0
+  blob_resumes > 0
+  blob_cache_hits > 0
+  ckpt_epoch == 2
+`)
+	if err := sc.SupportsMode(ModeSim); err == nil {
+		t.Fatal("data-plane scenario unexpectedly supports sim mode")
+	}
+	rep, err := RunScenario(sc, Options{Mode: ModeReal, TimeScale: 1.0 / 300, WallLimit: 90 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("assertions failed:\n%s\ntrace:\n%s", rep.Summary(), strings.Join(rep.Trace, "\n"))
+	}
+	trace := strings.Join(rep.Trace, "\n")
+	for _, want := range []string{"blob transfers now severed after 2000 bytes", "rejoin 1 clients"} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace missing %q:\n%s", want, trace)
+		}
+	}
+	if rep.Result.BlobBytes == 0 || rep.Result.BlobResumes == 0 {
+		t.Fatalf("blob telemetry empty: %+v", rep.Result)
+	}
+}
+
+// TestRealModeStoreOverride pins the -store plumbing: Options.Store
+// wins over the scenario's store key.
+func TestRealModeStoreOverride(t *testing.T) {
+	sc := loadString(t, `
+scenario store-override
+fleet:
+  clients 2
+  tasks 1
+  epochs 1
+  subtasks 4
+  seed 2
+  store eventual
+`)
+	rep, err := RunScenario(sc, Options{Mode: ModeReal, Store: "strong", TimeScale: 1.0 / 600, WallLimit: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(rep.Trace, "\n"), "strong store") {
+		t.Fatalf("trace does not report the strong store:\n%s", strings.Join(rep.Trace, "\n"))
+	}
+	if _, err := RunScenario(sc, Options{Mode: ModeReal, Store: "bogus", TimeScale: 1.0 / 600}); err == nil {
+		t.Fatal("bogus -store value accepted")
+	}
+}
+
 // TestModesRules pins the mode-support matrix for sim-only constructs.
 func TestModesRules(t *testing.T) {
 	cases := []struct {
@@ -155,6 +232,13 @@ func TestModesRules(t *testing.T) {
 		{"cost", "scenario s\nassert:\n  cost_standard_usd <= 10\n", []Mode{ModeSim}},
 		{"procs", "scenario s\nfleet:\n  procs on\n", []Mode{ModeReal}},
 		{"detach", "scenario s\nevents:\n  at 1m detach 1\n", []Mode{ModeReal}},
+		{"blobs", "scenario s\nfleet:\n  blobs on\n", []Mode{ModeReal}},
+		{"checkpoints", "scenario s\nfleet:\n  checkpoints on\n", []Mode{ModeReal}},
+		{"store", "scenario s\nfleet:\n  store strong\n", []Mode{ModeReal}},
+		{"rejoin", "scenario s\nevents:\n  at 1m leave 1\n  at 2m rejoin 1\n", []Mode{ModeReal}},
+		{"blob-kill", "scenario s\nevents:\n  at 1m blob-kill 4096\n", []Mode{ModeReal}},
+		{"blob-assert", "scenario s\nassert:\n  blob_resumes > 0\n", []Mode{ModeReal}},
+		{"ckpt-assert", "scenario s\nassert:\n  ckpt_epoch >= 1\n", []Mode{ModeReal}},
 		{"procs-and-paper", "scenario s\nfleet:\n  workload paper\n  procs on\n", nil},
 	}
 	for _, tc := range cases {

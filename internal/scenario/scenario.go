@@ -86,6 +86,19 @@ type FleetSpec struct {
 	// processes instead of in-process goroutines (real mode only; the
 	// CLI's -procs flag is the same switch).
 	Procs bool
+	// Blobs enables the content-addressed data plane: inputs travel by
+	// digest over /blob/{digest} with resumable verified transfers and
+	// per-client caches that survive rejoin (real mode only — the
+	// simulator has no byte-level data plane; DESIGN.md §11).
+	Blobs bool
+	// Checkpoint persists epoch checkpoints through the PS group's store
+	// so ps-fail restores parameters instead of restarting the epoch
+	// (real mode only).
+	Checkpoint bool
+	// StoreKind selects the parameter store backend: "eventual"
+	// (default) or "strong" (real mode only; the CLI's -store flag
+	// overrides it).
+	StoreKind string
 }
 
 // Event is one timed injection against a running engine (simulated or

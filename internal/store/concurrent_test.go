@@ -1,0 +1,191 @@
+package store
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+// Concurrency contracts under the race detector: Strong serializes
+// read-modify-write cycles (no lost updates, WAL strictly ordered);
+// Eventual stays memory-safe but is allowed — expected, even — to lose
+// updates in optimistic RMW races.
+
+func encCounter(n uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], n)
+	return b[:]
+}
+
+func decCounter(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func TestStrongSerializableUnderConcurrency(t *testing.T) {
+	const writers, perWriter = 8, 200
+	s := NewStrong()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := s.Update("counter", func(old []byte) []byte {
+					return encCounter(decCounter(old) + 1)
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	val, ver, err := s.Get("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decCounter(val); got != writers*perWriter {
+		t.Fatalf("counter = %d, want %d (lost updates in a strong store)", got, writers*perWriter)
+	}
+	if ver != writers*perWriter {
+		t.Fatalf("version = %d, want %d", ver, writers*perWriter)
+	}
+	if s.WALLen() != writers*perWriter {
+		t.Fatalf("WAL has %d records, want %d", s.WALLen(), writers*perWriter)
+	}
+	if !s.VerifyWAL() {
+		t.Fatal("WAL is not strictly ordered per key")
+	}
+	if st := s.Stats(); st.LostUpdates != 0 {
+		t.Fatalf("strong store reported %d lost updates", st.LostUpdates)
+	}
+}
+
+func TestStrongConcurrentMultiKey(t *testing.T) {
+	const writers, perWriter = 6, 100
+	s := NewStrong()
+	keys := []string{"model/params", "model/checkpoint", "aux"}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := keys[w%len(keys)]
+			for i := 0; i < perWriter; i++ {
+				s.Update(key, func(old []byte) []byte {
+					return encCounter(decCounter(old) + 1)
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if !s.VerifyWAL() {
+		t.Fatal("multi-key WAL not strictly ordered per key")
+	}
+	total := uint64(0)
+	for _, k := range keys {
+		v, _, err := s.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += decCounter(v)
+	}
+	if total != writers*perWriter {
+		t.Fatalf("sum over keys = %d, want %d", total, writers*perWriter)
+	}
+}
+
+func TestEventualLastWriteWinsRace(t *testing.T) {
+	const writers, perWriter = 8, 200
+	e := NewEventual(3, 4, 42)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := e.Update("counter", func(old []byte) []byte {
+					return encCounter(decCounter(old) + 1)
+				}); err != nil && err != ErrNotFound {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	val, ver, err := e.Get("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	got := decCounter(val)
+	// Optimistic lossy RMW: the observable count plus detected lost
+	// updates can never exceed the attempted total, and the version
+	// counter must record every commit (nothing vanishes silently —
+	// clobbered writes are *detected*, which is what LostUpdates means).
+	if got > writers*perWriter {
+		t.Fatalf("counter = %d, above attempted total %d", got, writers*perWriter)
+	}
+	if ver == 0 || ver > writers*perWriter {
+		t.Fatalf("version = %d out of range (stale replica read is fine, future is not)", ver)
+	}
+	if st.Updates != writers*perWriter {
+		t.Fatalf("Updates = %d, want %d", st.Updates, writers*perWriter)
+	}
+	t.Logf("eventual race: final=%d lost=%d stale=%d (attempted %d)",
+		got, st.LostUpdates, st.StaleReads, writers*perWriter)
+}
+
+func TestEventualConcurrentReadersAndWriters(t *testing.T) {
+	e := NewEventual(4, 8, 7)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if v, _, err := e.Get("k"); err == nil && len(v) != 8 {
+					t.Errorf("torn read: %d bytes", len(v))
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				e.Set("k", encCounter(uint64(w*1000+i)))
+			}
+		}(w)
+	}
+	// Writers finish first; then release the readers.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for i := 0; i < 4*300; i++ {
+		// Spin until writer goroutines drain (bounded by the loop above).
+		select {
+		case <-done:
+			i = 4 * 300
+		default:
+		}
+	}
+	close(stop)
+	<-done
+}

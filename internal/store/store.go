@@ -21,6 +21,7 @@ package store
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 )
@@ -106,4 +107,18 @@ func (c *counter) snapshot() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.s
+}
+
+// ByName constructs a backend by its Name: "eventual" (the default when
+// name is empty — one replica, no lag, like the paper's single Redis
+// node) or "strong". seed feeds the eventual store's replica-routing
+// RNG and is ignored by the strong store.
+func ByName(name string, seed int64) (Store, error) {
+	switch name {
+	case "", "eventual":
+		return NewEventual(1, 0, seed), nil
+	case "strong":
+		return NewStrong(), nil
+	}
+	return nil, fmt.Errorf("store: unknown backend %q (want eventual or strong)", name)
 }

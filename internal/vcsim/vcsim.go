@@ -199,6 +199,15 @@ type Result struct {
 	PSScaleUps, PSScaleDowns int
 	MaxPSUsed                int
 
+	// Data-plane and checkpoint telemetry. Real-mode only: the simulator
+	// has no byte-level data plane, so sim results leave these zero and
+	// scenario assertions on them are real-only (DESIGN.md §11).
+	BlobBytes     int64
+	BlobResumes   int
+	BlobCacheHits int
+	CkptEpoch     int
+	CkptRestores  int
+
 	// Compute is the compute-backend telemetry (cache hits, worker-pool
 	// overlap). It is the one Result field that legitimately differs
 	// between equivalent backends, so cross-backend equivalence checks

@@ -1,0 +1,62 @@
+package wire
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	params := make([]float64, 1000)
+	for i := range params {
+		params[i] = math.Sin(float64(i)) * 3.7
+	}
+	blob, err := EncodeCheckpoint(42, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch, got, err := DecodeCheckpoint(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 42 {
+		t.Fatalf("epoch = %d, want 42", epoch)
+	}
+	if len(got) != len(params) {
+		t.Fatalf("len = %d, want %d", len(got), len(params))
+	}
+	for i := range got {
+		if got[i] != params[i] {
+			t.Fatalf("params[%d] = %v, want %v", i, got[i], params[i])
+		}
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	if _, _, err := DecodeCheckpoint(nil); err == nil {
+		t.Fatal("decoded nil blob")
+	}
+	if _, _, err := DecodeCheckpoint([]byte("short")); err == nil {
+		t.Fatal("decoded short blob")
+	}
+	blob, _ := EncodeCheckpoint(1, []float64{1, 2, 3})
+	blob[0] ^= 0xff
+	if _, _, err := DecodeCheckpoint(blob); err == nil {
+		t.Fatal("decoded blob with bad magic")
+	}
+	// A plain params blob is not a checkpoint.
+	pb, _ := EncodeParams([]float64{1, 2, 3})
+	if _, _, err := DecodeCheckpoint(pb); err == nil {
+		t.Fatal("decoded params blob as checkpoint")
+	}
+	if _, err := EncodeCheckpoint(-1, []float64{1}); err == nil {
+		t.Fatal("encoded negative epoch")
+	}
+}
+
+func TestCheckpointCorruptPayload(t *testing.T) {
+	blob, _ := EncodeCheckpoint(7, []float64{1, 2, 3, 4})
+	blob[len(blob)/2] ^= 0x55
+	if _, _, err := DecodeCheckpoint(blob); err == nil {
+		t.Fatal("decoded checkpoint with corrupted payload")
+	}
+}
