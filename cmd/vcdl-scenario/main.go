@@ -5,6 +5,8 @@
 //	vcdl-scenario run [-mode sim|real] [-seed N] [-trace] [-procs] [-speedup X] <scenario.txt>...
 //	vcdl-scenario compare [-seed N] [-speedup X] [-csv out.csv] <scenario.txt>...
 //	vcdl-scenario validate <scenario.txt>...
+//	vcdl-scenario gen [-model M] [-seed N] [-o out.txt]
+//	vcdl-scenario ops [-server URL | -url-file FILE] [command...]
 //
 // run executes each scenario — on the virtual-time simulator (-mode
 // sim, the default) or against a live fleet of real HTTP clients
@@ -14,8 +16,12 @@
 // and real back-to-back and emits a fidelity CSV so sim↔real
 // divergence becomes a reported quantity. validate parses and checks
 // the files without running anything (exit 2 on any malformed
-// scenario) and reports which mode(s) each file supports. The bundled
-// scenario library lives in examples/scenarios/.
+// scenario) and reports which mode(s) each file supports. gen emits a
+// seeded scenario from an operational model (churn, diurnal,
+// flash-crowd, byzantine) — same model+seed, byte-identical file. ops
+// is the admin console for a live fleet (docs/ops-api.md): one-shot or
+// interactive, driving the same /ops endpoints scenario events and
+// curl use. The bundled scenario library lives in examples/scenarios/.
 package main
 
 import (
@@ -62,6 +68,14 @@ commands:
             -seed/-speedup/-wall-limit as for run)
   validate  parse and validate scenario files without running them, and
             report which mode(s) each supports
+  gen       emit a seeded scenario file from an operational model
+            flags: -model churn|diurnal|flash-crowd|byzantine, -seed N,
+                   -clients N, -behavior B (byzantine), -o FILE (default
+                   stdout); same model+seed => byte-identical output
+  ops       drive a live fleet's /ops admin API (one-shot command, or an
+            interactive console when no command is given)
+            flags: -server URL or -url-file FILE (from 'run -url-file'),
+                   -timeout D; try 'ops -server URL help'
 `)
 }
 
@@ -77,6 +91,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdCompare(args[1:], stdout, stderr)
 	case "validate":
 		return cmdValidate(args[1:], stdout, stderr)
+	case "gen":
+		return cmdGen(args[1:], stdout, stderr)
+	case "ops":
+		return cmdOps(args[1:], stdout, stderr)
 	case "help", "-h", "--help":
 		usage(stdout)
 		return 0
@@ -154,6 +172,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	trace := fs.Bool("trace", false, "print the event trace while running")
 	modeFlag := fs.String("mode", "sim", "execution engine: sim (virtual time) or real (live fleet)")
 	metricsPath := fs.String("metrics", "", "write each run's metric snapshot to this file as JSON")
+	urlFile := fs.String("url-file", "", "real mode: write the live server's base URL to this file as soon as the fleet is up (lets 'ops -url-file' and curl attach)")
 	verbose := fs.Bool("v", false, "structured key=value logging to stderr (real-mode fleet and client daemons)")
 	rf := addRealFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -181,6 +200,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	if *verbose {
 		opts.Log = obs.NewLogger(stderr, obs.LevelDebug)
 	}
+	opts.ServerURLFile = *urlFile
 	exit := 0
 	// snapshots collects one {scenario, mode, metrics} object per run for
 	// -metrics; each run records into its own fresh registry so families

@@ -1,0 +1,290 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"vcdl/internal/ops"
+	"vcdl/internal/scenario"
+)
+
+// cmdGen emits a seeded scenario file: the same model and seed always
+// produce byte-identical output, so generated scenarios are as
+// reproducible as hand-written ones.
+func cmdGen(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	model := fs.String("model", "churn", "operational model: "+strings.Join(scenario.GenModels, ", "))
+	seed := fs.Int64("seed", 1, "generator seed (same model+seed = byte-identical file)")
+	clients := fs.Int("clients", 0, "initial fleet size (0 = model default)")
+	behavior := fs.String("behavior", "", "byzantine model: pin the behavior (default: seeded pick)")
+	out := fs.String("o", "", "write to this file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "vcdl-scenario gen: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+	data, err := scenario.Generate(scenario.GenSpec{
+		Model: *model, Seed: *seed, Clients: *clients, Behavior: *behavior,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "vcdl-scenario gen: %v\n", err)
+		return 2
+	}
+	if *out == "" {
+		stdout.Write(data)
+		return 0
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(stderr, "vcdl-scenario gen: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d bytes, model %s, seed %d)\n", *out, len(data), *model, *seed)
+	return 0
+}
+
+// cmdOps is the admin API's command-line face: one-shot
+// (`vcdl-scenario ops -server URL cordon <id>`) or interactive (no
+// command = a REPL reading the same verbs from stdin). Every verb maps
+// onto one /ops endpoint of the shared core — the same actions scenario
+// events inject and curl drives.
+func cmdOps(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ops", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	server := fs.String("server", "", "live server base URL (e.g. http://127.0.0.1:43210)")
+	urlFile := fs.String("url-file", "", "read the base URL from this file (as written by 'run -url-file')")
+	timeout := fs.Duration("timeout", 5*time.Second, "HTTP timeout per request")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	base := strings.TrimRight(*server, "/")
+	if base == "" && *urlFile != "" {
+		blob, err := os.ReadFile(*urlFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "vcdl-scenario ops: %v\n", err)
+			return 2
+		}
+		base = strings.TrimRight(strings.TrimSpace(string(blob)), "/")
+	}
+	if base == "" {
+		fmt.Fprintln(stderr, "vcdl-scenario ops: no server (want -server URL or -url-file FILE)")
+		return 2
+	}
+	cl := &opsClient{base: base, http: &http.Client{Timeout: *timeout}, stdout: stdout, stderr: stderr}
+	if fs.NArg() > 0 {
+		return cl.exec(fs.Args())
+	}
+	// Interactive: one ops verb per line against the live fleet.
+	fmt.Fprintf(stdout, "vcdl ops console — %s (type 'help' for commands, 'quit' to leave)\n", base)
+	in := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Fprint(stdout, "ops> ")
+		if !in.Scan() {
+			fmt.Fprintln(stdout)
+			return 0
+		}
+		fields := strings.Fields(in.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] == "quit" || fields[0] == "exit" {
+			return 0
+		}
+		cl.exec(fields) // errors are printed; the console keeps going
+	}
+}
+
+// opsClient drives the /ops admin API over HTTP.
+type opsClient struct {
+	base   string
+	http   *http.Client
+	stdout io.Writer
+	stderr io.Writer
+}
+
+const opsHelp = `commands:
+  health                          GET /healthz
+  clients                         list clients (table; 'clients -json' for raw)
+  snapshot                        whole-deployment JSON dump
+  cordon <id> | uncordon <id>     quarantine / release a client
+  drain <id> | kill <id>          graceful / abrupt departure
+  rejoin <id>                     revive a departed client
+  slow <id> <factor>              straggler injection (factor 1 restores)
+  byzantine <id> <behavior|off>   adversarial toggle
+  join [type] [region]            add a client (default clientB)
+  policy <name> [args...]         hot-swap the scheduling policy
+  ps <n>                          resize the parameter-server pool
+  tune key=value ...              timeout=<s> floor=<0..1> preempt=<0..1>
+`
+
+// exec runs one ops verb and returns its exit status (0 ok, 1 the
+// server refused, 2 usage).
+func (c *opsClient) exec(fields []string) int {
+	verb, args := fields[0], fields[1:]
+	usage := func(u string) int {
+		fmt.Fprintf(c.stderr, "usage: %s\n", u)
+		return 2
+	}
+	switch verb {
+	case "help":
+		fmt.Fprint(c.stdout, opsHelp)
+		return 0
+	case "health":
+		return c.get("/healthz")
+	case "clients":
+		if len(args) == 1 && args[0] == "-json" {
+			return c.get("/ops/clients")
+		}
+		return c.clientsTable()
+	case "snapshot":
+		return c.get("/ops/snapshot")
+	case "cordon", "uncordon", "drain", "kill", "rejoin":
+		if len(args) != 1 {
+			return usage(verb + " <client-id>")
+		}
+		return c.post("/ops/clients/"+url.PathEscape(args[0])+"/"+verb, nil)
+	case "slow":
+		if len(args) != 2 {
+			return usage("slow <client-id> <factor>")
+		}
+		return c.post("/ops/clients/"+url.PathEscape(args[0])+"/slow", url.Values{"factor": {args[1]}})
+	case "byzantine":
+		if len(args) != 2 {
+			return usage("byzantine <client-id> <behavior|off>")
+		}
+		return c.post("/ops/clients/"+url.PathEscape(args[0])+"/byzantine", url.Values{"behavior": {args[1]}})
+	case "join":
+		v := url.Values{}
+		switch len(args) {
+		case 0:
+		case 2:
+			v.Set("region", args[1])
+			fallthrough
+		case 1:
+			v.Set("inst", args[0])
+		default:
+			return usage("join [type] [region]")
+		}
+		return c.post("/ops/join", v)
+	case "policy":
+		if len(args) < 1 {
+			return usage("policy <name> [args...]")
+		}
+		v := url.Values{"name": {args[0]}}
+		for _, a := range args[1:] {
+			v.Add("arg", a)
+		}
+		return c.post("/ops/policy", v)
+	case "ps":
+		if len(args) != 1 {
+			return usage("ps <n>")
+		}
+		return c.post("/ops/ps", url.Values{"n": {args[0]}})
+	case "tune":
+		if len(args) == 0 {
+			return usage("tune key=value ... (timeout, floor, preempt)")
+		}
+		v := url.Values{}
+		for _, a := range args {
+			k, val, ok := strings.Cut(a, "=")
+			if !ok {
+				return usage("tune key=value ... (timeout, floor, preempt)")
+			}
+			v.Set(k, val)
+		}
+		return c.post("/ops/tune", v)
+	default:
+		fmt.Fprintf(c.stderr, "vcdl-scenario ops: unknown command %q (try 'help')\n", verb)
+		return 2
+	}
+}
+
+// clientsTable renders GET /ops/clients as a fixed-width console table.
+func (c *opsClient) clientsTable() int {
+	resp, err := c.http.Get(c.base + "/ops/clients")
+	if err != nil {
+		fmt.Fprintf(c.stderr, "vcdl-scenario ops: %v\n", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return c.report(resp)
+	}
+	var clients []ops.ClientStatus
+	if err := json.NewDecoder(resp.Body).Decode(&clients); err != nil {
+		fmt.Fprintf(c.stderr, "vcdl-scenario ops: bad /ops/clients payload: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(c.stdout, "%-28s %-14s %-10s %-6s %-9s %-13s %5s %6s %5s\n",
+		"ID", "INSTANCE", "REGION", "STATE", "CORDONED", "BYZANTINE", "SLOW", "RELIAB", "BUSY")
+	for _, cs := range clients {
+		state := "active"
+		switch {
+		case cs.Detached:
+			state = "drain"
+		case !cs.Active:
+			state = "gone"
+		}
+		byz := cs.Byzantine
+		if byz == "" {
+			byz = "-"
+		}
+		fmt.Fprintf(c.stdout, "%-28s %-14s %-10s %-6s %-9v %-13s %5.1f %6.2f %5d\n",
+			cs.ID, cs.Instance, cs.Region, state, cs.Cordoned, byz, cs.SlowFactor, cs.Reliability, cs.InFlight)
+	}
+	fmt.Fprintf(c.stdout, "%d clients\n", len(clients))
+	return 0
+}
+
+func (c *opsClient) get(path string) int {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		fmt.Fprintf(c.stderr, "vcdl-scenario ops: %v\n", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	return c.report(resp)
+}
+
+func (c *opsClient) post(path string, v url.Values) int {
+	u := c.base + path
+	if len(v) > 0 {
+		u += "?" + v.Encode()
+	}
+	resp, err := c.http.Post(u, "application/x-www-form-urlencoded", nil)
+	if err != nil {
+		fmt.Fprintf(c.stderr, "vcdl-scenario ops: %v\n", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	return c.report(resp)
+}
+
+// report copies the server's JSON reply through, to stdout on success
+// and stderr (with the status line) on refusal.
+func (c *opsClient) report(resp *http.Response) int {
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		io.Copy(c.stdout, resp.Body)
+		return 0
+	}
+	fmt.Fprintf(c.stderr, "vcdl-scenario ops: %s: ", resp.Status)
+	io.Copy(c.stderr, resp.Body)
+	return 1
+}

@@ -179,8 +179,13 @@ func serve(opts serveOptions, out io.Writer) (core.RunResult, error) {
 		return core.RunResult{}, fmt.Errorf("create job: %w", err)
 	}
 	defer srv.Close()
+	// The standalone admin plane: /healthz for liveness and /ops for the
+	// scheduler-scoped actions (cordon, drain, tune, ps, policy, list).
+	srv.EnableOps()
 	fmt.Fprintf(out, "vcdl-server listening on %s (%d subtasks/epoch, %d epochs, %d parameter servers, %s store)\n",
 		srv.URL(), opts.subtasks, opts.epochs, opts.pservers, st.Name())
+	fmt.Fprintf(out, "admin plane: %s/healthz (liveness), %s/ops/clients (docs/ops-api.md; vcdl-scenario ops -server %s)\n",
+		srv.URL(), srv.URL(), srv.URL())
 	if opts.blobs {
 		fmt.Fprintf(out, "data plane: inputs published at %s/blob/{digest} (resumable, digest-verified)\n", srv.URL())
 	}

@@ -1,0 +1,159 @@
+package boinc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestByzantineOutputTransforms pins the client-side halves of the
+// adversarial behaviors: wrong-result mangles genuine output so the
+// encoding cannot survive, spoof fabricates bytes without running the
+// app (distinct per result, so two spoofers cannot accidentally agree
+// into a quorum).
+func TestByzantineOutputTransforms(t *testing.T) {
+	genuine := []byte("a perfectly good parameter delta encoding")
+	corrupted := corruptOutput(genuine)
+	if bytes.Equal(corrupted, genuine) {
+		t.Fatal("corruptOutput returned the genuine bytes")
+	}
+	if len(corrupted) >= len(genuine) {
+		t.Fatalf("corruptOutput must truncate: %d -> %d bytes", len(genuine), len(corrupted))
+	}
+	if out := corruptOutput([]byte{1}); len(out) == 0 {
+		t.Fatal("corruptOutput of a tiny payload must still upload something")
+	}
+	s1 := spoofOutput(Assignment{ResultID: 1})
+	s2 := spoofOutput(Assignment{ResultID: 2})
+	if bytes.Equal(s1, s2) {
+		t.Fatal("spoofed outputs for different results must differ")
+	}
+	if !strings.Contains(string(s1), "spoof") {
+		t.Fatalf("spoofed output should be self-describing, got %q", s1)
+	}
+}
+
+// TestByzantineSchedulerReaction is the table over the three behaviors:
+// each one's server-visible consequence must trip invalid-result (or
+// timeout) detection, downgrade the offender's reliability, and reissue
+// the workunit so an honest client can still complete it.
+func TestByzantineSchedulerReaction(t *testing.T) {
+	cases := []struct {
+		behavior string
+		// deliver plays the server-side consequence of the behavior for
+		// one in-flight result: wrong-result and spoof arrive and fail
+		// validation; deadline-game never arrives and expires.
+		deliver      func(t *testing.T, s *Scheduler, resultID int64)
+		wantInvalid  int
+		wantTimeouts int
+	}{
+		{
+			behavior: ByzantineWrongResult,
+			deliver: func(t *testing.T, s *Scheduler, id int64) {
+				if _, done, err := s.CompleteResult(id, false, 10); err != nil || done {
+					t.Fatalf("CompleteResult(invalid) = done %v, err %v", done, err)
+				}
+			},
+			wantInvalid: 1,
+		},
+		{
+			behavior: ByzantineSpoof,
+			deliver: func(t *testing.T, s *Scheduler, id int64) {
+				if _, done, err := s.CompleteResult(id, false, 10); err != nil || done {
+					t.Fatalf("CompleteResult(invalid) = done %v, err %v", done, err)
+				}
+			},
+			wantInvalid: 1,
+		},
+		{
+			behavior: ByzantineDeadlineGame,
+			deliver: func(t *testing.T, s *Scheduler, id int64) {
+				expired := s.ExpireTimeouts(500) // past the 100 s deadline
+				if len(expired) != 1 || expired[0] != id {
+					t.Fatalf("ExpireTimeouts = %v, want [%d]", expired, id)
+				}
+			},
+			wantTimeouts: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.behavior, func(t *testing.T) {
+			cfg := DefaultSchedulerConfig()
+			cfg.DefaultTimeout = 100
+			cfg.ReliabilityFloor = 0 // reissues may go to anyone here
+			s := NewScheduler(cfg)
+			s.AddWorkunit(Workunit{Name: "wu"})
+
+			asns := s.RequestWork("byz", 0, 1)
+			if len(asns) != 1 {
+				t.Fatalf("byzantine client got %d assignments, want 1", len(asns))
+			}
+			before := s.Reliability("byz")
+			tc.deliver(t, s, asns[0].ResultID)
+
+			// Detection: the damage lands in the right counter.
+			if s.Invalid != tc.wantInvalid {
+				t.Errorf("Invalid = %d, want %d", s.Invalid, tc.wantInvalid)
+			}
+			if s.Timeouts != tc.wantTimeouts {
+				t.Errorf("Timeouts = %d, want %d", s.Timeouts, tc.wantTimeouts)
+			}
+			// Reliability downgrade: the offender pays either way.
+			if after := s.Reliability("byz"); after >= before {
+				t.Errorf("reliability %v -> %v, want a downgrade", before, after)
+			}
+			// Reissue: the workunit goes back in the queue (counted as both
+			// a reissue and a quorum replenishment)...
+			if s.Reissued != 1 || s.QuorumRetries != 1 {
+				t.Errorf("Reissued = %d, QuorumRetries = %d, want 1 and 1", s.Reissued, s.QuorumRetries)
+			}
+			// ...and an honest client completes it.
+			honest := s.RequestWork("honest", 600, 1)
+			if len(honest) != 1 {
+				t.Fatal("reissued workunit never reached the honest client")
+			}
+			if _, done, err := s.CompleteResult(honest[0].ResultID, true, 610); err != nil || !done {
+				t.Fatalf("honest completion = done %v, err %v", done, err)
+			}
+			if !s.Done() {
+				t.Fatal("scheduler not done after honest completion")
+			}
+		})
+	}
+}
+
+// TestByzantineQuorumOutvotesOffender pins the paper's defense in one
+// frame: with 2x replication, one wrong-result client cannot complete a
+// workunit — the honest copies reach the quorum while each rejection
+// replenishes the pool.
+func TestByzantineQuorumOutvotesOffender(t *testing.T) {
+	cfg := DefaultSchedulerConfig()
+	cfg.DefaultTimeout = 100
+	cfg.ReliabilityFloor = 0
+	s := NewScheduler(cfg)
+	s.AddWorkunit(Workunit{Name: "wu", Quorum: 2})
+
+	byz := s.RequestWork("byz", 0, 1)
+	h1 := s.RequestWork("h1", 0, 1)
+	if len(byz) != 1 || len(h1) != 1 {
+		t.Fatalf("replicas not spread: byz %d, h1 %d", len(byz), len(h1))
+	}
+	s.CompleteResult(byz[0].ResultID, false, 5) // validator rejects
+	s.CompleteResult(h1[0].ResultID, true, 6)
+	// The rejection replenished the pool: a second honest client closes
+	// the quorum.
+	h2 := s.RequestWork("h2", 7, 1)
+	if len(h2) != 1 {
+		t.Fatal("replenished copy never issued")
+	}
+	_, done, err := s.CompleteResult(h2[0].ResultID, true, 8)
+	if err != nil || !done {
+		t.Fatalf("quorum not met: done %v, err %v", done, err)
+	}
+	if s.Invalid != 1 {
+		t.Fatalf("Invalid = %d, want 1", s.Invalid)
+	}
+	if rb, rh := s.Reliability("byz"), s.Reliability("h1"); rb >= rh {
+		t.Fatalf("byzantine reliability %v should be below honest %v", rb, rh)
+	}
+}

@@ -395,12 +395,31 @@ func (c *Client) upload(ctx context.Context, resultID int64, output []byte, appE
 	return lastErr
 }
 
+// spoofOutput fabricates a result for a spoofing client: bytes that look
+// like an upload but cannot decode to a valid parameter vector, so the
+// server-side validator rejects them.
+func spoofOutput(asn Assignment) []byte {
+	return []byte(fmt.Sprintf("spoofed-result-%d", asn.ResultID))
+}
+
+// corruptOutput mangles a genuine output so validation fails (the
+// wrong-result behavior): truncation breaks the parameter encoding.
+func corruptOutput(output []byte) []byte {
+	if len(output) < 2 {
+		return []byte{0xff}
+	}
+	return output[:len(output)/2]
+}
+
 // runOne downloads inputs, runs the app and uploads the outcome,
 // honouring the server-pushed shaping: a preemption coin that drops the
 // assignment without uploading (the instance was reclaimed; the slot is
 // held until a replacement arrives and starts with a cold cache), and
 // execution pacing that stretches the subtask to the control's minimum
-// wall time times the straggler factor.
+// wall time times the straggler factor. A Byzantine control turns the
+// client adversarial: spoofers upload fabricated bytes without running
+// the app, wrong-result clients corrupt genuine output before upload,
+// and deadline gamers finish the work but never return it.
 func (c *Client) runOne(ctx context.Context, asn Assignment) {
 	ctl := c.Control()
 	if ctl.PreemptProb > 0 && c.coin(ctl.PreemptProb) {
@@ -410,6 +429,25 @@ func (c *Client) runOne(ctx context.Context, asn Assignment) {
 		c.cache = make(map[string][]byte)
 		c.mu.Unlock()
 		sleepCtx(ctx, time.Duration(ctl.PreemptHoldSeconds*float64(time.Second)))
+		return
+	}
+	if ctl.Byzantine == ByzantineSpoof {
+		// Claim credit without doing the work: no downloads, no app run,
+		// just fabricated bytes uploaded immediately.
+		c.Log.Debug("byzantine spoof: uploading fabricated result", "client", c.ID, "result", asn.ResultID)
+		c.rttSleep(ctx)
+		if ctx.Err() != nil {
+			return
+		}
+		if err := c.upload(ctx, asn.ResultID, spoofOutput(asn), nil); err != nil {
+			c.mu.Lock()
+			c.Failed++
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		c.Completed++
+		c.mu.Unlock()
 		return
 	}
 	start := time.Now()
@@ -437,6 +475,11 @@ func (c *Client) runOne(ctx context.Context, asn Assignment) {
 			output, appErr = app.Run(asn, inputs)
 		}
 	}
+	if appErr == nil && ctl.Byzantine == ByzantineWrongResult {
+		// Genuine work, corrupted on the way out: the server-side
+		// validator rejects the mangled encoding.
+		output = corruptOutput(output)
+	}
 	if min := ctl.MinTaskSeconds * ctl.slow(); min > 0 {
 		if pad := time.Duration(min*float64(time.Second)) - time.Since(start); pad > 0 {
 			sleepCtx(ctx, pad)
@@ -444,6 +487,12 @@ func (c *Client) runOne(ctx context.Context, asn Assignment) {
 	}
 	if ctx.Err() != nil {
 		return // killed mid-task: the result is simply never uploaded
+	}
+	if ctl.Byzantine == ByzantineDeadlineGame {
+		// Hoard the assignment: the result is never uploaded, so the
+		// scheduler must expire it at its deadline and reissue.
+		c.Log.Debug("byzantine deadline-game: withholding finished result", "client", c.ID, "result", asn.ResultID)
+		return
 	}
 	c.rttSleep(ctx)
 	// A finished result is too expensive to strand on a transfer hiccup:

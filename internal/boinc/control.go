@@ -33,6 +33,42 @@ type ClientControl struct {
 	// exit its polling loop (graceful departure; Loop returns
 	// ErrDetached).
 	Detach bool `json:"detach,omitempty"`
+	// Byzantine turns the client adversarial (one of the Byzantine*
+	// behavior names; "" = honest). Real-mode scenario runs and the ops
+	// control plane use it to drive the quorum/validation machinery from
+	// the client side of the wire, mirroring the simulator's in-engine
+	// hooks.
+	Byzantine string `json:"byzantine,omitempty"`
+}
+
+// Byzantine client behaviors. They model the volunteer-computing threat
+// classes BOINC's redundancy machinery exists for: results that fail
+// validation, fabricated results from clients that never ran the app,
+// and hosts that hoard assignments past their deadlines.
+const (
+	// ByzantineWrongResult runs the app but corrupts the output before
+	// uploading, so the server-side validator rejects it (invalid result,
+	// reissue, reliability downgrade).
+	ByzantineWrongResult = "wrong-result"
+	// ByzantineSpoof never runs the app: it uploads fabricated output
+	// immediately, claiming credit for work it did not do.
+	ByzantineSpoof = "spoof"
+	// ByzantineDeadlineGame accepts work and never returns it, forcing
+	// the scheduler to expire the result at its deadline and reissue.
+	ByzantineDeadlineGame = "deadline-game"
+)
+
+// ByzantineBehaviors lists the recognized adversarial behaviors.
+var ByzantineBehaviors = []string{ByzantineWrongResult, ByzantineSpoof, ByzantineDeadlineGame}
+
+// ValidByzantine reports whether s names a known Byzantine behavior.
+func ValidByzantine(s string) bool {
+	for _, b := range ByzantineBehaviors {
+		if s == b {
+			return true
+		}
+	}
+	return false
 }
 
 // slow returns the effective slowdown factor (unset means nominal).

@@ -48,6 +48,10 @@ type clientState struct {
 	// clients no longer count as reliable-and-available, so retried
 	// workunits are not reserved for hosts that will never ask again.
 	gone bool
+	// cordoned stops new assignments to the client without touching its
+	// in-flight work (the ops plane's reversible quarantine: the host
+	// stays attached and keeps uploading, it just gets nothing new).
+	cordoned bool
 }
 
 // Assignment is work handed to a client.
@@ -106,8 +110,13 @@ type Scheduler struct {
 	// reporting is O(1) instead of a scan over every result ever issued.
 	inflight int
 
-	// Counters for reports and tests.
+	// Counters for reports and tests. Invalid counts results rejected by
+	// validation (or reported failed by the client); QuorumRetries counts
+	// copies re-enqueued because an earlier result failed, timed out, or
+	// a replica had to be replaced to still reach quorum — together the
+	// scheduler-side cost of adversarial and flaky hosts.
 	Issued, Reissued, Timeouts, Failures, Completions int
+	Invalid, QuorumRetries                            int
 	// assignMix counts assignments grouped by the policy that made them,
 	// so runs with mid-flight policy swaps can report which policy issued
 	// what share of the work (the fidelity report's assignment mix).
@@ -365,7 +374,7 @@ func (s *Scheduler) RequestWork(clientID string, now float64, max int) []Assignm
 	// left (DropClient) and rejoined counts as reliable-and-available
 	// again for retry gating.
 	c.gone = false
-	if max <= 0 {
+	if c.cordoned || max <= 0 {
 		return nil
 	}
 	s.lastNow = now
@@ -482,6 +491,49 @@ func (s *Scheduler) DropClient(clientID string) {
 	s.client(clientID).gone = true
 }
 
+// SetCordoned quarantines (or releases) a client: a cordoned client's
+// RequestWork calls return nothing, while its in-flight results complete
+// or expire normally. Cordoning a client the scheduler has not seen yet
+// registers it, so the quarantine holds from its first contact.
+func (s *Scheduler) SetCordoned(clientID string, on bool) {
+	s.client(clientID).cordoned = on
+}
+
+// Cordoned reports whether a client is quarantined. Pure query.
+func (s *Scheduler) Cordoned(clientID string) bool {
+	c := s.peek(clientID)
+	return c != nil && c.cordoned
+}
+
+// ClientSummary is the scheduler's externally visible view of one
+// client, for the ops plane's listing and readiness endpoints.
+type ClientSummary struct {
+	ID          string  `json:"id"`
+	Reliability float64 `json:"reliability"`
+	InFlight    int     `json:"in_flight"`
+	CachedFiles int     `json:"cached_files"`
+	Gone        bool    `json:"gone,omitempty"`
+	Cordoned    bool    `json:"cordoned,omitempty"`
+}
+
+// ClientSummaries returns every client the scheduler has seen, sorted by
+// ID. Pure query: it copies state and registers nothing.
+func (s *Scheduler) ClientSummaries() []ClientSummary {
+	out := make([]ClientSummary, 0, len(s.clients))
+	for _, c := range s.clients {
+		out = append(out, ClientSummary{
+			ID:          c.id,
+			Reliability: c.reliability,
+			InFlight:    c.inFlight,
+			CachedFiles: len(c.cached),
+			Gone:        c.gone,
+			Cordoned:    c.cordoned,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // hasReliableClient reports whether any known, still-present client
 // meets the floor.
 func (s *Scheduler) hasReliableClient() bool {
@@ -528,6 +580,7 @@ func (s *Scheduler) CompleteResult(resultID int64, valid bool, now float64) (*Wo
 			if wu.valid+wu.active+s.queuedCopies(wu.ID) < wu.Quorum {
 				wu.queuedAt = now
 				s.enqueue(wu.ID)
+				s.QuorumRetries++
 			}
 			s.observe(SchedEvent{Kind: EvValid, T: now, WUID: wu.ID, ResultID: res.ID, Client: res.ClientID, Wait: turnaround})
 			return wu, false, nil
@@ -553,6 +606,7 @@ func (s *Scheduler) CompleteResult(resultID int64, valid bool, now float64) (*Wo
 	}
 	res.Status = ResError
 	c.reliability = 0.9 * c.reliability
+	s.Invalid++
 	s.observe(SchedEvent{Kind: EvInvalid, T: now, WUID: wu.ID, ResultID: res.ID, Client: res.ClientID, Wait: turnaround})
 	s.noteFailure(wu)
 	return wu, false, nil
@@ -574,6 +628,7 @@ func (s *Scheduler) noteFailure(wu *Workunit) {
 	wu.queuedAt = s.lastNow
 	s.enqueue(wu.ID)
 	s.Reissued++
+	s.QuorumRetries++
 	s.observe(SchedEvent{Kind: EvReissued, T: s.lastNow, WUID: wu.ID})
 }
 

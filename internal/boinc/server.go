@@ -98,11 +98,20 @@ func routeLabel(path string) string {
 		p = p[:i]
 	}
 	switch p {
-	case "scheduler", "download", "upload", "status", "metrics", "debug", "blob":
+	case "scheduler", "download", "upload", "status", "metrics", "debug", "blob", "ops", "healthz":
 		return p
 	default:
 		return "other"
 	}
+}
+
+// Handle mounts an auxiliary handler on the server mux (the ops admin
+// API, the /healthz readiness probe). The pattern uses the mux's
+// method/path syntax; with metrics enabled the request is timed under
+// its routeLabel like every built-in endpoint. Call before serving
+// traffic.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
 }
 
 // EnableMetrics attaches a registry to the server: every scheduler
@@ -357,28 +366,32 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 
 // StatusReply summarizes server progress for monitoring.
 type StatusReply struct {
-	Issued      int  `json:"issued"`
-	Reissued    int  `json:"reissued"`
-	Timeouts    int  `json:"timeouts"`
-	Failures    int  `json:"failures"`
-	Completions int  `json:"completions"`
-	Pending     int  `json:"pending"`
-	InFlight    int  `json:"in_flight"`
-	Done        bool `json:"done"`
+	Issued        int  `json:"issued"`
+	Reissued      int  `json:"reissued"`
+	Timeouts      int  `json:"timeouts"`
+	Failures      int  `json:"failures"`
+	Completions   int  `json:"completions"`
+	Invalid       int  `json:"invalid"`
+	QuorumRetries int  `json:"quorum_retries"`
+	Pending       int  `json:"pending"`
+	InFlight      int  `json:"in_flight"`
+	Done          bool `json:"done"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.sched.ExpireTimeouts(s.now())
 	reply := StatusReply{
-		Issued:      s.sched.Issued,
-		Reissued:    s.sched.Reissued,
-		Timeouts:    s.sched.Timeouts,
-		Failures:    s.sched.Failures,
-		Completions: s.sched.Completions,
-		Pending:     s.sched.PendingCount(),
-		InFlight:    s.sched.InFlight(),
-		Done:        s.sched.Done(),
+		Issued:        s.sched.Issued,
+		Reissued:      s.sched.Reissued,
+		Timeouts:      s.sched.Timeouts,
+		Failures:      s.sched.Failures,
+		Completions:   s.sched.Completions,
+		Invalid:       s.sched.Invalid,
+		QuorumRetries: s.sched.QuorumRetries,
+		Pending:       s.sched.PendingCount(),
+		InFlight:      s.sched.InFlight(),
+		Done:          s.sched.Done(),
 	}
 	s.mu.Unlock()
 	writeJSON(w, reply)

@@ -15,6 +15,7 @@ package cloud
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 )
 
 // InstanceType describes one computing-instance configuration.
@@ -98,6 +99,27 @@ func DefaultFleet(n int) []InstanceType {
 		fleet[i] = types[i%len(types)]
 	}
 	return fleet
+}
+
+// InstanceByName resolves an instance type from its Table I name or the
+// clientA..clientD aliases (case-insensitive for the aliases).
+func InstanceByName(name string) (InstanceType, bool) {
+	switch strings.ToLower(name) {
+	case "clienta":
+		return ClientA, true
+	case "clientb":
+		return ClientB, true
+	case "clientc":
+		return ClientC, true
+	case "clientd":
+		return ClientD, true
+	}
+	for _, it := range TableI() {
+		if it.Name == name {
+			return it, true
+		}
+	}
+	return InstanceType{}, false
 }
 
 // FleetCost sums the hourly price of a fleet (preemptible or standard).

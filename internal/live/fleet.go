@@ -13,6 +13,7 @@ import (
 	"vcdl/internal/cloud"
 	"vcdl/internal/metrics"
 	"vcdl/internal/obs"
+	"vcdl/internal/ops"
 	"vcdl/internal/vcsim"
 )
 
@@ -77,6 +78,12 @@ type FleetConfig struct {
 	// Checkpoint persists epoch checkpoints through the PS group's store
 	// so failover (SetPServers shrink) restores instead of restarting.
 	Checkpoint bool
+	// Byzantine marks the first ByzantineClients members of the initial
+	// fleet adversarial with the named behavior (boinc.ByzantineBehaviors).
+	// The behavior travels to the daemons through ClientControl, so it
+	// works for -procs clients too; SetByzantine toggles it mid-run.
+	Byzantine        string
+	ByzantineClients int
 	// Spawn launches clients (nil = in-process goroutines).
 	Spawn SpawnFunc
 	// Metrics instruments the server half (shorthand for
@@ -94,13 +101,14 @@ type FleetConfig struct {
 
 // member is one tracked client daemon.
 type member struct {
-	id       string
-	inst     cloud.PlacedInstance
-	cancel   context.CancelFunc
-	done     <-chan error
-	slow     float64
-	departed bool
-	detached bool
+	id        string
+	inst      cloud.PlacedInstance
+	cancel    context.CancelFunc
+	done      <-chan error
+	slow      float64
+	departed  bool
+	detached  bool
+	byzantine string
 	// cacheDir is the member's blob cache directory. It is keyed by the
 	// member ID and deliberately outlives departure, so a rejoining
 	// volunteer comes back with a warm digest cache.
@@ -132,6 +140,11 @@ type Fleet struct {
 	// blobRoot holds the per-member blob cache directories when the data
 	// plane is on; removed on Close.
 	blobRoot string
+
+	// opsCore is the shared ops control plane over this fleet: the /ops
+	// admin API mounted on the server mux, the CLI and scenario events all
+	// drive it, and it counts every action in vcdl_ops_actions_total.
+	opsCore *ops.Core
 }
 
 // StartFleet boots the server and the initial client fleet. The fleet
@@ -164,6 +177,9 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 	}
 	if cfg.Spawn == nil {
 		cfg.Spawn = goroutineSpawn
+	}
+	if cfg.ByzantineClients > 0 && !boinc.ValidByzantine(cfg.Byzantine) {
+		return nil, fmt.Errorf("live: unknown byzantine behavior %q (want one of %v)", cfg.Byzantine, boinc.ByzantineBehaviors)
 	}
 	if cfg.Server.PServers < 1 {
 		cfg.Server.PServers = 1
@@ -223,14 +239,27 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	for _, pi := range cfg.Fleet {
-		if _, err := f.addClientLocked(pi); err != nil {
+	for i, pi := range cfg.Fleet {
+		m, err := f.addClientLocked(pi)
+		if err != nil {
 			f.closeLocked()
 			return nil, err
 		}
+		if i < cfg.ByzantineClients {
+			m.byzantine = cfg.Byzantine
+			f.pushControlLocked(m)
+		}
 	}
+	// One shared ops core over this fleet, mounted on the live server mux
+	// so `curl $URL/ops/...` works against any running deployment. The
+	// core counts into the same registry the server scrapes at /metrics.
+	f.opsCore = ops.NewCore(f, cfg.Server.Metrics)
+	srv.D.Server().Handle("/ops/", f.opsCore.Handler())
 	return f, nil
 }
+
+// Ops returns the fleet's shared ops control-plane core.
+func (f *Fleet) Ops() *ops.Core { return f.opsCore }
 
 // URL returns the project server's base URL.
 func (f *Fleet) URL() string { return f.srv.URL() }
@@ -266,6 +295,7 @@ func (f *Fleet) controlLocked(m *member) boinc.ClientControl {
 		PreemptHoldSeconds: (f.timeoutVirtual + 1) * f.scale,
 		RTTSeconds:         rtt * f.scale,
 		Detach:             m.detached,
+		Byzantine:          m.byzantine,
 	}
 }
 
@@ -610,6 +640,95 @@ func (f *Fleet) PolicyName() string {
 	return name
 }
 
+// Cordon quarantines (on=true) or releases (on=false) an active client:
+// the scheduler answers its work requests with nothing while in-flight
+// results complete or expire normally.
+func (f *Fleet) Cordon(id string, on bool) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, m := range f.members {
+		if m.id == id && !m.departed {
+			f.srv.D.Server().Scheduler(func(s *boinc.Scheduler) { s.SetCordoned(id, on) })
+			f.cfg.Log.Info("client cordon", "client", id, "on", on)
+			return true
+		}
+	}
+	return false
+}
+
+// SetByzantine switches an active client's adversarial behavior mid-run
+// ("" or "off" restores honesty). The change reaches the daemon through
+// ClientControl in its next scheduler reply.
+func (f *Fleet) SetByzantine(id, behavior string) bool {
+	if behavior == "off" {
+		behavior = ""
+	}
+	if behavior != "" && !boinc.ValidByzantine(behavior) {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, m := range f.members {
+		if m.id == id && !m.departed {
+			m.byzantine = behavior
+			f.pushControlLocked(m)
+			f.cfg.Log.Info("client byzantine", "client", id, "behavior", behavior)
+			return true
+		}
+	}
+	return false
+}
+
+// KnownClient reports whether a client id ever existed in this fleet,
+// departed or not.
+func (f *Fleet) KnownClient(id string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, m := range f.members {
+		if m.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// ClientStatus assembles the rich per-client view the ops admin API
+// serves: fleet-side shaping joined with the scheduler's live state.
+func (f *Fleet) ClientStatus() []ops.ClientStatus {
+	var sums []boinc.ClientSummary
+	f.srv.D.Server().Scheduler(func(s *boinc.Scheduler) { sums = s.ClientSummaries() })
+	byID := make(map[string]boinc.ClientSummary, len(sums))
+	for _, s := range sums {
+		byID[s.ID] = s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]ops.ClientStatus, 0, len(f.members))
+	for _, m := range f.members {
+		sum, seen := byID[m.id]
+		cs := ops.ClientStatus{
+			ID:          m.id,
+			Instance:    m.inst.Name,
+			Region:      string(m.inst.Region),
+			Active:      !m.departed,
+			Detached:    m.detached,
+			Byzantine:   m.byzantine,
+			SlowFactor:  m.slow,
+			Slots:       f.cfg.TasksPerClient,
+			PaceSeconds: f.controlLocked(m).MinTaskSeconds,
+			Reliability: 1,
+		}
+		if seen {
+			cs.Cordoned = sum.Cordoned
+			cs.Reliability = sum.Reliability
+			cs.InFlight = sum.InFlight
+			cs.CachedFiles = sum.CachedFiles
+		}
+		out = append(out, cs)
+	}
+	return out
+}
+
 // Wait blocks until training completes (or ctx expires — the caller's
 // wall-clock budget) and assembles the run outcome in the simulator's
 // Result shape, with all times mapped back into virtual hours so
@@ -656,6 +775,8 @@ func (f *Fleet) Wait(ctx context.Context) (*vcsim.Result, error) {
 		res.Issued = s.Issued
 		res.Reissued = s.Reissued
 		res.Timeouts = s.Timeouts
+		res.InvalidResults = s.Invalid
+		res.QuorumRetries = s.QuorumRetries
 		res.AssignMix = s.AssignmentMix()
 	})
 	res.BytesDownloaded, res.BytesUploaded = srv.Traffic()

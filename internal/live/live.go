@@ -109,6 +109,21 @@ func StartServer(addr string, cfg ServerConfig) (*Server, error) {
 	if cfg.Trace != nil {
 		d.Server().Scheduler(func(s *boinc.Scheduler) { s.AddSink(boinc.TraceSink(cfg.Trace)) })
 	}
+	// Liveness first, diagnosis second: /healthz answers as soon as the
+	// listener is up, so CI and orchestrators poll it instead of sleeping.
+	d.Server().Handle("GET /healthz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var clients int
+		d.Server().Scheduler(func(sc *boinc.Scheduler) { clients = len(sc.ClientSummaries()) })
+		done := false
+		select {
+		case <-d.Done():
+			done = true
+		default:
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"ok\":true,\"pservers\":%d,\"clients\":%d,\"done\":%v}\n",
+			d.PServers(), clients, done)
+	}))
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("live: listen %s: %w", addr, err)

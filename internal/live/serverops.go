@@ -1,0 +1,181 @@
+package live
+
+import (
+	"sort"
+
+	"vcdl/internal/boinc"
+	"vcdl/internal/core"
+	"vcdl/internal/ops"
+)
+
+// serverTarget adapts a standalone project server (vcdl-server's
+// deployment shape: volunteer daemons are other people's processes the
+// server can neither spawn nor revive) into an ops.Core target. It
+// exposes the scheduler-scoped capability subset — cordon, straggler
+// and byzantine shaping via ClientControl, graceful drain, PS resize,
+// policy swap, tuning, listing — and deliberately omits Churner and
+// Rejoiner: the ops core counts those verbs as failures instead of
+// pretending a server can conjure volunteers (a Fleet target can, and
+// mounts its richer core instead).
+type serverTarget struct {
+	d *core.Distributed
+}
+
+// summaries snapshots the scheduler's per-client view.
+func (t serverTarget) summaries() []boinc.ClientSummary {
+	var sums []boinc.ClientSummary
+	t.d.Server().Scheduler(func(s *boinc.Scheduler) { sums = s.ClientSummaries() })
+	return sums
+}
+
+// ActiveClients lists clients the scheduler has seen and not written off.
+func (t serverTarget) ActiveClients() []string {
+	var ids []string
+	for _, s := range t.summaries() {
+		if !s.Gone {
+			ids = append(ids, s.ID)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// KnownClient reports whether the scheduler has ever heard from id.
+func (t serverTarget) KnownClient(id string) bool {
+	for _, s := range t.summaries() {
+		if s.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (t serverTarget) Cordon(id string, on bool) bool {
+	if !t.KnownClient(id) {
+		return false
+	}
+	t.d.Server().Scheduler(func(s *boinc.Scheduler) { s.SetCordoned(id, on) })
+	return true
+}
+
+// control mutates a known client's shaping through the piggybacked
+// ClientControl channel (picked up on its next work request).
+func (t serverTarget) control(id string, mutate func(*boinc.ClientControl)) bool {
+	if !t.KnownClient(id) {
+		return false
+	}
+	ctl := t.d.Server().ClientControlFor(id)
+	mutate(&ctl)
+	t.d.Server().SetClientControl(id, ctl)
+	return true
+}
+
+func (t serverTarget) SlowClient(id string, factor float64) bool {
+	return t.control(id, func(ctl *boinc.ClientControl) { ctl.SlowFactor = factor })
+}
+
+func (t serverTarget) SlowClientAt(index int, factor float64) (string, bool) {
+	ids := t.ActiveClients()
+	if index < 0 || index >= len(ids) {
+		return "", false
+	}
+	return ids[index], t.SlowClient(ids[index], factor)
+}
+
+func (t serverTarget) SetByzantine(id, behavior string) bool {
+	if behavior == "off" {
+		behavior = ""
+	}
+	if behavior != "" && !boinc.ValidByzantine(behavior) {
+		return false
+	}
+	return t.control(id, func(ctl *boinc.ClientControl) { ctl.Byzantine = behavior })
+}
+
+func (t serverTarget) DetachClient(id string) bool {
+	return t.control(id, func(ctl *boinc.ClientControl) { ctl.Detach = true })
+}
+
+// DetachClients drains the last n clients in ID order (a standalone
+// server has no join order to prefer).
+func (t serverTarget) DetachClients(n int) []string {
+	ids := t.ActiveClients()
+	if n > len(ids) {
+		n = len(ids)
+	}
+	var gone []string
+	for _, id := range ids[len(ids)-n:] {
+		if t.DetachClient(id) {
+			gone = append(gone, id)
+		}
+	}
+	return gone
+}
+
+func (t serverTarget) PServers() int     { return t.d.PServers() }
+func (t serverTarget) SetPServers(n int) { t.d.SetPServers(n) }
+
+func (t serverTarget) SetPolicy(p boinc.Policy) {
+	t.d.Server().Scheduler(func(s *boinc.Scheduler) { s.SetPolicy(p) })
+}
+
+func (t serverTarget) PolicyName() string {
+	var name string
+	t.d.Server().Scheduler(func(s *boinc.Scheduler) { name = s.Policy().Name() })
+	return name
+}
+
+// SetTimeout hot-changes the result deadline. A standalone server has
+// no virtual clock, so the seconds are wall seconds as-is.
+func (t serverTarget) SetTimeout(seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	t.d.Server().Scheduler(func(s *boinc.Scheduler) {
+		s.SetDefaultTimeout(seconds)
+		s.RetimePending(seconds)
+	})
+}
+
+func (t serverTarget) SetReliabilityFloor(floor float64) {
+	t.d.Server().Scheduler(func(s *boinc.Scheduler) { s.SetReliabilityFloor(floor) })
+}
+
+// ClientStatus renders the scheduler's view plus the installed shaping.
+// Instance and region stay empty: volunteers are remote processes whose
+// hardware the server never learns.
+func (t serverTarget) ClientStatus() []ops.ClientStatus {
+	sums := t.summaries()
+	out := make([]ops.ClientStatus, 0, len(sums))
+	for _, s := range sums {
+		ctl := t.d.Server().ClientControlFor(s.ID)
+		slow := ctl.SlowFactor
+		if slow <= 0 {
+			slow = 1
+		}
+		out = append(out, ops.ClientStatus{
+			ID:          s.ID,
+			Active:      !s.Gone,
+			Detached:    ctl.Detach,
+			Cordoned:    s.Cordoned,
+			Byzantine:   ctl.Byzantine,
+			SlowFactor:  slow,
+			PaceSeconds: ctl.MinTaskSeconds,
+			Reliability: s.Reliability,
+			InFlight:    s.InFlight,
+			CachedFiles: s.CachedFiles,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// EnableOps mounts the /ops admin API with a server-scoped core and
+// returns it. vcdl-server calls this for its standalone deployment;
+// fleets skip it and mount their own fleet-scoped core on the same
+// path, so the two must not both register.
+func (s *Server) EnableOps() *ops.Core {
+	c := ops.NewCore(serverTarget{s.D}, s.Metrics())
+	s.D.Server().Handle("/ops/", c.Handler())
+	return c
+}

@@ -33,7 +33,11 @@ var knownMetrics = map[string]func(res *vcsim.Result, wallSec float64) float64{
 	"cost_standard_usd":    func(r *vcsim.Result, _ float64) float64 { return r.CostStandardUSD },
 	"cost_preemptible_usd": func(r *vcsim.Result, _ float64) float64 { return r.CostPreemptibleUSD },
 	"max_ps":               func(r *vcsim.Result, _ float64) float64 { return float64(r.MaxPSUsed) },
-	"wallclock_seconds":    func(_ *vcsim.Result, w float64) float64 { return w },
+	// Quorum/validation metrics (both modes): results the validator
+	// rejected, and replacement issues (reissues + quorum replenishment).
+	"invalid_results":   func(r *vcsim.Result, _ float64) float64 { return float64(r.InvalidResults) },
+	"quorum_retries":    func(r *vcsim.Result, _ float64) float64 { return float64(r.QuorumRetries) },
+	"wallclock_seconds": func(_ *vcsim.Result, w float64) float64 { return w },
 	// Data-plane and checkpoint metrics (real mode only; Modes marks
 	// scenarios asserting on them real-only).
 	"blob_mb":         func(r *vcsim.Result, _ float64) float64 { return float64(r.BlobBytes) / 1e6 },

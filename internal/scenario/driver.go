@@ -79,6 +79,38 @@ type BlobKiller interface {
 	SetBlobKill(n int64) bool
 }
 
+// Cordoner quarantines a client (the scheduler answers its work requests
+// with nothing) and releases it again. Both engines have it.
+type Cordoner interface {
+	Cordon(id string, on bool) bool
+}
+
+// Byzantiner switches a client's adversarial behavior mid-run
+// (boinc.ByzantineBehaviors; "" or "off" restores honesty). Both
+// engines have it: the simulator flips the client's behavior flag, the
+// real engine ships it to the daemon through ClientControl.
+type Byzantiner interface {
+	SetByzantine(id, behavior string) bool
+}
+
+// targeted is implemented by events that address one client by id. The
+// engines check the id against the run's full membership history before
+// applying: an event targeting an id that never existed fails the run
+// (a typo'd scenario should not pass silently), while an id that
+// existed but departed still applies normally and traces its outcome.
+type targeted interface {
+	TargetID() string
+}
+
+// targetOf returns the event's target client id, or "" when the event
+// is not id-addressed (counts, indexes, fleet-wide knobs).
+func targetOf(ev Event) string {
+	if t, ok := ev.(targeted); ok {
+		return t.TargetID()
+	}
+	return ""
+}
+
 // Modes reports which engines can execute the scenario, and for each
 // unsupported engine the constructs that rule it out.
 func (sc *Scenario) Modes() (modes []Mode, reasons map[Mode][]string) {

@@ -9,6 +9,7 @@ import (
 	"vcdl/internal/live"
 	"vcdl/internal/metrics"
 	"vcdl/internal/obs"
+	"vcdl/internal/ops"
 	"vcdl/internal/vcsim"
 )
 
@@ -71,6 +72,10 @@ type Options struct {
 	// Log receives structured fleet/client events in real mode (nil =
 	// silent). Ignored in sim mode, which has no daemons to narrate.
 	Log *obs.Logger
+	// ServerURLFile, when non-empty, receives the live server's base URL
+	// as soon as the fleet is up (real mode only). CI smoke tests poll
+	// the file, then curl /healthz and /ops against the running fleet.
+	ServerURLFile string
 }
 
 // RunScenario validates, compiles and runs a scenario to completion on
@@ -222,11 +227,26 @@ func runSim(sc *Scenario, opts Options) (*Report, error) {
 		sc.Name, lc.PServers, len(lc.ClientInstances), lc.TasksPerClient,
 		workload, lc.Seed, len(sc.Events), len(sc.Asserts)))
 
+	// Events flow through the shared ops core (DESIGN.md §12): the same
+	// delegation the /ops admin API and the CLI drive, so every scenario
+	// action lands in vcdl_ops_actions_total. The wrapping is passive —
+	// pure delegation plus counter increments — so golden traces are
+	// byte-identical with or without it.
+	ctrl := ops.NewCore(s, reg)
 	eng := s.Engine()
+	var evErr error
 	for _, ev := range sc.Events {
 		ev := ev
 		eng.ScheduleAt(ev.At(), func() {
-			rep.traceTo(opts.Progress, fmt.Sprintf("[%7.3fh] %s", eng.NowHours(), ev.Apply(s)))
+			if id := targetOf(ev); id != "" && !ctrl.KnownClient(id) {
+				msg := fmt.Sprintf("event %q targets client %q, which never existed in this run", ev.Desc(), id)
+				rep.traceTo(opts.Progress, fmt.Sprintf("[%7.3fh] ERROR: %s", eng.NowHours(), msg))
+				if evErr == nil {
+					evErr = fmt.Errorf("scenario %s: %s", sc.Name, msg)
+				}
+				return
+			}
+			rep.traceTo(opts.Progress, fmt.Sprintf("[%7.3fh] %s", eng.NowHours(), ev.Apply(ctrl)))
 		})
 	}
 
@@ -234,6 +254,9 @@ func runSim(sc *Scenario, opts Options) (*Report, error) {
 	res, err := s.Run()
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	if evErr != nil {
+		return nil, evErr
 	}
 	rep.WallclockSeconds = time.Since(start).Seconds()
 	rep.finish(sc, opts, res, 1)

@@ -71,6 +71,7 @@ func (e leaveEvent) Desc() string {
 	}
 	return fmt.Sprintf("at %s leave %d", fmtT(e.at), e.n)
 }
+func (e leaveEvent) TargetID() string { return e.id }
 func (e leaveEvent) Apply(s Injector) string {
 	if e.id != "" {
 		if s.RemoveClient(e.id) {
@@ -154,6 +155,7 @@ func (e slowEvent) Desc() string {
 	}
 	return fmt.Sprintf("at %s slow %s x%g", fmtT(e.at), who, e.factor)
 }
+func (e slowEvent) TargetID() string { return e.id }
 func (e slowEvent) Apply(s Injector) string {
 	if e.id != "" {
 		if s.SlowClient(e.id, e.factor) {
@@ -253,6 +255,7 @@ func (e detachEvent) Desc() string {
 	}
 	return fmt.Sprintf("at %s detach %d", fmtT(e.at), e.n)
 }
+func (e detachEvent) TargetID() string { return e.id }
 func (e detachEvent) Apply(s Injector) string {
 	d, ok := s.(Detacher)
 	if !ok {
@@ -285,6 +288,7 @@ func (e rejoinEvent) Desc() string {
 	}
 	return fmt.Sprintf("at %s rejoin %d", fmtT(e.at), e.n)
 }
+func (e rejoinEvent) TargetID() string { return e.id }
 func (e rejoinEvent) Apply(s Injector) string {
 	r, ok := s.(Rejoiner)
 	if !ok {
@@ -298,6 +302,71 @@ func (e rejoinEvent) Apply(s Injector) string {
 	}
 	back := r.RejoinClients(e.n)
 	return fmt.Sprintf("rejoin %d clients %v (%d active now)", len(back), back, len(s.ActiveClients()))
+}
+
+// cordonEvent quarantines a client (no new work while in-flight results
+// complete or expire) or releases it. Both engines support it: the
+// quarantine lives in the scheduler, which both stacks share.
+type cordonEvent struct {
+	at float64
+	id string
+	on bool // true = cordon, false = uncordon
+}
+
+func (e cordonEvent) At() float64      { return e.at }
+func (e cordonEvent) TargetID() string { return e.id }
+func (e cordonEvent) Desc() string {
+	verb := "cordon"
+	if !e.on {
+		verb = "uncordon"
+	}
+	return fmt.Sprintf("at %s %s %s", fmtT(e.at), verb, e.id)
+}
+func (e cordonEvent) Apply(s Injector) string {
+	verb := "cordon"
+	if !e.on {
+		verb = "uncordon"
+	}
+	c, ok := s.(Cordoner)
+	if !ok {
+		return verb + " skipped (engine cannot quarantine clients)"
+	}
+	if !c.Cordon(e.id, e.on) {
+		return fmt.Sprintf("%s %s (no such active client)", verb, e.id)
+	}
+	if e.on {
+		return fmt.Sprintf("cordon %s (quarantined: no new work)", e.id)
+	}
+	return fmt.Sprintf("uncordon %s (back in the pool)", e.id)
+}
+
+// byzantineEvent switches a client's adversarial behavior mid-run
+// ("off" restores honesty). Both engines support it: the simulator
+// flips the client's behavior flag, the real engine ships the behavior
+// to the live daemon through ClientControl.
+type byzantineEvent struct {
+	at       float64
+	id       string
+	behavior string // boinc.ByzantineBehaviors, or "off"
+}
+
+func (e byzantineEvent) At() float64      { return e.at }
+func (e byzantineEvent) TargetID() string { return e.id }
+func (e byzantineEvent) Desc() string {
+	return fmt.Sprintf("at %s byzantine %s %s", fmtT(e.at), e.id, e.behavior)
+}
+func (e byzantineEvent) Apply(s Injector) string {
+	b, ok := s.(Byzantiner)
+	if !ok {
+		return "byzantine skipped (engine has no adversarial clients)"
+	}
+	if !b.SetByzantine(e.id, e.behavior) {
+		return fmt.Sprintf("byzantine %s (no such active client)", e.id)
+	}
+	if e.behavior == "off" {
+		return fmt.Sprintf("byzantine %s off (honest again)", e.id)
+	}
+	return fmt.Sprintf("byzantine %s now %s", e.id, e.behavior)
 }
 
 // blobKillEvent arms (bytes > 0) or disarms (bytes 0) data-plane fault

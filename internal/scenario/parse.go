@@ -43,6 +43,8 @@ import (
 //	  compute cached                # compute backend (core.BackendNames)
 //	  compute parallel+cached 8     # ... with a worker-pool size
 //	  replicate 2                   # issue 2 copies of every subtask
+//	  byzantine 2 wrong-result      # first 2 clients are adversarial
+//	                                # (wrong-result | spoof | deadline-game)
 //
 //	events:
 //	  at 10m  preempt 0.35          # storm start (p per subtask)
@@ -61,6 +63,10 @@ import (
 //	  at 15m  set timeout 10m       # scheduler hot reconfiguration
 //	  at 15m  set floor 0.8
 //	  at 20m  policy deadline-aware # hot-swap the scheduling policy
+//	  at 10m  cordon client-01-client-8x2.5    # quarantine: no new work
+//	  at 30m  uncordon client-01-client-8x2.5  # release the quarantine
+//	  at 12m  byzantine client-00-client-8x2.2 spoof  # turn adversarial
+//	  at 24m  byzantine client-00-client-8x2.2 off    # honest again
 //
 //	assert:
 //	  final_accuracy >= 0.35
@@ -74,6 +80,8 @@ import (
 //	  blob_mb <= 64
 //	  ckpt_epoch >= 2
 //	  ckpt_restores >= 1
+//	  invalid_results > 0           # Byzantine damage (both modes)
+//	  quorum_retries > 0
 //
 // Durations accept s/m/h suffixes (bare numbers are seconds). Events
 // must be listed in time order.
@@ -310,6 +318,23 @@ func (p *parser) fleetLine(n int, key string, fields []string) {
 			return
 		}
 		f.Replication = v
+	case "byzantine":
+		if len(args) != 2 {
+			p.errorf(n, "want 'byzantine <n> <behavior>' (behaviors: %v)", boinc.ByzantineBehaviors)
+			return
+		}
+		cnt, err := strconv.Atoi(args[0])
+		if err != nil || cnt < 1 {
+			p.errorf(n, "bad byzantine count %q", args[0])
+			return
+		}
+		behavior := strings.ToLower(args[1])
+		if !boinc.ValidByzantine(behavior) {
+			p.errorf(n, "unknown byzantine behavior %q (want one of %v)", args[1], boinc.ByzantineBehaviors)
+			return
+		}
+		f.ByzantineCount = cnt
+		f.Byzantine = behavior
 	default:
 		p.errorf(n, "unknown fleet key %q", key)
 	}
@@ -534,8 +559,25 @@ func (p *parser) eventLine(n int, fields []string) {
 		default:
 			p.errorf(n, "unknown set key %q (want timeout or floor)", args[0])
 		}
+	case "cordon", "uncordon":
+		if len(args) != 1 {
+			bad(verb + " <client-id>")
+			return
+		}
+		p.sc.Events = append(p.sc.Events, cordonEvent{at: at, id: args[0], on: verb == "cordon"})
+	case "byzantine":
+		if len(args) != 2 {
+			bad("byzantine <client-id> <behavior|off>")
+			return
+		}
+		behavior := strings.ToLower(args[1])
+		if behavior != "off" && !boinc.ValidByzantine(behavior) {
+			p.errorf(n, "unknown byzantine behavior %q (want one of %v, or off)", args[1], boinc.ByzantineBehaviors)
+			return
+		}
+		p.sc.Events = append(p.sc.Events, byzantineEvent{at: at, id: args[0], behavior: behavior})
 	default:
-		p.errorf(n, "unknown event %q (want join/leave/detach/rejoin/preempt/outage/recover/slow/ps-fail/ps-recover/blob-kill/policy/set)", fields[2])
+		p.errorf(n, "unknown event %q (want join/leave/detach/rejoin/cordon/uncordon/byzantine/preempt/outage/recover/slow/ps-fail/ps-recover/blob-kill/policy/set)", fields[2])
 	}
 }
 

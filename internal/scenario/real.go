@@ -3,6 +3,7 @@ package scenario
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -60,6 +61,8 @@ func runReal(sc *Scenario, opts Options) (*Report, error) {
 		},
 		Blobs:              sc.Fleet.Blobs,
 		Checkpoint:         sc.Fleet.Checkpoint,
+		Byzantine:          cfg.Byzantine,
+		ByzantineClients:   cfg.ByzantineClients,
 		Name:               sc.Name,
 		Fleet:              cloud.Place(cfg.ClientInstances, cfg.Regions),
 		TasksPerClient:     cfg.TasksPerClient,
@@ -78,6 +81,11 @@ func runReal(sc *Scenario, opts Options) (*Report, error) {
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
 	defer fleet.Close()
+	if opts.ServerURLFile != "" {
+		if werr := os.WriteFile(opts.ServerURLFile, []byte(fleet.URL()+"\n"), 0o644); werr != nil {
+			return nil, fmt.Errorf("scenario %s: write server URL file: %w", sc.Name, werr)
+		}
+	}
 
 	rep := &Report{Scenario: sc, Mode: ModeReal, Metrics: reg}
 	var traceMu sync.Mutex
@@ -117,6 +125,12 @@ func runReal(sc *Scenario, opts Options) (*Report, error) {
 	defer cancel()
 	start := time.Now()
 	eventsDone := make(chan struct{})
+	// Events flow through the fleet's shared ops core — the same object
+	// the /ops admin API serves — so scenario actions and curl'd actions
+	// land in the same vcdl_ops_actions_total counters.
+	ctrl := fleet.Ops()
+	var evErrMu sync.Mutex
+	var evErr error
 	go func() {
 		defer close(eventsDone)
 		for _, ev := range sc.Events {
@@ -133,7 +147,17 @@ func runReal(sc *Scenario, opts Options) (*Report, error) {
 			if ctx.Err() != nil {
 				return
 			}
-			trace(fmt.Sprintf("[%7.3fh] %s", fleet.VirtualHours(), ev.Apply(fleet)))
+			if id := targetOf(ev); id != "" && !ctrl.KnownClient(id) {
+				msg := fmt.Sprintf("event %q targets client %q, which never existed in this run", ev.Desc(), id)
+				trace(fmt.Sprintf("[%7.3fh] ERROR: %s", fleet.VirtualHours(), msg))
+				evErrMu.Lock()
+				if evErr == nil {
+					evErr = fmt.Errorf("scenario %s: %s", sc.Name, msg)
+				}
+				evErrMu.Unlock()
+				continue
+			}
+			trace(fmt.Sprintf("[%7.3fh] %s", fleet.VirtualHours(), ev.Apply(ctrl)))
 		}
 	}()
 
@@ -142,6 +166,11 @@ func runReal(sc *Scenario, opts Options) (*Report, error) {
 	<-eventsDone // join: no trace writes after the report is assembled
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s (real mode): %w", sc.Name, err)
+	}
+	evErrMu.Lock()
+	defer evErrMu.Unlock()
+	if evErr != nil {
+		return nil, evErr
 	}
 	rep.WallclockSeconds = time.Since(start).Seconds()
 	rep.finish(sc, opts, res, scale)

@@ -82,6 +82,12 @@ type FleetSpec struct {
 	ComputeWorkers int
 	// Replication issues this many copies of every subtask (0/1 = one).
 	Replication int
+	// Byzantine/ByzantineCount make the first ByzantineCount clients of
+	// the fleet adversarial with the named behavior
+	// (boinc.ByzantineBehaviors). Both engines support it; pair it with
+	// `replicate` so quorum validation has honest copies to agree on.
+	Byzantine      string
+	ByzantineCount int
 	// Procs asks the real-mode driver to run clients as separate OS
 	// processes instead of in-process goroutines (real mode only; the
 	// CLI's -procs flag is the same switch).
@@ -118,22 +124,7 @@ type Event interface {
 // instanceByName resolves a fleet/client type name: the clientA..D
 // aliases or the Table I instance names.
 func instanceByName(name string) (cloud.InstanceType, bool) {
-	switch strings.ToLower(name) {
-	case "clienta":
-		return cloud.ClientA, true
-	case "clientb":
-		return cloud.ClientB, true
-	case "clientc":
-		return cloud.ClientC, true
-	case "clientd":
-		return cloud.ClientD, true
-	}
-	for _, it := range cloud.TableI() {
-		if it.Name == name {
-			return it, true
-		}
-	}
-	return cloud.InstanceType{}, false
+	return cloud.InstanceByName(name)
 }
 
 // regionByName resolves a region name.
@@ -167,6 +158,9 @@ func (sc *Scenario) Validate() error {
 		if _, err := boinc.NewPolicy(f.Policy[0], f.Policy[1:]...); err != nil {
 			errs = append(errs, err.Error())
 		}
+	}
+	if f.ByzantineCount > 0 && !boinc.ValidByzantine(f.Byzantine) {
+		errs = append(errs, fmt.Sprintf("unknown byzantine behavior %q (want one of %v)", f.Byzantine, boinc.ByzantineBehaviors))
 	}
 	if err := core.ValidateBackendSpec(f.Compute); err != nil {
 		errs = append(errs, err.Error())
@@ -302,6 +296,8 @@ func (sc *Scenario) BuildConfig() (vcsim.Config, error) {
 	cfg.Backend = f.Compute
 	cfg.ComputeWorkers = f.ComputeWorkers
 	cfg.Replication = f.Replication
+	cfg.Byzantine = f.Byzantine
+	cfg.ByzantineClients = f.ByzantineCount
 	cfg.Seed = seed
 	if len(f.Policy) > 0 {
 		p, err := boinc.NewPolicy(f.Policy[0], f.Policy[1:]...)

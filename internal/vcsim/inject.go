@@ -1,9 +1,12 @@
 package vcsim
 
 import (
+	"fmt"
+
 	"vcdl/internal/boinc"
 	"vcdl/internal/cloud"
 	"vcdl/internal/core"
+	"vcdl/internal/ops"
 	"vcdl/internal/sim"
 	"vcdl/internal/store"
 )
@@ -50,6 +53,9 @@ func Start(cfg Config) (*Sim, error) {
 	}
 	if cfg.TimeoutSeconds <= 0 {
 		cfg.TimeoutSeconds = 1800
+	}
+	if cfg.ByzantineClients > 0 && !boinc.ValidByzantine(cfg.Byzantine) {
+		return nil, fmt.Errorf("vcsim: unknown byzantine behavior %q (want one of %v)", cfg.Byzantine, boinc.ByzantineBehaviors)
 	}
 	st := cfg.Store
 	if st == nil {
@@ -258,4 +264,85 @@ func (s *Sim) PolicyName() string {
 // the quantities the scenario engine's preemption narrative needs.
 func (s *Sim) FleetShape() (subtasks, tasksPerClient int) {
 	return s.r.cfg.Job.Subtasks, s.r.cfg.TasksPerClient
+}
+
+// Cordon quarantines (on=true) or releases (on=false) an active client:
+// its work requests return nothing while in-flight results complete or
+// expire normally. Releasing a cordoned client immediately lets it ask
+// for work again. ok reports whether the client exists and is active.
+func (s *Sim) Cordon(id string, on bool) bool {
+	for _, c := range s.r.clients {
+		if c.id == id && !c.departed {
+			s.r.sched.SetCordoned(id, on)
+			if !on {
+				// An idle sim client only requests work when poked;
+				// without this the released client would sleep forever.
+				s.r.tryAssign(c)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// SetByzantine switches an active client's adversarial behavior mid-run
+// (behavior "" or "off" restores honesty). ok reports whether the client
+// exists, is active, and the behavior is recognized.
+func (s *Sim) SetByzantine(id, behavior string) bool {
+	if behavior == "off" {
+		behavior = ""
+	}
+	if behavior != "" && !boinc.ValidByzantine(behavior) {
+		return false
+	}
+	for _, c := range s.r.clients {
+		if c.id == id && !c.departed {
+			c.byzantine = behavior
+			return true
+		}
+	}
+	return false
+}
+
+// ClientStatus assembles the per-client view the ops control plane
+// serves: fleet-side shaping joined with the scheduler's live state.
+func (s *Sim) ClientStatus() []ops.ClientStatus {
+	byID := map[string]boinc.ClientSummary{}
+	for _, sum := range s.r.sched.ClientSummaries() {
+		byID[sum.ID] = sum
+	}
+	out := make([]ops.ClientStatus, 0, len(s.r.clients))
+	for _, c := range s.r.clients {
+		sum, seen := byID[c.id]
+		cs := ops.ClientStatus{
+			ID:          c.id,
+			Instance:    c.inst.Name,
+			Region:      string(c.inst.Region),
+			Active:      !c.departed,
+			Byzantine:   c.byzantine,
+			SlowFactor:  c.slow,
+			Slots:       c.slots,
+			Reliability: 1,
+		}
+		if seen {
+			cs.Cordoned = sum.Cordoned
+			cs.Reliability = sum.Reliability
+			cs.InFlight = sum.InFlight
+			cs.CachedFiles = sum.CachedFiles
+		}
+		out = append(out, cs)
+	}
+	return out
+}
+
+// KnownClient reports whether a client id ever existed in this run,
+// departed or not. The scenario engine uses it to fail fast on events
+// that target ids no fleet ever contained.
+func (s *Sim) KnownClient(id string) bool {
+	for _, c := range s.r.clients {
+		if c.id == id {
+			return true
+		}
+	}
+	return false
 }

@@ -134,6 +134,15 @@ type Config struct {
 	// exactly what the cached backend refunds.
 	Replication int
 
+	// Byzantine turns the first ByzantineClients clients adversarial
+	// with the named boinc.Byzantine* behavior (wrong-result, spoof,
+	// deadline-game), driving the quorum/validation machinery from
+	// inside the engine — the sim-mode mirror of the real-mode
+	// ClientControl.Byzantine injection. Zero values keep every client
+	// honest and the engine byte-identical to the historical path.
+	Byzantine        string
+	ByzantineClients int
+
 	Seed int64
 }
 
@@ -182,11 +191,15 @@ type Result struct {
 	// Epochs holds per-epoch aggregates.
 	Epochs []ps.EpochSummary
 
-	// Fault-tolerance and traffic accounting.
-	Issued, Reissued, Timeouts int
-	BytesDownloaded            int64
-	BytesUploaded              int64
-	StoreStats                 store.Stats
+	// Fault-tolerance and traffic accounting. InvalidResults counts
+	// results rejected by validation; QuorumRetries counts copies
+	// re-enqueued to replace failed, expired or invalid results (both
+	// modes — the adversarial-client telemetry).
+	Issued, Reissued, Timeouts    int
+	InvalidResults, QuorumRetries int
+	BytesDownloaded               int64
+	BytesUploaded                 int64
+	StoreStats                    store.Stats
 	// AssignMix counts issued assignments per scheduling policy (runs
 	// with hot policy swaps split across the policies that decided).
 	AssignMix map[string]int
@@ -229,6 +242,10 @@ type simClient struct {
 	// requesting work and its in-flight results are lost (the scheduler
 	// recovers them at the deadline, like any vanished BOINC host).
 	departed bool
+	// byzantine names the client's adversarial behavior ("" = honest;
+	// see boinc.ByzantineBehaviors). Checked only on non-empty values, so
+	// honest runs take exactly the historical code path.
+	byzantine string
 	// joinedAt/departedAt bound the client's billable lifetime in virtual
 	// seconds (departedAt < 0 = still active at run end).
 	joinedAt   float64
@@ -393,6 +410,9 @@ func (r *run) start() error {
 	for i, inst := range cloud.Place(cfg.ClientInstances, cfg.Regions) {
 		r.clients = append(r.clients, newSimClient(i, inst, cfg.TasksPerClient, 0))
 	}
+	for i := 0; i < cfg.ByzantineClients && i < len(r.clients); i++ {
+		r.clients[i].byzantine = cfg.Byzantine
+	}
 	r.nextClient = len(r.clients)
 	if warmSeconds > 0 {
 		// The serial warmstart occupies the fleet's clock before any
@@ -489,10 +509,46 @@ func parsePayload(p []byte) (epoch, shard int, err error) {
 	return epoch, shard, err
 }
 
+// spoofSeconds is the token "fabrication" time a spoofing client spends
+// per assignment before uploading garbage: near-instant compared to
+// genuine execution, which is the whole attack.
+const spoofSeconds = 1.0
+
+// startSpoofed models a spoofing client's assignment: no downloads, no
+// math — after a token fabrication delay it uploads bytes the validator
+// rejects, so the workunit is reissued and the client's reliability
+// decays (boinc.ByzantineSpoof).
+func (r *run) startSpoofed(c *simClient, asn boinc.Assignment) {
+	c.busy++
+	r.eng.Schedule(spoofSeconds, func() {
+		if c.departed {
+			return
+		}
+		c.busy--
+		r.tryAssign(c)
+		up := r.xfer(r.paramBytes, c)
+		r.eng.Schedule(up, func() {
+			if c.departed {
+				return
+			}
+			r.res.BytesUploaded += int64(r.paramBytes)
+			r.sched.CompleteResult(asn.ResultID, false, r.eng.Now())
+		})
+	})
+	r.scheduleSweep()
+}
+
 // startSubtask models download, execution (with contention), preemption
 // and upload for one assignment. wave is the number of subtasks running
 // simultaneously in this batch, which sets the contention factor.
+// Byzantine clients divert from the honest path at the last possible
+// moment (spoofers skip it entirely), so every branch is gated on a
+// non-empty behavior and honest runs stay byte-identical.
 func (r *run) startSubtask(c *simClient, asn boinc.Assignment, wave int) {
+	if c.byzantine == boinc.ByzantineSpoof {
+		r.startSpoofed(c, asn)
+		return
+	}
 	epoch, shard, err := parsePayload(asn.Payload)
 	if err != nil {
 		panic("vcsim: bad payload " + string(asn.Payload))
@@ -579,6 +635,11 @@ func (r *run) startSubtask(c *simClient, asn boinc.Assignment, wave int) {
 		c.busy--
 		r.trace(asn.WUID, obs.KindComputeEnd, c.id, r.eng.Now())
 		r.tryAssign(c)
+		if c.byzantine == boinc.ByzantineDeadlineGame {
+			// Hoard the finished result: it is never uploaded, so the
+			// scheduler expires it at the deadline and reissues.
+			return
+		}
 		up := r.xfer(r.paramBytes, c)
 		r.eng.Schedule(up, func() {
 			if c.departed {
@@ -588,7 +649,10 @@ func (r *run) startSubtask(c *simClient, asn boinc.Assignment, wave int) {
 			}
 			r.res.BytesUploaded += int64(r.paramBytes)
 			r.trace(asn.WUID, obs.KindUploaded, c.id, r.eng.Now())
-			if _, canonical, err := r.sched.CompleteResult(asn.ResultID, true, r.eng.Now()); err == nil && canonical {
+			// Wrong-result clients upload corrupted output: the
+			// validator rejects it, and canonical can never be true.
+			valid := c.byzantine != boinc.ByzantineWrongResult
+			if _, canonical, err := r.sched.CompleteResult(asn.ResultID, valid, r.eng.Now()); err == nil && canonical {
 				r.autoscale()
 				r.assim.Submit(r.assimService(), func() {
 					r.trace(asn.WUID, obs.KindAssimilated, c.id, r.eng.Now())
@@ -759,6 +823,8 @@ func (r *run) finish() (*Result, error) {
 	r.res.Issued = r.sched.Issued
 	r.res.Reissued = r.sched.Reissued
 	r.res.Timeouts = r.sched.Timeouts
+	r.res.InvalidResults = r.sched.Invalid
+	r.res.QuorumRetries = r.sched.QuorumRetries
 	r.res.AssignMix = r.sched.AssignmentMix()
 	r.res.StoreStats = r.st.Stats()
 	if r.res.MaxPSUsed < r.cfg.PServers {
