@@ -26,6 +26,10 @@
 // cell's wall-clock measurement is honest, and with -csv it also emits
 // BENCH_compute.json, the backend × workers wall-clock record the CI
 // perf trajectory tracks.
+//
+// -cpuprofile FILE and -memprofile FILE capture pprof profiles of the
+// selected experiments (CPU for the whole run; heap after a final GC),
+// for digging into the compute hot path with `go tool pprof`.
 package main
 
 import (
@@ -38,6 +42,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -106,11 +112,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 	policyFlag := fs.String("policy", "all", "scheduling policies for -exp schedpolicy (comma-separated names, or all)")
 	clientsFlag := fs.String("clients", "100,1000,10000", "fleet sizes for -exp scale (comma-separated client counts)")
 	loadFlag := fs.String("loadclients", "4,16,64,256", "concurrent HTTP clients for -exp schedlatency (comma-separated)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	runner := &runner{epochs: *epochs, seed: *seed, csvDir: *csvDir, jobs: *jobs, policies: *policyFlag, clients: *clientsFlag, loadClients: *loadFlag, out: stdout, errOut: stderr}

@@ -170,11 +170,18 @@ func (p *Scored) Select(view PolicyView, client ClientInfo, max int) []int64 {
 	})
 }
 
+// topKStack is the rank-buffer size kept on the stack: requests for up
+// to this many slots (every real client; BOINC hands out single-digit
+// batches) rank candidates with zero heap traffic beyond the returned
+// ID slice.
+const topKStack = 16
+
 // selectTopK picks the k highest-scoring candidates (ties broken by
 // queue position) without sorting the whole slice: one pass maintains a
-// small best-k array, so a 10k-workunit backlog costs O(n·k) with k the
+// small best-k array, so a 100k-workunit backlog costs O(n·k) with k the
 // handful of slots a client asks for — not O(n log n) — and allocates
-// only the result slice.
+// only the result slice (the rank buffer lives on the stack for k ≤
+// topKStack).
 func selectTopK(cands []Candidate, k int, score func(Candidate) float64) []int64 {
 	if k <= 0 || len(cands) == 0 {
 		return nil
@@ -187,7 +194,13 @@ func selectTopK(cands []Candidate, k int, score func(Candidate) float64) []int64
 		pos   int
 		wuid  int64
 	}
-	best := make([]ranked, 0, k)
+	var stack [topKStack]ranked
+	var best []ranked
+	if k <= topKStack {
+		best = stack[:0]
+	} else {
+		best = make([]ranked, 0, k)
+	}
 	better := func(a, b ranked) bool {
 		if a.score != b.score {
 			return a.score > b.score

@@ -6,19 +6,27 @@ import (
 )
 
 // BenchmarkRequestWork pins the assignment hot path at fleet scale: a
-// 10k-workunit backlog with a 50-client pool, one sub-benchmark per
+// 100k-workunit backlog with a 50-client pool, one sub-benchmark per
 // registered policy. Each iteration is one client work fetch; failed
 // completions recycle the issued workunits so the backlog stays at
 // steady state. The per-policy index work (copy-count map, stamped
-// eligibility set, reused candidate buffer, top-k selection instead of
-// a full sort) is what keeps this O(backlog) with a small constant
-// rather than O(n log n) plus per-request map churn.
+// eligibility set, reused candidate buffer, stack-resident top-k
+// selection, scheduler-scratch issued/event slices, shared input-file
+// lists) is what keeps this O(backlog) with a small constant and
+// near-zero transient allocations — run with -benchmem; the CI guard
+// (cmd/benchguard) pins allocs/op against BENCH_kernels.json.
 func BenchmarkRequestWork(b *testing.B) {
 	const (
-		backlog = 10_000
+		backlog = 100_000
 		clients = 50
 		slots   = 8
 	)
+	// Client IDs are preformatted so the timed loop measures the
+	// scheduler, not fmt.
+	ids := make([]string, clients)
+	for c := range ids {
+		ids[c] = fmt.Sprintf("client-%02d", c)
+	}
 	for _, name := range PolicyNames() {
 		b.Run(name, func(b *testing.B) {
 			p, err := NewPolicy(name)
@@ -33,22 +41,21 @@ func BenchmarkRequestWork(b *testing.B) {
 			s.SetPolicy(p)
 			for i := 0; i < backlog; i++ {
 				s.AddWorkunit(Workunit{
-					Name:       fmt.Sprintf("wu%05d", i),
+					Name:       fmt.Sprintf("wu%06d", i),
 					InputFiles: []string{fmt.Sprintf("shard_%03d", i%200), "model.json"},
 					Timeout:    float64(300 + i%600),
 				})
 			}
 			// Warm some sticky caches so CacheScore differentiates.
 			for c := 0; c < clients; c++ {
-				s.NoteCached(fmt.Sprintf("client-%02d", c), fmt.Sprintf("shard_%03d", (c*7)%200))
+				s.NoteCached(ids[c], fmt.Sprintf("shard_%03d", (c*7)%200))
 			}
 			now := 0.0
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				now += 0.5
-				id := fmt.Sprintf("client-%02d", i%clients)
-				asns := s.RequestWork(id, now, slots)
+				asns := s.RequestWork(ids[i%clients], now, slots)
 				b.StopTimer()
 				for _, a := range asns {
 					// Invalid completion requeues the workunit, keeping

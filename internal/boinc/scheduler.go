@@ -97,6 +97,12 @@ type Scheduler struct {
 	eligible map[int64]int64
 	candBuf  []Candidate
 	requests int64
+	// issuedBuf and eventBuf are per-request scratch for the issued-ID
+	// list and the deferred event batch; both are consumed before
+	// RequestWork returns, so reuse is safe and the hot path stops
+	// growing fresh slices every call.
+	issuedBuf []int64
+	eventBuf  []SchedEvent
 
 	// sink receives lifecycle events (nil = no observation). Every event
 	// is derived from state already at hand plus the caller-supplied
@@ -385,9 +391,13 @@ func (s *Scheduler) RequestWork(clientID string, now float64, max int) []Assignm
 	}
 	picks := s.policy.Select(view, ClientInfo{ID: c.id, Reliability: c.reliability, InFlight: c.inFlight}, max)
 
-	var out []Assignment
-	var issued []int64
-	var events []SchedEvent // emitted after the queue is settled
+	want := len(picks)
+	if max < want {
+		want = max
+	}
+	out := make([]Assignment, 0, want) // escapes to the caller; sized once
+	issued := s.issuedBuf[:0]
+	events := s.eventBuf[:0] // emitted after the queue is settled
 	for _, id := range picks {
 		if len(out) >= max {
 			break // policy over-selected; hard-cap the batch
@@ -415,16 +425,24 @@ func (s *Scheduler) RequestWork(clientID string, now float64, max int) []Assignm
 		c.inFlight++
 		s.inflight++
 		s.Issued++
-		if s.assignedTo[wu.ID] == nil {
-			s.assignedTo[wu.ID] = make(map[string]bool)
+		// The one-result-per-user index only matters for replicated
+		// workunits (buildView consults it under the same guard), so
+		// singleton workunits — the common case — never pay the map.
+		if wu.Replication > 1 {
+			if s.assignedTo[wu.ID] == nil {
+				s.assignedTo[wu.ID] = make(map[string]bool)
+			}
+			s.assignedTo[wu.ID][clientID] = true
 		}
-		s.assignedTo[wu.ID][clientID] = true
 		out = append(out, Assignment{
-			ResultID:   res.ID,
-			WUID:       wu.ID,
-			Name:       wu.Name,
-			App:        wu.App,
-			InputFiles: append([]string(nil), wu.InputFiles...),
+			ResultID: res.ID,
+			WUID:     wu.ID,
+			Name:     wu.Name,
+			App:      wu.App,
+			// Shared with the workunit, not copied: assignments are
+			// read-only download descriptors and workunit input lists
+			// never mutate after AddWorkunit.
+			InputFiles: wu.InputFiles,
 			Blobs:      wu.BlobFiles,
 			Payload:    wu.Payload,
 			Deadline:   res.Deadline,
@@ -445,12 +463,14 @@ func (s *Scheduler) RequestWork(clientID string, now float64, max int) []Assignm
 		}
 	}
 	s.dequeueFirst(issued)
+	s.issuedBuf = issued[:0]
 	if len(out) > 0 {
 		s.assignMix[s.policy.Name()] += len(out)
 	}
 	for _, e := range events {
 		s.observe(e)
 	}
+	s.eventBuf = events[:0]
 	return out
 }
 

@@ -6,8 +6,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"vcdl/internal/data"
+	"vcdl/internal/tensor"
 )
 
 // defaultComputeWorkers sizes a pool when the caller passes <= 0.
@@ -64,6 +66,32 @@ type Backend interface {
 	Stats() BackendStats
 	// Close releases backend resources (worker pools drain).
 	Close()
+}
+
+// BatchLauncher is the optional epoch-batching extension of Backend.
+// The simulator hands every subtask scheduled inside one event callback
+// to LaunchBatch in a single call, which lets pooled backends enqueue
+// the whole batch without per-launch dispatch churn and lets caches
+// split hits from misses before touching the inner backend. Futures are
+// returned in input order; semantics are identical to calling Launch on
+// each subtask in order.
+type BatchLauncher interface {
+	LaunchBatch(ts []Subtask) []Future
+}
+
+// LaunchBatch launches ts on b, through the batched path when b
+// implements BatchLauncher and through per-subtask Launch otherwise —
+// the shim that keeps the Backend seam compatible for third-party
+// backends registered via RegisterBackend.
+func LaunchBatch(b Backend, ts []Subtask) []Future {
+	if bl, ok := b.(BatchLauncher); ok {
+		return bl.LaunchBatch(ts)
+	}
+	futs := make([]Future, len(ts))
+	for i, t := range ts {
+		futs[i] = b.Launch(t)
+	}
+	return futs
 }
 
 // BackendStats is the compute telemetry a run's Result carries. All
@@ -294,47 +322,83 @@ func (b *surrogateBackend) Stats() BackendStats {
 }
 func (b *surrogateBackend) Close() {}
 
-// parallelBackend dispatches each launch to a bounded worker pool, so
-// the math runs between a subtask's virtual start and virtual end while
-// the event loop keeps processing. Because each computation is pure and
-// the event loop's Launch/Wait order is fixed by virtual time, results
-// are byte-identical at any pool size.
+// parallelBackend feeds launches to a persistent pool of worker
+// goroutines over a bounded queue, so the math runs between a subtask's
+// virtual start and virtual end while the event loop keeps processing.
+// Because each computation is pure and the event loop's Launch/Wait
+// order is fixed by virtual time, results are byte-identical at any
+// pool size.
+//
+// Two granularity rules, both learned from the goroutine-per-launch
+// version this replaced: (1) workers are started once at construction —
+// a launch is one pointer send on a channel, not a goroutine spawn plus
+// semaphore dance; (2) parallelism lives in exactly one place — the
+// pool holds a tensor.ReserveSerial reservation for its whole lifetime,
+// so kernels inside workers never fan out into nested goroutines
+// (8 workers × GOMAXPROCS kernel goroutines was the old worst case).
 type parallelBackend struct {
 	exec    *Executor
 	workers int
-	sem     chan struct{}
+	queue   chan *poolFuture
 	wg      sync.WaitGroup
-
-	// mu guards computed (workers increment it); the remaining stats are
+	// releaseSerial drops the pool's kernel-serialization reservation
+	// at Close.
+	releaseSerial func()
+	// computed is incremented by workers; everything else in s is
 	// event-loop-only, so Launched/MaxInFlight stay deterministic.
-	mu       sync.Mutex
-	computed int
+	computed atomic.Int64
+	closed   bool
 	s        inlineStats
 }
+
+// poolQueueBound sizes the launch queue per worker. Deep enough that an
+// epoch batch rarely blocks the event loop, bounded so a pathological
+// backlog applies backpressure instead of growing without limit
+// (blocking Launch is safe: workers never depend on the event loop).
+const poolQueueBound = 8
 
 func newParallelBackend(cfg JobConfig, workers int) *parallelBackend {
 	if workers < 1 {
 		workers = defaultComputeWorkers()
 	}
-	return &parallelBackend{
-		exec:    NewExecutor(cfg),
-		workers: workers,
-		sem:     make(chan struct{}, workers),
+	b := &parallelBackend{
+		exec:          NewExecutor(cfg),
+		workers:       workers,
+		queue:         make(chan *poolFuture, workers*poolQueueBound),
+		releaseSerial: tensor.ReserveSerial(),
+	}
+	for i := 0; i < workers; i++ {
+		b.wg.Add(1)
+		go b.worker()
+	}
+	return b
+}
+
+func (b *parallelBackend) worker() {
+	defer b.wg.Done()
+	for f := range b.queue {
+		f.params, f.stats = b.exec.Run(f.t.Params, f.t.Data, f.t.Seed)
+		f.t = Subtask{} // drop the params/shard references promptly
+		b.computed.Add(1)
+		close(f.done)
 	}
 }
 
-type parallelFuture struct {
+// poolFuture is one queued launch. The worker's close(done) publishes
+// params/stats to the event-loop thread's Wait.
+type poolFuture struct {
 	b      *parallelBackend
-	ch     chan struct{}
-	done   bool
+	t      Subtask
+	done   chan struct{}
+	waited bool
 	params []float64
 	stats  ExecStats
 }
 
-func (f *parallelFuture) Wait() ([]float64, ExecStats) {
-	if !f.done {
-		<-f.ch
-		f.done = true
+func (f *poolFuture) Wait() ([]float64, ExecStats) {
+	if !f.waited {
+		<-f.done
+		f.waited = true
 		f.b.s.await()
 	}
 	return f.params, f.stats
@@ -342,19 +406,18 @@ func (f *parallelFuture) Wait() ([]float64, ExecStats) {
 
 func (b *parallelBackend) Launch(t Subtask) Future {
 	b.s.launch()
-	f := &parallelFuture{b: b, ch: make(chan struct{})}
-	b.wg.Add(1)
-	go func() {
-		defer b.wg.Done()
-		b.sem <- struct{}{}
-		f.params, f.stats = b.exec.Run(t.Params, t.Data, t.Seed)
-		<-b.sem
-		b.mu.Lock()
-		b.computed++
-		b.mu.Unlock()
-		close(f.ch)
-	}()
+	f := &poolFuture{b: b, t: t, done: make(chan struct{})}
+	b.queue <- f
 	return f
+}
+
+// LaunchBatch enqueues a whole event callback's subtasks back to back.
+func (b *parallelBackend) LaunchBatch(ts []Subtask) []Future {
+	futs := make([]Future, len(ts))
+	for i, t := range ts {
+		futs[i] = b.Launch(t)
+	}
+	return futs
 }
 
 func (b *parallelBackend) Name() string { return "parallel" }
@@ -364,15 +427,23 @@ func (b *parallelBackend) Stats() BackendStats {
 	s := b.s.stats
 	s.Backend = b.Name()
 	s.Workers = b.workers
-	b.mu.Lock()
-	s.Computed = b.computed
-	b.mu.Unlock()
+	s.Computed = int(b.computed.Load())
 	return s
 }
 
-// Close drains in-flight workers (futures nobody awaited, e.g. for
-// departed clients).
-func (b *parallelBackend) Close() { b.wg.Wait() }
+// Close stops the pool: the queue is closed, workers drain what is
+// already enqueued (futures nobody awaited, e.g. for departed clients,
+// still compute — the pool is work-conserving like its predecessor) and
+// exit, and the kernel-serialization reservation is released.
+func (b *parallelBackend) Close() {
+	if b.closed {
+		return
+	}
+	b.closed = true
+	close(b.queue)
+	b.wg.Wait()
+	b.releaseSerial()
+}
 
 // cacheCell memoizes one (epoch, shard) computation. Every launch of the
 // same key shares the cell, so replicated and reissued copies resolve to
@@ -420,6 +491,38 @@ func (b *cachedBackend) Launch(t Subtask) Future {
 	cell := &cacheCell{fut: b.inner.Launch(t)}
 	b.cells[key] = cell
 	return cell
+}
+
+// LaunchBatch resolves cache hits without touching the inner backend
+// and forwards the misses as one smaller batch, preserving input order
+// in the returned futures. Counter updates happen in input order, so
+// stats match the sequential Launch path exactly.
+func (b *cachedBackend) LaunchBatch(ts []Subtask) []Future {
+	futs := make([]Future, len(ts))
+	var misses []Subtask
+	var missIdx []int
+	for i, t := range ts {
+		key := [2]int{t.Epoch, t.Shard}
+		if cell, ok := b.cells[key]; ok {
+			b.hits++
+			futs[i] = cell
+			continue
+		}
+		b.misses++
+		cell := &cacheCell{}
+		b.cells[key] = cell
+		futs[i] = cell
+		misses = append(misses, t)
+		missIdx = append(missIdx, i)
+	}
+	if len(misses) == 0 {
+		return futs
+	}
+	inner := LaunchBatch(b.inner, misses)
+	for j, i := range missIdx {
+		futs[i].(*cacheCell).fut = inner[j]
+	}
+	return futs
 }
 
 // Retire evicts cells below epoch. In-flight futures keep their cell

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sync"
 
 	"vcdl/internal/data"
 	"vcdl/internal/nn"
@@ -24,15 +25,55 @@ type ExecStats struct {
 
 // Executor runs training subtasks: it is the client-side compute kernel
 // (the paper's per-client TensorFlow training step). An Executor is
-// stateless between subtasks — each Run builds a private model clone and a
-// fresh optimizer, exactly as a volunteer client that just downloaded the
-// model, parameters and data would.
+// semantically stateless between subtasks — each Run behaves exactly as
+// a volunteer client that just downloaded the model, parameters and
+// data would — but physically it recycles per-worker scratch arenas
+// (network, optimizer, shard view) through a sync.Pool, because
+// SetParameters + Adam.Reset + View.Reset restore every observable bit
+// of that state. The steady state therefore allocates almost nothing
+// per subtask. Reuse is disabled when the model carries layers whose
+// hidden state a reset cannot restore (Dropout's mask RNG).
 type Executor struct {
 	cfg JobConfig
+	// reusable reports whether the builder's stack is scratch-safe.
+	reusable bool
+	scratch  sync.Pool
+}
+
+// execScratch is one worker's arena: a private model clone, optimizer
+// and shard view, recycled across subtasks.
+type execScratch struct {
+	net       *nn.Network
+	optimizer *opt.Adam
+	view      *data.View
 }
 
 // NewExecutor creates an executor for the job.
-func NewExecutor(cfg JobConfig) *Executor { return &Executor{cfg: cfg} }
+func NewExecutor(cfg JobConfig) *Executor {
+	e := &Executor{cfg: cfg}
+	if cfg.Builder != nil {
+		e.reusable = stackReusable(cfg.Builder())
+	}
+	return e
+}
+
+// stackReusable reports whether every layer's training-visible state is
+// restored by SetParameters + ZeroGrads. Dropout is the one offender:
+// its mask RNG advances per batch, so a recycled instance would draw
+// different masks than a fresh one.
+func stackReusable(layers []nn.Layer) bool {
+	for _, l := range layers {
+		switch v := l.(type) {
+		case *nn.Dropout:
+			return false
+		case *nn.Residual:
+			if !stackReusable(v.Body) || !stackReusable(v.Proj) {
+				return false
+			}
+		}
+	}
+	return true
+}
 
 // Run trains a private copy of the model initialized from params on the
 // shard and returns the updated parameter vector. seed makes the shard
@@ -70,11 +111,29 @@ func (e *Executor) RunSurrogate(params []float64, shard *data.Dataset, seed int6
 // requirement), and each pass costs O(batch) gathers instead of the
 // historical O(shard-bytes) Subset copy.
 func (e *Executor) run(params []float64, shard *data.Dataset, seed int64, passes, perPass int) ([]float64, ExecStats) {
-	net := nn.NewNetwork(e.cfg.Builder)
+	var net *nn.Network
+	var optimizer *opt.Adam
+	var local *data.View
+	if e.reusable {
+		sc, _ := e.scratch.Get().(*execScratch)
+		if sc == nil {
+			sc = &execScratch{
+				net:       nn.NewNetwork(e.cfg.Builder),
+				optimizer: opt.NewAdam(e.cfg.LearningRate),
+				view:      &data.View{},
+			}
+		}
+		defer e.scratch.Put(sc)
+		net, optimizer, local = sc.net, sc.optimizer, sc.view
+		optimizer.Reset()
+		local.Reset(shard)
+	} else {
+		net = nn.NewNetwork(e.cfg.Builder)
+		optimizer = opt.NewAdam(e.cfg.LearningRate)
+		local = data.NewView(shard)
+	}
 	net.SetParameters(params)
-	optimizer := opt.NewAdam(e.cfg.LearningRate)
 	rng := rand.New(rand.NewSource(seed))
-	local := data.NewView(shard)
 
 	var stats ExecStats
 	lossSum := 0.0

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vcdl/internal/data"
+	"vcdl/internal/nn"
+	"vcdl/internal/tensor"
+)
+
+// TestExecutorScratchReuseBitIdentical pins the scratch-arena contract:
+// a recycled network/optimizer/view must produce byte-identical output
+// to a freshly built one, across interleaved shards and seeds.
+func TestExecutorScratchReuseBitIdentical(t *testing.T) {
+	cfg, shard, params := backendFixture(t)
+
+	dc := data.DefaultSynthConfig()
+	dc.Seed += 7
+	dc.NTrain, dc.NVal, dc.NTest = 40, 5, 5
+	corpus2, err := data.GenerateSynth(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard2 := corpus2.Train
+
+	reused := NewExecutor(cfg)
+	if !reused.reusable {
+		t.Fatal("SmallCNN stack should be scratch-safe")
+	}
+	jobs := []struct {
+		shard *data.Dataset
+		seed  int64
+	}{{shard, 11}, {shard2, 22}, {shard, 11}, {shard, 33}, {shard2, 22}}
+	for i, j := range jobs {
+		// A fresh executor per job is the old no-reuse behaviour; the
+		// long-lived executor hits its recycled arena from job 1 on.
+		wantP, wantS := NewExecutor(cfg).Run(params, j.shard, j.seed)
+		gotP, gotS := reused.Run(params, j.shard, j.seed)
+		if gotS != wantS {
+			t.Fatalf("job %d: stats %+v, want %+v", i, gotS, wantS)
+		}
+		for k := range wantP {
+			if math.Float64bits(gotP[k]) != math.Float64bits(wantP[k]) {
+				t.Fatalf("job %d: param %d = %v, want %v", i, k, gotP[k], wantP[k])
+			}
+		}
+	}
+}
+
+// TestExecutorDropoutDisablesReuse pins the gate: stacks carrying
+// Dropout (whose mask RNG a reset cannot restore) must not recycle.
+func TestExecutorDropoutDisablesReuse(t *testing.T) {
+	cfg, _, _ := backendFixture(t)
+	cfg.Builder = func() []nn.Layer {
+		return []nn.Layer{nn.NewDense(4, 8), nn.NewDropout(0.5), nn.NewDense(8, 2)}
+	}
+	if NewExecutor(cfg).reusable {
+		t.Fatal("Dropout stack must not be scratch-reusable")
+	}
+	cfg.Builder = func() []nn.Layer {
+		return []nn.Layer{nn.NewResidual(nn.NewDropout(0.1))}
+	}
+	if NewExecutor(cfg).reusable {
+		t.Fatal("Dropout nested in Residual must not be scratch-reusable")
+	}
+}
+
+// TestLaunchBatchEquivalence pins that the batched seam returns futures
+// that resolve identically to per-subtask Launch, for every backend
+// (parallel and cached implement BatchLauncher; real/surrogate go
+// through the shim).
+func TestLaunchBatchEquivalence(t *testing.T) {
+	cfg, shard, params := backendFixture(t)
+	ts := []Subtask{
+		{Epoch: 0, Shard: 0, Seed: 5, Params: params, Data: shard},
+		{Epoch: 0, Shard: 1, Seed: 6, Params: params, Data: shard},
+		{Epoch: 0, Shard: 0, Seed: 5, Params: params, Data: shard}, // dup key: cache hit in-batch
+	}
+	for _, spec := range []string{"real", "cached", "parallel", "parallel+cached", "surrogate"} {
+		seq, err := NewBackend(spec, cfg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bat, err := NewBackend(spec, cfg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Launch all, then wait all — the same call pattern the batched
+		// path produces, so MaxInFlight telemetry matches too.
+		var want [][]float64
+		var seqFuts []Future
+		for _, task := range ts {
+			seqFuts = append(seqFuts, seq.Launch(task))
+		}
+		for _, f := range seqFuts {
+			p, _ := f.Wait()
+			want = append(want, p)
+		}
+		futs := LaunchBatch(bat, ts)
+		if len(futs) != len(ts) {
+			t.Fatalf("%s: %d futures for %d subtasks", spec, len(futs), len(ts))
+		}
+		for i, f := range futs {
+			got, _ := f.Wait()
+			for k := range want[i] {
+				if math.Float64bits(got[k]) != math.Float64bits(want[i][k]) {
+					t.Fatalf("%s: batch future %d param %d = %v, want %v", spec, i, k, got[k], want[i][k])
+				}
+			}
+		}
+		seqStats, batStats := seq.Stats(), bat.Stats()
+		if seqStats != batStats {
+			t.Fatalf("%s: batch stats %+v, want %+v", spec, batStats, seqStats)
+		}
+		seq.Close()
+		bat.Close()
+	}
+}
+
+// TestParallelPoolSerializesKernels is the backend half of the
+// nested-parallelism regression test: while a pool is alive, kernels
+// run serially process-wide (the pool holds the tensor serial
+// reservation), subtasks computed by pool workers never fan out, and
+// the reservation is dropped at Close.
+func TestParallelPoolSerializesKernels(t *testing.T) {
+	prev := tensor.SetMaxThreads(4) // the host may be single-core; force a cap that would fan out
+	defer tensor.SetMaxThreads(prev)
+
+	// A wide MLP whose dense products are far above the kernel's
+	// parallel threshold, so fan-out WOULD trigger without the pool's
+	// reservation.
+	dc := data.DefaultSynthConfig()
+	dc.NTrain, dc.NVal, dc.NTest = 64, 8, 8
+	corpus, err := data.GenerateSynth(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := corpus.Train.X.Size() / corpus.Train.N()
+	mlp := nn.MLPBuilder(in, []int{256, 256}, dc.Classes)
+	cfg := DefaultJobConfig(func() []nn.Layer {
+		return append([]nn.Layer{nn.NewFlatten()}, mlp()...)
+	})
+	cfg.BatchSize = 32
+	net := nn.NewNetwork(cfg.Builder)
+	net.Init(rand.New(rand.NewSource(1)))
+	params := net.Parameters()
+
+	b := newParallelBackend(cfg, 2)
+	if got := tensor.MaxThreads(); got != 1 {
+		t.Fatalf("MaxThreads with live pool = %d, want 1", got)
+	}
+	before := tensor.KernelFanouts()
+	var futs []Future
+	for i := 0; i < 4; i++ {
+		futs = append(futs, b.Launch(Subtask{Epoch: 0, Shard: i, Seed: int64(i), Params: params, Data: corpus.Train}))
+	}
+	for _, f := range futs {
+		f.Wait()
+	}
+	if got := tensor.KernelFanouts(); got != before {
+		t.Fatalf("pool workers fanned out %d times; parallelism must live in the pool only", got-before)
+	}
+	b.Close()
+	if got := tensor.MaxThreads(); got != 4 {
+		t.Fatalf("MaxThreads after Close = %d, want 4 (reservation not released)", got)
+	}
+
+	// Sanity: the same kernel shape does fan out once no pool holds the
+	// reservation.
+	before = tensor.KernelFanouts()
+	x := tensor.New(64, 256)
+	w := tensor.New(256, 256)
+	tensor.MatMul(x, w)
+	if tensor.KernelFanouts() == before {
+		t.Fatal("expected kernel fan-out after pool closed")
+	}
+}
+
+// TestParallelPoolDrainsUnawaitedFutures pins Close's work-conserving
+// drain: enqueued subtasks nobody awaited still compute.
+func TestParallelPoolDrainsUnawaitedFutures(t *testing.T) {
+	cfg, shard, params := backendFixture(t)
+	b := newParallelBackend(cfg, 2)
+	for i := 0; i < 3; i++ {
+		b.Launch(Subtask{Epoch: 0, Shard: i, Seed: int64(i), Params: params, Data: shard})
+	}
+	b.Close()
+	if got := b.Stats().Computed; got != 3 {
+		t.Fatalf("Computed after Close = %d, want 3", got)
+	}
+	b.Close() // idempotent
+}

@@ -42,6 +42,23 @@ func NewView(d *Dataset) *View {
 	return &View{base: d, idx: idx}
 }
 
+// Reset rebinds the view to d in identity order, reusing the index and
+// gather storage. A Reset view is indistinguishable from NewView(d) —
+// in particular the index permutation restarts from identity, so a
+// subsequent Shuffle with a given seed yields the same order whether
+// the view is fresh or recycled. This is what lets the executor's
+// scratch arena reuse one view across subtasks.
+func (v *View) Reset(d *Dataset) {
+	if cap(v.idx) < d.N() {
+		v.idx = make([]int, d.N())
+	}
+	v.idx = v.idx[:d.N()]
+	for i := range v.idx {
+		v.idx[i] = i
+	}
+	v.base = d
+}
+
 // N returns the number of samples in the view.
 func (v *View) N() int { return len(v.idx) }
 

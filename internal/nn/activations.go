@@ -163,6 +163,10 @@ func (d *Dropout) Grads() []*tensor.Tensor { return nil }
 type AvgPool2D struct {
 	K       int
 	inShape []int
+
+	// out/gout are the reused forward/backward outputs: out is fully
+	// assigned per call, gout is zeroed before window accumulation.
+	out, gout *tensor.Tensor
 }
 
 // NewAvgPool2D creates an average-pooling layer with window and stride k.
@@ -179,7 +183,8 @@ func (p *AvgPool2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	}
 	oh, ow := h/p.K, w/p.K
 	p.inShape = append(p.inShape[:0], n, c, h, w)
-	out := tensor.New(n, c, oh, ow)
+	p.out = tensor.EnsureShape(p.out, n, c, oh, ow)
+	out := p.out
 	inv := 1.0 / float64(p.K*p.K)
 	for i := 0; i < n*c; i++ {
 		plane := x.Data[i*h*w:]
@@ -202,7 +207,9 @@ func (p *AvgPool2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 func (p *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
 	oh, ow := h/p.K, w/p.K
-	out := tensor.New(n, c, h, w)
+	p.gout = tensor.EnsureShape(p.gout, n, c, h, w)
+	out := p.gout
+	out.Zero()
 	inv := 1.0 / float64(p.K*p.K)
 	for i := 0; i < n*c; i++ {
 		plane := out.Data[i*h*w:]

@@ -31,6 +31,10 @@ type BatchNorm struct {
 	invStd  []float64
 	shape   []int
 	grouped bool // true when input was NCHW
+
+	// out/gout are the reused forward/backward outputs, fully
+	// overwritten per call.
+	out, gout *tensor.Tensor
 }
 
 // NewBatchNorm creates a batch-norm layer over f features (columns for
@@ -89,12 +93,13 @@ func (bn *BatchNorm) featureIndex(g, f, i, inner int) int {
 func (bn *BatchNorm) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	groups, inner := bn.checkShape(x)
 	bn.shape = append(bn.shape[:0], x.Shape()...)
-	out := tensor.New(x.Shape()...)
+	bn.out = tensor.EnsureShape(bn.out, x.Shape()...)
+	out := bn.out
 	count := float64(groups * inner)
 	if bn.invStd == nil || len(bn.invStd) != bn.F {
 		bn.invStd = make([]float64, bn.F)
 	}
-	bn.xhat = tensor.New(x.Shape()...)
+	bn.xhat = tensor.EnsureShape(bn.xhat, x.Shape()...)
 	for f := 0; f < bn.F; f++ {
 		var mean, variance float64
 		if training {
@@ -145,7 +150,8 @@ func (bn *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		inner = bn.shape[2] * bn.shape[3]
 	}
 	count := float64(groups * inner)
-	out := tensor.New(bn.shape...)
+	bn.gout = tensor.EnsureShape(bn.gout, bn.shape...)
+	out := bn.gout
 	for f := 0; f < bn.F; f++ {
 		var sumG, sumGX float64
 		for g := 0; g < groups; g++ {

@@ -17,6 +17,14 @@ type Conv2D struct {
 
 	dims tensor.ConvDims
 	cols *tensor.Tensor
+
+	// Reused scratch for the lowering pipeline: the matmul product and
+	// NCHW output on forward; the rearranged grad, weight-grad product,
+	// bias-grad sums, column grad and input grad on backward. Every
+	// buffer is fully overwritten (or zeroed by its Into kernel) per
+	// call, so reuse cannot change results.
+	prod, out                     *tensor.Tensor
+	g, dWprod, dBsum, dCols, dImg *tensor.Tensor
 }
 
 // NewConv2D creates a square-kernel convolution layer.
@@ -50,12 +58,15 @@ func (c *Conv2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 		panic("nn: " + err.Error())
 	}
 	c.dims = d
-	c.cols = tensor.Im2Col(x, d)
+	c.cols = tensor.EnsureShape(c.cols, d.Batch*d.OutH*d.OutW, d.InC*d.KH*d.KW)
+	tensor.Im2ColInto(c.cols, x, d)
 	// [N*OH*OW, InC*K*K] @ [InC*K*K, OutC] -> [N*OH*OW, OutC]
-	prod := tensor.MatMulTransB(c.cols, c.W)
+	c.prod = tensor.EnsureShape(c.prod, d.Batch*d.OutH*d.OutW, d.OutC)
+	prod := tensor.MatMulTransBInto(c.prod, c.cols, c.W)
 	prod.AddRowVector(c.B)
 	// Rearrange [N*OH*OW, OutC] to [N, OutC, OH, OW].
-	out := tensor.New(d.Batch, d.OutC, d.OutH, d.OutW)
+	c.out = tensor.EnsureShape(c.out, d.Batch, d.OutC, d.OutH, d.OutW)
+	out := c.out
 	ohw := d.OutH * d.OutW
 	for n := 0; n < d.Batch; n++ {
 		for p := 0; p < ohw; p++ {
@@ -73,7 +84,8 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	d := c.dims
 	ohw := d.OutH * d.OutW
 	// Rearrange grad [N, OutC, OH, OW] to [N*OH*OW, OutC].
-	g := tensor.New(d.Batch*ohw, d.OutC)
+	c.g = tensor.EnsureShape(c.g, d.Batch*ohw, d.OutC)
+	g := c.g
 	for n := 0; n < d.Batch; n++ {
 		for oc := 0; oc < d.OutC; oc++ {
 			src := grad.Data[(n*d.OutC+oc)*ohw:]
@@ -82,12 +94,18 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	// dW[OutC, InC*K*K] += gᵀ @ cols ; dB += column sums of g.
-	c.dW.AddInPlace(tensor.MatMulTransA(g, c.cols))
-	c.dB.AddInPlace(tensor.SumRows(g))
+	// dW[OutC, InC*K*K] += gᵀ @ cols ; dB += column sums of g. Both run
+	// through zeroed scratch then AddInPlace to keep the historical
+	// accumulation order (float addition is order-sensitive).
+	c.dWprod = tensor.EnsureShape(c.dWprod, c.OutC, c.InC*c.K*c.K)
+	c.dW.AddInPlace(tensor.MatMulTransAInto(c.dWprod, g, c.cols))
+	c.dBsum = tensor.EnsureShape(c.dBsum, c.OutC)
+	c.dB.AddInPlace(tensor.SumRowsInto(c.dBsum, g))
 	// dCols = g @ W ; dX = col2im(dCols).
-	dCols := tensor.MatMul(g, c.W)
-	return tensor.Col2Im(dCols, d)
+	c.dCols = tensor.EnsureShape(c.dCols, d.Batch*ohw, d.InC*d.KH*d.KW)
+	tensor.MatMulInto(c.dCols, g, c.W)
+	c.dImg = tensor.EnsureShape(c.dImg, d.Batch, d.InC, d.InH, d.InW)
+	return tensor.Col2ImInto(c.dImg, c.dCols, d)
 }
 
 // Params implements Layer.

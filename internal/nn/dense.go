@@ -12,6 +12,12 @@ type Dense struct {
 	W, B    *tensor.Tensor
 	dW, dB  *tensor.Tensor
 	x       *tensor.Tensor
+
+	// Reused scratch: the activation output and the backward products.
+	// Each is fully overwritten by its Into kernel before use, so reuse
+	// is bit-invisible; the outputs are valid until the layer's next
+	// forward/backward call, which matches how Network consumes them.
+	out, dWprod, dBsum, dx *tensor.Tensor
 }
 
 // NewDense creates a Dense layer with zero parameters; call Init (or
@@ -38,17 +44,52 @@ func (d *Dense) Init(rng *rand.Rand) {
 // Forward implements Layer.
 func (d *Dense) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	d.x = x
-	out := tensor.MatMul(x, d.W)
-	out.AddRowVector(d.B)
-	return out
+	d.out = tensor.EnsureShape(d.out, x.Dim(0), d.Out)
+	tensor.MatMulInto(d.out, x, d.W)
+	d.out.AddRowVector(d.B)
+	return d.out
+}
+
+// forwardFused is the Dense→ReLU peephole Network.Forward applies: one
+// pass adds the bias, applies the rectifier and records r's mask, in
+// exactly the operation order of Forward followed by r.Forward — so the
+// result (and r's subsequent Backward) is bit-identical to the unfused
+// pair while skipping one full activation-tensor write+read.
+func (d *Dense) forwardFused(x *tensor.Tensor, r *ReLU) *tensor.Tensor {
+	d.x = x
+	d.out = tensor.EnsureShape(d.out, x.Dim(0), d.Out)
+	tensor.MatMulInto(d.out, x, d.W)
+	mask := r.ensureMask(d.out.Size())
+	rows := x.Dim(0)
+	for row := 0; row < rows; row++ {
+		o := d.out.Data[row*d.Out : (row+1)*d.Out]
+		m := mask[row*d.Out : (row+1)*d.Out]
+		for j, v := range o {
+			v += d.B.Data[j]
+			if v > 0 {
+				o[j] = v
+				m[j] = true
+			} else {
+				o[j] = 0
+				m[j] = false
+			}
+		}
+	}
+	return d.out
 }
 
 // Backward implements Layer.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	// dW += xᵀ grad ; dB += column sums ; dX = grad Wᵀ
-	d.dW.AddInPlace(tensor.MatMulTransA(d.x, grad))
-	d.dB.AddInPlace(tensor.SumRows(grad))
-	return tensor.MatMulTransB(grad, d.W)
+	// dW += xᵀ grad ; dB += column sums ; dX = grad Wᵀ. The products go
+	// through zeroed scratch then AddInPlace — NOT directly into dW/dB —
+	// because the two-step form is the accumulation order the historical
+	// kernel used and float addition is order-sensitive.
+	d.dWprod = tensor.EnsureShape(d.dWprod, d.In, d.Out)
+	d.dW.AddInPlace(tensor.MatMulTransAInto(d.dWprod, d.x, grad))
+	d.dBsum = tensor.EnsureShape(d.dBsum, d.Out)
+	d.dB.AddInPlace(tensor.SumRowsInto(d.dBsum, grad))
+	d.dx = tensor.EnsureShape(d.dx, grad.Dim(0), d.In)
+	return tensor.MatMulTransBInto(d.dx, grad, d.W)
 }
 
 // Params implements Layer.

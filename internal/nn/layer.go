@@ -36,6 +36,10 @@ type Layer interface {
 // ReLU is the rectified linear activation.
 type ReLU struct {
 	mask []bool
+
+	// out and gout are the reused forward/backward outputs, fully
+	// overwritten per call.
+	out, gout *tensor.Tensor
 }
 
 // NewReLU returns a ReLU activation layer.
@@ -44,33 +48,42 @@ func NewReLU() *ReLU { return &ReLU{} }
 // Name implements Layer.
 func (r *ReLU) Name() string { return "relu" }
 
+// ensureMask sizes the activation mask for n elements and returns it.
+func (r *ReLU) ensureMask(n int) []bool {
+	if cap(r.mask) < n {
+		r.mask = make([]bool, n)
+	}
+	r.mask = r.mask[:n]
+	return r.mask
+}
+
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
-	out := x.Clone()
-	if cap(r.mask) < x.Size() {
-		r.mask = make([]bool, x.Size())
-	}
-	r.mask = r.mask[:x.Size()]
-	for i, v := range out.Data {
+	r.out = tensor.EnsureShape(r.out, x.Shape()...)
+	r.ensureMask(x.Size())
+	for i, v := range x.Data {
 		if v > 0 {
 			r.mask[i] = true
+			r.out.Data[i] = v
 		} else {
 			r.mask[i] = false
-			out.Data[i] = 0
+			r.out.Data[i] = 0
 		}
 	}
-	return out
+	return r.out
 }
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := grad.Clone()
-	for i := range out.Data {
-		if !r.mask[i] {
-			out.Data[i] = 0
+	r.gout = tensor.EnsureShape(r.gout, grad.Shape()...)
+	for i, g := range grad.Data {
+		if r.mask[i] {
+			r.gout.Data[i] = g
+		} else {
+			r.gout.Data[i] = 0
 		}
 	}
-	return out
+	return r.gout
 }
 
 // Params implements Layer.

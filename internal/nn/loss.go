@@ -10,12 +10,17 @@ import (
 // SoftmaxCrossEntropy fuses the softmax activation with the categorical
 // cross-entropy loss, the standard classification head. Labels are class
 // indices.
-type SoftmaxCrossEntropy struct{}
+type SoftmaxCrossEntropy struct {
+	// grad is the reused gradient output, fully assigned per call and
+	// valid until the next LossAndGrad call.
+	grad *tensor.Tensor
+}
 
 // LossAndGrad computes the mean cross-entropy loss over the batch, the
 // gradient with respect to the logits, and the number of correct argmax
-// predictions. logits has shape [N, classes].
-func (SoftmaxCrossEntropy) LossAndGrad(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor, correct int) {
+// predictions. logits has shape [N, classes]. The returned gradient is
+// a reused buffer, valid until the next call.
+func (sce *SoftmaxCrossEntropy) LossAndGrad(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor, correct int) {
 	if logits.Rank() != 2 {
 		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy expects [N, classes], got %v", logits.Shape()))
 	}
@@ -23,7 +28,8 @@ func (SoftmaxCrossEntropy) LossAndGrad(logits *tensor.Tensor, labels []int) (los
 	if len(labels) != n {
 		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), n))
 	}
-	grad = tensor.New(n, c)
+	sce.grad = tensor.EnsureShape(sce.grad, n, c)
+	grad = sce.grad
 	invN := 1.0 / float64(n)
 	for i := 0; i < n; i++ {
 		row := logits.Data[i*c : (i+1)*c]

@@ -29,6 +29,12 @@ type Network struct {
 	Loss   SoftmaxCrossEntropy
 
 	builder func() []Layer
+
+	// Cached Params/Grads/state tensor lists. Layer tensor identity is
+	// fixed at construction (layers mutate tensor *contents*, never swap
+	// the tensors), so the lists are computed once and the optimizer's
+	// per-step calls stop allocating.
+	paramCache, gradCache, stateCache []*tensor.Tensor
 }
 
 // NewNetwork constructs a network from a builder so that the network can be
@@ -55,11 +61,21 @@ func (n *Network) Clone() *Network {
 	return c
 }
 
-// Forward runs the full stack and returns the logits.
+// Forward runs the full stack and returns the logits. Adjacent
+// Dense→ReLU pairs take the fused bias+activation path, which is
+// bit-identical to running the two layers separately (same operations
+// in the same order, one traversal) — see Dense.forwardFused.
 func (n *Network) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	out := x
-	for _, l := range n.Layers {
-		out = l.Forward(out, training)
+	for i := 0; i < len(n.Layers); i++ {
+		if d, ok := n.Layers[i].(*Dense); ok && i+1 < len(n.Layers) {
+			if r, ok := n.Layers[i+1].(*ReLU); ok {
+				out = d.forwardFused(out, r)
+				i++
+				continue
+			}
+		}
+		out = n.Layers[i].Forward(out, training)
 	}
 	return out
 }
@@ -87,38 +103,42 @@ func (n *Network) EvalBatch(x *tensor.Tensor, labels []int) (loss float64, corre
 
 // ZeroGrads clears all accumulated gradients.
 func (n *Network) ZeroGrads() {
-	for _, l := range n.Layers {
-		for _, g := range l.Grads() {
-			g.Zero()
-		}
+	for _, g := range n.GradTensors() {
+		g.Zero()
 	}
 }
 
-// ParamTensors returns all trainable parameter tensors in a stable order.
+// ParamTensors returns all trainable parameter tensors in a stable
+// order. The returned slice is cached and shared — callers must not
+// modify it.
 func (n *Network) ParamTensors() []*tensor.Tensor {
-	var ps []*tensor.Tensor
-	for _, l := range n.Layers {
-		ps = append(ps, l.Params()...)
+	if n.paramCache == nil {
+		for _, l := range n.Layers {
+			n.paramCache = append(n.paramCache, l.Params()...)
+		}
 	}
-	return ps
+	return n.paramCache
 }
 
 // GradTensors returns gradient tensors aligned 1:1 with ParamTensors.
+// The returned slice is cached and shared — callers must not modify it.
 func (n *Network) GradTensors() []*tensor.Tensor {
-	var gs []*tensor.Tensor
-	for _, l := range n.Layers {
-		gs = append(gs, l.Grads()...)
+	if n.gradCache == nil {
+		for _, l := range n.Layers {
+			n.gradCache = append(n.gradCache, l.Grads()...)
+		}
 	}
-	return gs
+	return n.gradCache
 }
 
 // stateTensors returns non-trainable state tensors in a stable order.
 func (n *Network) stateTensors() []*tensor.Tensor {
-	var ss []*tensor.Tensor
-	for _, l := range n.Layers {
-		ss = appendState(ss, l)
+	if n.stateCache == nil {
+		for _, l := range n.Layers {
+			n.stateCache = appendState(n.stateCache, l)
+		}
 	}
-	return ss
+	return n.stateCache
 }
 
 func appendState(ss []*tensor.Tensor, l Layer) []*tensor.Tensor {
@@ -137,9 +157,12 @@ func appendState(ss []*tensor.Tensor, l Layer) []*tensor.Tensor {
 }
 
 // blobTensors is the full set of tensors included in the flat parameter
-// blob: trainable parameters followed by non-trainable state.
+// blob: trainable parameters followed by non-trainable state. Built
+// fresh so it never aliases the cached lists' backing arrays.
 func (n *Network) blobTensors() []*tensor.Tensor {
-	return append(n.ParamTensors(), n.stateTensors()...)
+	ps, ss := n.ParamTensors(), n.stateTensors()
+	out := make([]*tensor.Tensor, 0, len(ps)+len(ss))
+	return append(append(out, ps...), ss...)
 }
 
 // ParamCount returns the length of the flat parameter blob.

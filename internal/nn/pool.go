@@ -14,6 +14,10 @@ type MaxPool2D struct {
 
 	inShape []int
 	argmax  []int
+
+	// out/gout are the reused forward/backward outputs: out is fully
+	// assigned per call, gout is zeroed before the argmax scatter.
+	out, gout *tensor.Tensor
 }
 
 // NewMaxPool2D creates a max-pooling layer with window and stride k.
@@ -33,7 +37,8 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	}
 	oh, ow := h/p.K, w/p.K
 	p.inShape = append(p.inShape[:0], n, c, h, w)
-	out := tensor.New(n, c, oh, ow)
+	p.out = tensor.EnsureShape(p.out, n, c, oh, ow)
+	out := p.out
 	if cap(p.argmax) < out.Size() {
 		p.argmax = make([]int, out.Size())
 	}
@@ -63,7 +68,9 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(p.inShape...)
+	p.gout = tensor.EnsureShape(p.gout, p.inShape...)
+	out := p.gout
+	out.Zero()
 	for o, src := range p.argmax {
 		out.Data[src] += grad.Data[o]
 	}
@@ -83,6 +90,10 @@ func (p *MaxPool2D) Init(*rand.Rand) {}
 // channel plane. It is the standard classifier head reduction in ResNets.
 type GlobalAvgPool2D struct {
 	inShape []int
+
+	// out/gout are the reused forward/backward outputs, fully assigned
+	// per call.
+	out, gout *tensor.Tensor
 }
 
 // NewGlobalAvgPool2D creates a global average pooling layer.
@@ -98,7 +109,8 @@ func (p *GlobalAvgPool2D) Forward(x *tensor.Tensor, training bool) *tensor.Tenso
 	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	p.inShape = append(p.inShape[:0], n, c, h, w)
-	out := tensor.New(n, c)
+	p.out = tensor.EnsureShape(p.out, n, c)
+	out := p.out
 	hw := float64(h * w)
 	for i := 0; i < n*c; i++ {
 		plane := x.Data[i*h*w : (i+1)*h*w]
@@ -114,7 +126,8 @@ func (p *GlobalAvgPool2D) Forward(x *tensor.Tensor, training bool) *tensor.Tenso
 // Backward implements Layer.
 func (p *GlobalAvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
-	out := tensor.New(n, c, h, w)
+	p.gout = tensor.EnsureShape(p.gout, n, c, h, w)
+	out := p.gout
 	inv := 1.0 / float64(h*w)
 	for i := 0; i < n*c; i++ {
 		g := grad.Data[i] * inv

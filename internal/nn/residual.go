@@ -14,6 +14,11 @@ type Residual struct {
 	Body []Layer
 	// Proj, if non-nil, is applied to the skip path (1x1 conv etc.).
 	Proj []Layer
+
+	// sum/gsum are the reused forward/backward join outputs, fully
+	// assigned per call. They are owned by this block, so they never
+	// alias the body/skip operands (which belong to inner layers).
+	sum, gsum *tensor.Tensor
 }
 
 // NewResidual creates an identity-skip residual block.
@@ -48,7 +53,8 @@ func (r *Residual) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	for _, l := range r.Proj {
 		skip = l.Forward(skip, training)
 	}
-	return tensor.Add(out, skip)
+	r.sum = tensor.EnsureShape(r.sum, out.Shape()...)
+	return tensor.AddInto(r.sum, out, skip)
 }
 
 // Backward implements Layer.
@@ -61,7 +67,8 @@ func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	for i := len(r.Proj) - 1; i >= 0; i-- {
 		skipGrad = r.Proj[i].Backward(skipGrad)
 	}
-	return tensor.Add(bodyGrad, skipGrad)
+	r.gsum = tensor.EnsureShape(r.gsum, bodyGrad.Shape()...)
+	return tensor.AddInto(r.gsum, bodyGrad, skipGrad)
 }
 
 // Params implements Layer.

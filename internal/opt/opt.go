@@ -137,6 +137,25 @@ func (a *Adam) Step(params, grads []*tensor.Tensor) {
 	}
 }
 
+// Reset returns the optimizer to its freshly-constructed state — step
+// count zero, momenta cleared — while keeping the allocated moment
+// storage for reuse. A Reset Adam stepped with the same tensor lists is
+// bit-identical to a NewAdam, which is what lets the executor's scratch
+// arena reuse one optimizer across subtasks.
+func (a *Adam) Reset() {
+	a.t = 0
+	for _, m := range a.m {
+		for j := range m {
+			m[j] = 0
+		}
+	}
+	for _, v := range a.v {
+		for j := range v {
+			v[j] = 0
+		}
+	}
+}
+
 func checkAligned(params, grads []*tensor.Tensor) {
 	if len(params) != len(grads) {
 		panic(fmt.Sprintf("opt: %d params but %d grads", len(params), len(grads)))

@@ -33,10 +33,20 @@ func NewConvDims(batch, inC, inH, inW, outC, kh, kw, stride, pad int) (ConvDims,
 // [N*OutH*OutW, C*KH*KW] so convolution becomes a single MatMul with the
 // reshaped kernel.
 func Im2Col(x *Tensor, d ConvDims) *Tensor {
+	return Im2ColInto(New(d.Batch*d.OutH*d.OutW, d.InC*d.KH*d.KW), x, d)
+}
+
+// Im2ColInto unrolls x into caller-owned cols (shape
+// [N*OutH*OutW, C*KH*KW]). Every element of cols is overwritten —
+// padding positions are written as explicit zeros — so cols needs no
+// pre-clearing and reuse across calls is safe. Returns cols.
+func Im2ColInto(cols, x *Tensor, d ConvDims) *Tensor {
 	if x.Rank() != 4 {
 		panic(fmt.Sprintf("tensor: Im2Col wants NCHW rank-4 input, got %v", x.shape))
 	}
-	cols := New(d.Batch*d.OutH*d.OutW, d.InC*d.KH*d.KW)
+	if rows, width := d.Batch*d.OutH*d.OutW, d.InC*d.KH*d.KW; cols.Rank() != 2 || cols.shape[0] != rows || cols.shape[1] != width {
+		panic(fmt.Sprintf("tensor: Im2ColInto dst shape %v, want [%d %d]", cols.shape, rows, width))
+	}
 	chw := d.InC * d.InH * d.InW
 	hw := d.InH * d.InW
 	colW := d.InC * d.KH * d.KW
@@ -71,7 +81,16 @@ func Im2Col(x *Tensor, d ConvDims) *Tensor {
 // an NCHW image tensor, accumulating overlapping contributions. It is the
 // adjoint of Im2Col and is used for the convolution input gradient.
 func Col2Im(cols *Tensor, d ConvDims) *Tensor {
-	x := New(d.Batch, d.InC, d.InH, d.InW)
+	return Col2ImInto(New(d.Batch, d.InC, d.InH, d.InW), cols, d)
+}
+
+// Col2ImInto scatters cols into caller-owned x (NCHW), zeroing x first
+// because overlapping kernel windows accumulate. Returns x.
+func Col2ImInto(x, cols *Tensor, d ConvDims) *Tensor {
+	if x.Rank() != 4 || x.shape[0] != d.Batch || x.shape[1] != d.InC || x.shape[2] != d.InH || x.shape[3] != d.InW {
+		panic(fmt.Sprintf("tensor: Col2ImInto dst shape %v, want [%d %d %d %d]", x.shape, d.Batch, d.InC, d.InH, d.InW))
+	}
+	zeroFloats(x.Data)
 	chw := d.InC * d.InH * d.InW
 	hw := d.InH * d.InW
 	colW := d.InC * d.KH * d.KW

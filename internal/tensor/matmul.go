@@ -2,7 +2,6 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 )
 
@@ -11,26 +10,63 @@ import (
 // dominates.
 const matmulParallelThreshold = 64 * 64
 
+// Cache tile sizes. Tiling covers the i (output row) and j (output
+// column) dimensions ONLY — never k. Every output element accumulates
+// its k products in strictly ascending-p order, exactly like the naive
+// triple loop, so tiled results are bit-identical to the reference
+// kernel (float addition is not associative; reordering k would change
+// low-order bits). A tileI×tileJ destination block plus the matching
+// b-panel stripe stays resident while k streams through it.
+const (
+	matmulTileI = 64
+	matmulTileJ = 256
+)
+
 // MatMul returns a @ b for rank-2 tensors a [m,k] and b [k,n].
-// The kernel is an ikj loop (streaming through b rows) which is cache
-// friendly for row-major data, and splits rows of a across goroutines for
-// large products.
+// The kernel is a cache-tiled ikj loop (streaming through b rows),
+// and splits row blocks of a across goroutines for large products.
 func MatMul(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: MatMul wants rank-2 operands, got %v and %v", a.shape, b.shape))
-	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
-	}
+	m, n := matmulShape(a, b)
 	out := New(m, n)
-	matMulInto(out.Data, a.Data, b.Data, m, k, n)
+	matMulInto(out.Data, a.Data, b.Data, m, a.shape[1], n)
 	return out
 }
 
+// MatMulInto computes dst = a @ b using caller-owned storage. dst must
+// be rank-2 with shape [m,n]; its prior contents are discarded. Results
+// are bit-identical to MatMul. Returns dst.
+func MatMulInto(dst, a, b *Tensor) *Tensor {
+	m, n := matmulShape(a, b)
+	checkDstShape("MatMulInto", dst, m, n)
+	zeroFloats(dst.Data)
+	matMulInto(dst.Data, a.Data, b.Data, m, a.shape[1], n)
+	return dst
+}
+
+func matmulShape(a, b *Tensor) (m, n int) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul wants rank-2 operands, got %v and %v", a.shape, b.shape))
+	}
+	if a.shape[1] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	return a.shape[0], b.shape[1]
+}
+
+func checkDstShape(op string, dst *Tensor, m, n int) {
+	if dst.Rank() != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s dst shape %v, want [%d %d]", op, dst.shape, m, n))
+	}
+}
+
+func zeroFloats(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
 func matMulInto(dst, a, b []float64, m, k, n int) {
-	workers := runtime.GOMAXPROCS(0)
+	workers := MaxThreads()
 	if m*n < matmulParallelThreshold || workers <= 1 || m < 2 {
 		matMulRange(dst, a, b, 0, m, k, n)
 		return
@@ -38,6 +74,7 @@ func matMulInto(dst, a, b []float64, m, k, n int) {
 	if workers > m {
 		workers = m
 	}
+	fanoutSpawns.Add(1)
 	var wg sync.WaitGroup
 	chunk := (m + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -58,18 +95,33 @@ func matMulInto(dst, a, b []float64, m, k, n int) {
 	wg.Wait()
 }
 
-// matMulRange computes rows [lo,hi) of dst = a @ b.
+// matMulRange computes rows [lo,hi) of dst += a @ b, tiled over i and j.
+// dst rows [lo,hi) must be zero (or hold a partial sum being extended).
+// Accumulation into each dst element runs over p in ascending order with
+// the same zero-skip as the naive kernel, so output bits match it.
 func matMulRange(dst, a, b []float64, lo, hi, k, n int) {
-	for i := lo; i < hi; i++ {
-		di := dst[i*n : (i+1)*n]
-		ai := a[i*k : (i+1)*k]
-		for p, av := range ai {
-			if av == 0 {
-				continue
+	for ib := lo; ib < hi; ib += matmulTileI {
+		ie := ib + matmulTileI
+		if ie > hi {
+			ie = hi
+		}
+		for jb := 0; jb < n; jb += matmulTileJ {
+			je := jb + matmulTileJ
+			if je > n {
+				je = n
 			}
-			bp := b[p*n : (p+1)*n]
-			for j, bv := range bp {
-				di[j] += av * bv
+			for i := ib; i < ie; i++ {
+				di := dst[i*n+jb : i*n+je]
+				ai := a[i*k : (i+1)*k]
+				for p, av := range ai {
+					if av == 0 {
+						continue
+					}
+					bp := b[p*n+jb : p*n+je]
+					for j, bv := range bp {
+						di[j] += av * bv
+					}
+				}
 			}
 		}
 	}
@@ -78,55 +130,117 @@ func matMulRange(dst, a, b []float64, lo, hi, k, n int) {
 // MatMulTransA returns aᵀ @ b for a [k,m] and b [k,n], without materialising
 // the transpose. Used by Dense backward for the weight gradient.
 func MatMulTransA(a, b *Tensor) *Tensor {
+	m, n := matmulTransAShape(a, b)
+	out := New(m, n)
+	matMulTransARange(out.Data, a.Data, b.Data, a.shape[0], m, n)
+	return out
+}
+
+// MatMulTransAInto computes dst = aᵀ @ b into caller-owned storage,
+// discarding dst's prior contents. Bit-identical to MatMulTransA.
+func MatMulTransAInto(dst, a, b *Tensor) *Tensor {
+	m, n := matmulTransAShape(a, b)
+	checkDstShape("MatMulTransAInto", dst, m, n)
+	zeroFloats(dst.Data)
+	matMulTransARange(dst.Data, a.Data, b.Data, a.shape[0], m, n)
+	return dst
+}
+
+func matmulTransAShape(a, b *Tensor) (m, n int) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMulTransA wants rank-2 operands, got %v and %v", a.shape, b.shape))
 	}
-	k, m := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
+	if a.shape[0] != b.shape[0] {
 		panic(fmt.Sprintf("tensor: MatMulTransA outer dimension mismatch %v x %v", a.shape, b.shape))
 	}
-	out := New(m, n)
-	// outᵀ[m,n] = sum_p a[p,m] * b[p,n]
-	for p := 0; p < k; p++ {
-		ap := a.Data[p*m : (p+1)*m]
-		bp := b.Data[p*n : (p+1)*n]
-		for i, av := range ap {
-			if av == 0 {
-				continue
+	return a.shape[1], b.shape[1]
+}
+
+// matMulTransARange computes dst += aᵀ @ b tiled over i and j, with p
+// streaming in ascending order inside each tile: per-element
+// accumulation order matches the naive p-outer kernel exactly.
+func matMulTransARange(dst, a, b []float64, k, m, n int) {
+	for ib := 0; ib < m; ib += matmulTileI {
+		ie := ib + matmulTileI
+		if ie > m {
+			ie = m
+		}
+		for jb := 0; jb < n; jb += matmulTileJ {
+			je := jb + matmulTileJ
+			if je > n {
+				je = n
 			}
-			di := out.Data[i*n : (i+1)*n]
-			for j, bv := range bp {
-				di[j] += av * bv
+			for p := 0; p < k; p++ {
+				ap := a[p*m+ib : p*m+ie]
+				bp := b[p*n+jb : p*n+je]
+				for ii, av := range ap {
+					if av == 0 {
+						continue
+					}
+					di := dst[(ib+ii)*n+jb : (ib+ii)*n+je]
+					for j, bv := range bp {
+						di[j] += av * bv
+					}
+				}
 			}
 		}
 	}
-	return out
 }
 
 // MatMulTransB returns a @ bᵀ for a [m,k] and b [n,k], without materialising
 // the transpose. Used by Dense backward for the input gradient.
 func MatMulTransB(a, b *Tensor) *Tensor {
+	m, n := matmulTransBShape(a, b)
+	out := New(m, n)
+	matMulTransBRange(out.Data, a.Data, b.Data, m, a.shape[1], n)
+	return out
+}
+
+// MatMulTransBInto computes dst = a @ bᵀ into caller-owned storage,
+// overwriting every element of dst. Bit-identical to MatMulTransB.
+func MatMulTransBInto(dst, a, b *Tensor) *Tensor {
+	m, n := matmulTransBShape(a, b)
+	checkDstShape("MatMulTransBInto", dst, m, n)
+	matMulTransBRange(dst.Data, a.Data, b.Data, m, a.shape[1], n)
+	return dst
+}
+
+func matmulTransBShape(a, b *Tensor) (m, n int) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMulTransB wants rank-2 operands, got %v and %v", a.shape, b.shape))
 	}
-	m, k := a.shape[0], a.shape[1]
-	n, k2 := b.shape[0], b.shape[1]
-	if k != k2 {
+	if a.shape[1] != b.shape[1] {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v x %v", a.shape, b.shape))
 	}
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		ai := a.Data[i*k : (i+1)*k]
-		di := out.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			bj := b.Data[j*k : (j+1)*k]
-			s := 0.0
-			for p := range ai {
-				s += ai[p] * bj[p]
+	return a.shape[0], b.shape[0]
+}
+
+// matMulTransBRange assigns dst = a @ bᵀ tiled over i and j. Each
+// element is an independent dot product accumulated in ascending-p
+// order into a scalar, so tiling cannot change its bits.
+func matMulTransBRange(dst, a, b []float64, m, k, n int) {
+	for ib := 0; ib < m; ib += matmulTileI {
+		ie := ib + matmulTileI
+		if ie > m {
+			ie = m
+		}
+		for jb := 0; jb < n; jb += matmulTileJ {
+			je := jb + matmulTileJ
+			if je > n {
+				je = n
 			}
-			di[j] = s
+			for i := ib; i < ie; i++ {
+				ai := a[i*k : (i+1)*k]
+				di := dst[i*n : (i+1)*n]
+				for j := jb; j < je; j++ {
+					bj := b[j*k : (j+1)*k]
+					s := 0.0
+					for p := range ai {
+						s += ai[p] * bj[p]
+					}
+					di[j] = s
+				}
+			}
 		}
 	}
-	return out
 }

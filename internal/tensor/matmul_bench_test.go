@@ -1,0 +1,93 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchPair(rng *rand.Rand, m, k, n int) (*Tensor, *Tensor) {
+	a := New(m, k)
+	b := New(k, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	return a, b
+}
+
+// BenchmarkMatMulInto measures the tiled serial kernel through
+// caller-owned scratch: the shape the executor hot path uses. The
+// pinned-zero alloc guard in CI watches this benchmark.
+func BenchmarkMatMulInto(bm *testing.B) {
+	for _, size := range []int{64, 128, 256} {
+		bm.Run(fmt.Sprintf("%dx%dx%d", size, size, size), func(bm *testing.B) {
+			release := ReserveSerial()
+			defer release()
+			rng := rand.New(rand.NewSource(1))
+			a, b := benchPair(rng, size, size, size)
+			dst := New(size, size)
+			bm.ReportAllocs()
+			bm.ResetTimer()
+			for i := 0; i < bm.N; i++ {
+				MatMulInto(dst, a, b)
+			}
+			flops := 2 * float64(size) * float64(size) * float64(size)
+			bm.ReportMetric(flops*float64(bm.N)/bm.Elapsed().Seconds()/1e9, "GFLOPS")
+		})
+	}
+}
+
+func BenchmarkMatMulTransAInto(bm *testing.B) {
+	const size = 128
+	release := ReserveSerial()
+	defer release()
+	rng := rand.New(rand.NewSource(2))
+	a, b := benchPair(rng, size, size, size)
+	dst := New(size, size)
+	bm.ReportAllocs()
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		MatMulTransAInto(dst, a, b)
+	}
+	flops := 2 * float64(size) * float64(size) * float64(size)
+	bm.ReportMetric(flops*float64(bm.N)/bm.Elapsed().Seconds()/1e9, "GFLOPS")
+}
+
+func BenchmarkMatMulTransBInto(bm *testing.B) {
+	const size = 128
+	release := ReserveSerial()
+	defer release()
+	rng := rand.New(rand.NewSource(3))
+	a, b := benchPair(rng, size, size, size)
+	dst := New(size, size)
+	bm.ReportAllocs()
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		MatMulTransBInto(dst, a, b)
+	}
+	flops := 2 * float64(size) * float64(size) * float64(size)
+	bm.ReportMetric(flops*float64(bm.N)/bm.Elapsed().Seconds()/1e9, "GFLOPS")
+}
+
+// BenchmarkIm2ColInto measures the unroll step of the convolution
+// lowering on the paper CNN's first-layer geometry. Alloc-pinned to 0.
+func BenchmarkIm2ColInto(bm *testing.B) {
+	d, err := NewConvDims(8, 1, 14, 14, 8, 3, 3, 1, 1)
+	if err != nil {
+		bm.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	x := New(d.Batch, d.InC, d.InH, d.InW)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	cols := New(d.Batch*d.OutH*d.OutW, d.InC*d.KH*d.KW)
+	bm.ReportAllocs()
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		Im2ColInto(cols, x, d)
+	}
+}

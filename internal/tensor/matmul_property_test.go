@@ -1,0 +1,279 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Naive reference kernels: the untiled loops the tiled implementations
+// must match bit-for-bit. They carry the exact zero-skip of the
+// production kernels — skipping av == 0 is observable in floating point
+// (0 × Inf = NaN, and −0.0 + 0.0 = +0.0 would flip a −0.0 partial sum)
+// so the reference must skip identically.
+
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			av := a.Data[i*k+p]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				out.Data[i*n+j] += av * b.Data[p*n+j]
+			}
+		}
+	}
+	return out
+}
+
+func naiveMatMulTransA(a, b *Tensor) *Tensor {
+	k, m := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		for i := 0; i < m; i++ {
+			av := a.Data[p*m+i]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				out.Data[i*n+j] += av * b.Data[p*n+j]
+			}
+		}
+	}
+	return out
+}
+
+func naiveMatMulTransB(a, b *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += a.Data[i*k+p] * b.Data[j*k+p]
+			}
+			out.Data[i*n+j] = s
+		}
+	}
+	return out
+}
+
+// propShapes exercises the tile boundaries: 1×1, prime dims, and the
+// tile edges ±1 in both blocked dimensions (tileI=64, tileJ=256).
+var propShapes = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{1, 7, 1},
+	{7, 13, 31},
+	{3, 257, 5},
+	{63, 17, 255},
+	{64, 16, 256},
+	{65, 19, 257},
+	{129, 5, 511},
+	{2, 3, 259},
+	{97, 101, 103},
+}
+
+func randTensor(rng *rand.Rand, r, c int) *Tensor {
+	t := New(r, c)
+	for i := range t.Data {
+		switch rng.Intn(8) {
+		case 0:
+			t.Data[i] = 0 // exercise the zero-skip path
+		case 1:
+			t.Data[i] = math.Copysign(0, -1) // −0.0 compares == 0, so both kernels skip it
+		default:
+			t.Data[i] = rng.NormFloat64()
+		}
+	}
+	return t
+}
+
+func bitsEqual(t *testing.T, name string, got, want *Tensor) {
+	t.Helper()
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("%s: length %d, want %d", name, len(got.Data), len(want.Data))
+	}
+	for i := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("%s: element %d = %x (%g), want %x (%g)",
+				name, i, math.Float64bits(got.Data[i]), got.Data[i],
+				math.Float64bits(want.Data[i]), want.Data[i])
+		}
+	}
+}
+
+func TestMatMulBitIdenticalToNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, s := range propShapes {
+		a := randTensor(rng, s.m, s.k)
+		b := randTensor(rng, s.k, s.n)
+		bitsEqual(t, "MatMul", MatMul(a, b), naiveMatMul(a, b))
+
+		// Into variant through dirty scratch must match too.
+		dst := New(s.m, s.n)
+		for i := range dst.Data {
+			dst.Data[i] = math.NaN()
+		}
+		bitsEqual(t, "MatMulInto", MatMulInto(dst, a, b), naiveMatMul(a, b))
+	}
+}
+
+func TestMatMulTransABitIdenticalToNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, s := range propShapes {
+		a := randTensor(rng, s.k, s.m)
+		b := randTensor(rng, s.k, s.n)
+		bitsEqual(t, "MatMulTransA", MatMulTransA(a, b), naiveMatMulTransA(a, b))
+
+		dst := New(s.m, s.n)
+		for i := range dst.Data {
+			dst.Data[i] = math.Inf(1)
+		}
+		bitsEqual(t, "MatMulTransAInto", MatMulTransAInto(dst, a, b), naiveMatMulTransA(a, b))
+	}
+}
+
+func TestMatMulTransBBitIdenticalToNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, s := range propShapes {
+		a := randTensor(rng, s.m, s.k)
+		b := randTensor(rng, s.n, s.k)
+		bitsEqual(t, "MatMulTransB", MatMulTransB(a, b), naiveMatMulTransB(a, b))
+
+		dst := New(s.m, s.n)
+		for i := range dst.Data {
+			dst.Data[i] = -1
+		}
+		bitsEqual(t, "MatMulTransBInto", MatMulTransBInto(dst, a, b), naiveMatMulTransB(a, b))
+	}
+}
+
+// TestMatMulParallelBitIdentical pins that the goroutine fan-out path
+// (which splits i, a tiled dimension) produces the same bits as the
+// serial path for shapes above the parallel threshold.
+func TestMatMulParallelBitIdentical(t *testing.T) {
+	prev := SetMaxThreads(4)
+	defer SetMaxThreads(prev)
+	rng := rand.New(rand.NewSource(12))
+	a := randTensor(rng, 129, 65)
+	b := randTensor(rng, 65, 67)
+	got := MatMul(a, b)
+
+	release := ReserveSerial()
+	want := MatMul(a, b)
+	release()
+	bitsEqual(t, "MatMul(parallel)", got, want)
+	bitsEqual(t, "MatMul(naive)", got, naiveMatMul(a, b))
+}
+
+func naiveIm2Col(x *Tensor, d ConvDims) *Tensor {
+	cols := New(d.Batch*d.OutH*d.OutW, d.InC*d.KH*d.KW)
+	chw := d.InC * d.InH * d.InW
+	hw := d.InH * d.InW
+	colW := d.InC * d.KH * d.KW
+	for n := 0; n < d.Batch; n++ {
+		for oy := 0; oy < d.OutH; oy++ {
+			for ox := 0; ox < d.OutW; ox++ {
+				ci := 0
+				for c := 0; c < d.InC; c++ {
+					for ky := 0; ky < d.KH; ky++ {
+						iy := oy*d.Stride + ky - d.Pad
+						for kx := 0; kx < d.KW; kx++ {
+							ix := ox*d.Stride + kx - d.Pad
+							if iy >= 0 && iy < d.InH && ix >= 0 && ix < d.InW {
+								cols.Data[((n*d.OutH+oy)*d.OutW+ox)*colW+ci] = x.Data[n*chw+c*hw+iy*d.InW+ix]
+							}
+							ci++
+						}
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+func TestIm2ColIntoBitIdenticalToNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	geoms := []struct{ b, c, h, w, oc, kh, kw, stride, pad int }{
+		{1, 1, 1, 1, 1, 1, 1, 1, 0},
+		{2, 3, 7, 5, 4, 3, 3, 1, 1},
+		{1, 2, 13, 11, 3, 5, 3, 2, 2},
+		{3, 1, 9, 9, 2, 2, 2, 3, 0},
+	}
+	for _, g := range geoms {
+		d, err := NewConvDims(g.b, g.c, g.h, g.w, g.oc, g.kh, g.kw, g.stride, g.pad)
+		if err != nil {
+			t.Fatalf("NewConvDims: %v", err)
+		}
+		x := randTensor(rng, 1, g.b*g.c*g.h*g.w)
+		x = x.Reshape(g.b, g.c, g.h, g.w)
+		want := naiveIm2Col(x, d)
+		bitsEqual(t, "Im2Col", Im2Col(x, d), want)
+
+		// Reused dirty scratch: every element must be overwritten,
+		// including padding zeros.
+		dst := New(d.Batch*d.OutH*d.OutW, d.InC*d.KH*d.KW)
+		for i := range dst.Data {
+			dst.Data[i] = math.NaN()
+		}
+		bitsEqual(t, "Im2ColInto", Im2ColInto(dst, x, d), want)
+
+		// Col2ImInto through dirty scratch matches Col2Im.
+		cols := want
+		img := New(d.Batch, d.InC, d.InH, d.InW)
+		for i := range img.Data {
+			img.Data[i] = math.NaN()
+		}
+		bitsEqual(t, "Col2ImInto", Col2ImInto(img, cols, d), Col2Im(cols, d))
+	}
+}
+
+// TestReserveSerialSuppressesFanout is the nested-parallelism
+// regression test: while a serial reservation is held (as pool workers
+// hold one), a kernel large enough to fan out must not spawn goroutines.
+func TestReserveSerialSuppressesFanout(t *testing.T) {
+	prev := SetMaxThreads(4) // the host may be single-core; force a cap that would fan out
+	defer SetMaxThreads(prev)
+
+	a := New(128, 64)
+	b := New(64, 128)
+	for i := range a.Data {
+		a.Data[i] = 1
+	}
+	for i := range b.Data {
+		b.Data[i] = 1
+	}
+
+	MatMul(a, b) // warm: fan-out expected here
+	if MaxThreads() != 4 {
+		t.Fatalf("MaxThreads = %d, want 4", MaxThreads())
+	}
+
+	release := ReserveSerial()
+	if MaxThreads() != 1 {
+		t.Fatalf("MaxThreads under reservation = %d, want 1", MaxThreads())
+	}
+	before := KernelFanouts()
+	MatMul(a, b)
+	if got := KernelFanouts(); got != before {
+		t.Fatalf("kernel fanned out %d times under serial reservation", got-before)
+	}
+	release()
+	release() // idempotent
+
+	if MaxThreads() != 4 {
+		t.Fatalf("MaxThreads after release = %d, want 4", MaxThreads())
+	}
+	before = KernelFanouts()
+	MatMul(a, b)
+	if KernelFanouts() == before {
+		t.Fatalf("kernel did not fan out after reservation released")
+	}
+}

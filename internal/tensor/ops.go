@@ -183,6 +183,69 @@ func SumRows(t *Tensor) *Tensor {
 	return out
 }
 
+// SumRowsInto is SumRows through caller-owned dst (shape [cols]): dst
+// is zeroed, then rows accumulate in ascending order — bit-identical to
+// SumRows. Returns dst.
+func SumRowsInto(dst, t *Tensor) *Tensor {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: SumRows wants rank 2, got %v", t.shape))
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	if dst.Size() != cols {
+		panic(fmt.Sprintf("tensor: SumRowsInto dst size %d, want %d", dst.Size(), cols))
+	}
+	zeroFloats(dst.Data)
+	for r := 0; r < rows; r++ {
+		row := t.Data[r*cols : (r+1)*cols]
+		for c, v := range row {
+			dst.Data[c] += v
+		}
+	}
+	return dst
+}
+
+// AddInto computes dst = t + u elementwise into caller-owned dst,
+// overwriting every element. dst may alias t or u. Returns dst.
+func AddInto(dst, t, u *Tensor) *Tensor {
+	checkSameShape("Add", t, u)
+	if dst.Size() != t.Size() {
+		panic(fmt.Sprintf("tensor: AddInto dst size %d, want %d", dst.Size(), t.Size()))
+	}
+	for i := range t.Data {
+		dst.Data[i] = t.Data[i] + u.Data[i]
+	}
+	return dst
+}
+
+// EnsureShape returns a tensor with exactly the given shape, reusing
+// t's backing storage when it has the capacity (t itself when the shape
+// already matches) and allocating otherwise. Reused contents are
+// unspecified — callers must overwrite or Zero before accumulating.
+// This is the scratch-arena primitive the nn layers use to stop
+// allocating activations per batch.
+func EnsureShape(t *Tensor, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if t == nil || cap(t.Data) < n {
+		return New(shape...)
+	}
+	if len(t.shape) == len(shape) {
+		match := true
+		for i, d := range shape {
+			if t.shape[i] != d {
+				match = false
+				break
+			}
+		}
+		if match && len(t.Data) == n {
+			return t
+		}
+	}
+	return FromSlice(t.Data[:n], shape...)
+}
+
 // AddRowVector adds vector v (shape [cols]) to every row of the
 // [rows, cols] matrix t in place. Used for bias addition.
 func (t *Tensor) AddRowVector(v *Tensor) {

@@ -1,0 +1,71 @@
+package tensor
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Kernel fan-out control. Large kernels (MatMul) historically split work
+// across runtime.GOMAXPROCS(0) goroutines unconditionally, which nests
+// badly when the caller is itself a worker pool: an 8-worker compute
+// pool on an 8-core host schedules ~64 kernel goroutines. Parallelism
+// must live in exactly one place, so the pool reserves serial kernels
+// for the whole process while it is alive and keeps the fan-out for
+// single-threaded callers.
+
+var (
+	// maxThreads is the configured fan-out cap; 0 means "default",
+	// i.e. runtime.GOMAXPROCS(0) sampled at call time.
+	maxThreads atomic.Int32
+	// serialHolds counts live ReserveSerial reservations. While any
+	// are held, MaxThreads reports 1 regardless of the cap.
+	serialHolds atomic.Int32
+	// fanoutSpawns counts kernel invocations that actually spawned
+	// goroutines. Test hook for the nested-parallelism regression.
+	fanoutSpawns atomic.Uint64
+)
+
+// SetMaxThreads caps kernel fan-out at n goroutines (values < 1 clamp
+// to 1) and returns the previous effective cap. The default, restored
+// by no call at all, is runtime.GOMAXPROCS(0).
+func SetMaxThreads(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	old := maxThreads.Swap(int32(n))
+	if old == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return int(old)
+}
+
+// MaxThreads reports the fan-out width kernels will use right now:
+// 1 while any serial reservation is held, otherwise the SetMaxThreads
+// cap (default runtime.GOMAXPROCS(0)).
+func MaxThreads() int {
+	if serialHolds.Load() > 0 {
+		return 1
+	}
+	if n := maxThreads.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ReserveSerial forces MaxThreads to 1 process-wide until the returned
+// release func runs. Reservations are refcounted so concurrent pools
+// compose; release is idempotent.
+func ReserveSerial() (release func()) {
+	serialHolds.Add(1)
+	var done atomic.Bool
+	return func() {
+		if done.CompareAndSwap(false, true) {
+			serialHolds.Add(-1)
+		}
+	}
+}
+
+// KernelFanouts reports how many kernel calls have fanned out across
+// goroutines since process start. Monotonic; used by tests to assert a
+// region of code never triggered nested parallelism.
+func KernelFanouts() uint64 { return fanoutSpawns.Load() }

@@ -320,6 +320,12 @@ type run struct {
 	// nextClient numbers clients joined after start so churned fleets
 	// keep unique, stable IDs.
 	nextClient int
+
+	// launchTasks/launchSlots collect the subtasks one tryAssign wave
+	// schedules, flushed as a single core.LaunchBatch call (reused
+	// scratch, see flushLaunches).
+	launchTasks []core.Subtask
+	launchSlots []*futSlot
 }
 
 func newRun(cfg Config, st store.Store, backend core.Backend) *run {
@@ -491,6 +497,32 @@ func (r *run) tryAssign(c *simClient) {
 	for _, asn := range asns {
 		r.startSubtask(c, asn, len(asns))
 	}
+	r.flushLaunches()
+}
+
+// futSlot defers a subtask's future: startSubtask fills the slot's
+// completion callback immediately, and flushLaunches binds the real
+// future before any event can run. Safe because the engine is
+// single-threaded and never executes a scheduled callback until the
+// current one (the one calling tryAssign) returns.
+type futSlot struct{ fut core.Future }
+
+func (s *futSlot) Wait() ([]float64, core.ExecStats) { return s.fut.Wait() }
+
+// flushLaunches hands the wave's collected subtasks to the backend as
+// one epoch-batched launch. Launch order matches the per-assignment
+// order startSubtask queued them in, so backend stats and results are
+// identical to the historical launch-inside-the-loop path.
+func (r *run) flushLaunches() {
+	if len(r.launchTasks) == 0 {
+		return
+	}
+	futs := core.LaunchBatch(r.backend, r.launchTasks)
+	for i, s := range r.launchSlots {
+		s.fut = futs[i]
+	}
+	r.launchTasks = r.launchTasks[:0]
+	r.launchSlots = r.launchSlots[:0]
 }
 
 // xfer returns the transfer time for n bytes to or from a client,
@@ -613,18 +645,22 @@ func (r *run) startSubtask(c *simClient, asn boinc.Assignment, wave int) {
 	r.trace(asn.WUID, obs.KindComputeStart, c.id, r.eng.Now()+dl)
 	// The subtask's output is a pure function of (epoch snapshot, shard,
 	// seed) — none of the engine's RNG is consumed — so the computation
-	// is launched now, when execution is scheduled, and awaited in the
-	// completion callback: the parallel backend overlaps the math with
-	// event processing, the cached backend resolves replicated/reissued
-	// copies to one execution, and the default real backend defers the
-	// work to the callback exactly as the historical inline path did.
-	fut := r.backend.Launch(core.Subtask{
+	// is queued now, when execution is scheduled (and handed to the
+	// backend in one LaunchBatch when the wave's assignments are all
+	// queued), then awaited in the completion callback: the parallel
+	// backend overlaps the math with event processing, the cached
+	// backend resolves replicated/reissued copies to one execution, and
+	// the default real backend defers the work to the callback exactly
+	// as the historical inline path did.
+	fut := &futSlot{}
+	r.launchTasks = append(r.launchTasks, core.Subtask{
 		Epoch:  epoch,
 		Shard:  shard,
 		Seed:   r.cfg.Seed ^ int64(epoch)<<20 ^ int64(shard),
 		Params: r.epochParams[epoch],
 		Data:   r.shards[shard],
 	})
+	r.launchSlots = append(r.launchSlots, fut)
 	r.eng.Schedule(dl+execT, func() {
 		if c.departed {
 			// The client left mid-execution; its result is lost and the

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 )
@@ -14,19 +15,22 @@ import (
 
 const ckptMagic = 0x56434B31 // "VCK1"
 
-// EncodeCheckpoint serializes an epoch-stamped parameter snapshot.
+// EncodeCheckpoint serializes an epoch-stamped parameter snapshot. The
+// parameter payload streams directly into the output buffer after the
+// checkpoint header — one buffer, no intermediate blob copy.
 func EncodeCheckpoint(epoch int, params []float64) ([]byte, error) {
 	if epoch < 0 {
 		return nil, fmt.Errorf("wire: negative checkpoint epoch %d", epoch)
 	}
-	blob, err := EncodeParams(params)
-	if err != nil {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], ckptMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(epoch))
+	var buf bytes.Buffer
+	buf.Write(hdr[:])
+	if err := EncodeParamsTo(&buf, params); err != nil {
 		return nil, err
 	}
-	out := make([]byte, 8, 8+len(blob))
-	binary.LittleEndian.PutUint32(out[0:], ckptMagic)
-	binary.LittleEndian.PutUint32(out[4:], uint32(epoch))
-	return append(out, blob...), nil
+	return buf.Bytes(), nil
 }
 
 // DecodeCheckpoint reverses EncodeCheckpoint, verifying the embedded

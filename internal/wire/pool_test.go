@@ -1,0 +1,129 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestEncodeParamsToMatchesEncodeParams pins that the streaming encoder
+// and the convenience wrapper produce byte-identical blobs.
+func TestEncodeParamsToMatchesEncodeParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 4095, 4096, 4097, 50000} {
+		params := make([]float64, n)
+		for i := range params {
+			params[i] = rng.NormFloat64()
+		}
+		blob, err := EncodeParams(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := EncodeParamsTo(&buf, params); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(blob, buf.Bytes()) {
+			t.Fatalf("n=%d: streaming and wrapper blobs differ", n)
+		}
+	}
+}
+
+// TestPooledRoundTripConcurrent hammers the chunk/gzip pools from many
+// goroutines at once; run with -race, it pins that recycled buffers and
+// compressor state are never shared between in-flight calls.
+func TestPooledRoundTripConcurrent(t *testing.T) {
+	const goroutines = 8
+	const iters = 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for it := 0; it < iters; it++ {
+				n := rng.Intn(3 * chunkWords) // straddle chunk boundaries
+				params := make([]float64, n)
+				for i := range params {
+					params[i] = rng.NormFloat64()
+				}
+				var back []float64
+				var err error
+				if it%2 == 0 {
+					var blob []byte
+					blob, err = EncodeParams(params)
+					if err == nil {
+						back, err = DecodeParams(blob)
+					}
+				} else {
+					var blob []byte
+					blob, err = EncodeCheckpoint(it, params)
+					if err == nil {
+						var epoch int
+						epoch, back, err = DecodeCheckpoint(blob)
+						if err == nil && epoch != it {
+							t.Errorf("g%d it%d: epoch %d, want %d", g, it, epoch, it)
+							return
+						}
+					}
+				}
+				if err != nil {
+					t.Errorf("g%d it%d: %v", g, it, err)
+					return
+				}
+				if len(back) != n {
+					t.Errorf("g%d it%d: len %d, want %d", g, it, len(back), n)
+					return
+				}
+				for i := range params {
+					if math.Float64bits(back[i]) != math.Float64bits(params[i]) {
+						t.Errorf("g%d it%d: bit mismatch at %d", g, it, i)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// benchParams is sized like a real model shard update: 512k float64s
+// (4 MiB raw), incompressible noise so gzip does real work.
+func benchParams(n int) []float64 {
+	rng := rand.New(rand.NewSource(42))
+	params := make([]float64, n)
+	for i := range params {
+		params[i] = rng.NormFloat64()
+	}
+	return params
+}
+
+func BenchmarkParamsRoundTrip(b *testing.B) {
+	params := benchParams(64 * 1024)
+	b.SetBytes(int64(RawSize(len(params))))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob, err := EncodeParams(params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := DecodeParams(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeCheckpoint(b *testing.B) {
+	params := benchParams(64 * 1024)
+	b.SetBytes(int64(RawSize(len(params))))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeCheckpoint(3, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,6 +4,12 @@
 // integrity check, modelling the paper's compressed .h5 parameter files
 // (21.2 MB each for the 4.97M-parameter model) and BOINC's automatic
 // file compression feature.
+//
+// The encode/decode hot path is allocation-pooled: the 32 KiB staging
+// chunks and the gzip compressor/decompressor state are recycled through
+// sync.Pools, and EncodeParamsTo streams straight into any io.Writer so
+// callers composing framed formats (checkpoints, blob publication) never
+// pay an intermediate []byte copy of the compressed payload.
 package wire
 
 import (
@@ -14,47 +20,101 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"sync"
 )
 
 const paramMagic = 0x56505231 // "VPR1"
+
+// chunkWords is the number of float64 values staged per chunk; each chunk
+// buffer is therefore 32 KiB.
+const chunkWords = 4096
+
+// chunkPool recycles the 32 KiB staging buffers used to convert between
+// float64 vectors and little-endian bytes. Pointer-to-array (not slice)
+// so Put never allocates a slice header.
+var chunkPool = sync.Pool{
+	New: func() any { return new([8 * chunkWords]byte) },
+}
+
+// gzipWriterPool recycles compressor state (the dominant per-call
+// allocation: hundreds of KiB of deflate window and hash tables).
+// Writers are created at BestSpeed once and rebound to new destinations
+// with Reset.
+var gzipWriterPool = sync.Pool{
+	New: func() any {
+		zw, err := gzip.NewWriterLevel(io.Discard, gzip.BestSpeed)
+		if err != nil {
+			panic(err) // BestSpeed is a valid level; unreachable
+		}
+		return zw
+	},
+}
+
+// gzipReaderPool recycles decompressor state. A gzip.Reader cannot be
+// constructed without a stream, so the pool starts empty and is seeded
+// after first use.
+var gzipReaderPool sync.Pool
+
+func getReader(r io.Reader) (*gzip.Reader, error) {
+	if zr, ok := gzipReaderPool.Get().(*gzip.Reader); ok {
+		if err := zr.Reset(r); err != nil {
+			return nil, err
+		}
+		return zr, nil
+	}
+	return gzip.NewReader(r)
+}
 
 // EncodeParams serializes a flat parameter vector with compression and a
 // trailing checksum.
 func EncodeParams(params []float64) ([]byte, error) {
 	var buf bytes.Buffer
+	if err := EncodeParamsTo(&buf, params); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// EncodeParamsTo streams the compressed, checksummed parameter encoding
+// into w without materializing the blob. It is the copy-free seam for
+// framed formats: write your frame header, then EncodeParamsTo the
+// payload into the same writer.
+func EncodeParamsTo(w io.Writer, params []float64) error {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], paramMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(params)))
-	buf.Write(hdr[:])
-	zw, err := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
-	if err != nil {
-		return nil, fmt.Errorf("wire: gzip init: %w", err)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
 	}
+	zw := gzipWriterPool.Get().(*gzip.Writer)
+	defer gzipWriterPool.Put(zw)
+	zw.Reset(w)
 	crc := crc32.NewIEEE()
-	w := io.MultiWriter(zw, crc)
-	chunk := make([]byte, 8*4096)
+	mw := io.MultiWriter(zw, crc)
+	chunk := chunkPool.Get().(*[8 * chunkWords]byte)
+	defer chunkPool.Put(chunk)
 	for off := 0; off < len(params); {
 		m := len(params) - off
-		if m > 4096 {
-			m = 4096
+		if m > chunkWords {
+			m = chunkWords
 		}
 		for i := 0; i < m; i++ {
 			binary.LittleEndian.PutUint64(chunk[8*i:], math.Float64bits(params[off+i]))
 		}
-		if _, err := w.Write(chunk[:8*m]); err != nil {
-			return nil, fmt.Errorf("wire: write params: %w", err)
+		if _, err := mw.Write(chunk[:8*m]); err != nil {
+			return fmt.Errorf("wire: write params: %w", err)
 		}
 		off += m
 	}
 	var sum [4]byte
 	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
 	if _, err := zw.Write(sum[:]); err != nil {
-		return nil, fmt.Errorf("wire: write checksum: %w", err)
+		return fmt.Errorf("wire: write checksum: %w", err)
 	}
 	if err := zw.Close(); err != nil {
-		return nil, fmt.Errorf("wire: close gzip: %w", err)
+		return fmt.Errorf("wire: close gzip: %w", err)
 	}
-	return buf.Bytes(), nil
+	return nil
 }
 
 // DecodeParams reverses EncodeParams, verifying the checksum.
@@ -66,18 +126,19 @@ func DecodeParams(blob []byte) ([]float64, error) {
 		return nil, fmt.Errorf("wire: bad magic %#x", m)
 	}
 	n := int(binary.LittleEndian.Uint32(blob[4:]))
-	zr, err := gzip.NewReader(bytes.NewReader(blob[8:]))
+	zr, err := getReader(bytes.NewReader(blob[8:]))
 	if err != nil {
 		return nil, fmt.Errorf("wire: open gzip: %w", err)
 	}
-	defer zr.Close()
+	defer gzipReaderPool.Put(zr)
 	params := make([]float64, n)
 	crc := crc32.NewIEEE()
-	chunk := make([]byte, 8*4096)
+	chunk := chunkPool.Get().(*[8 * chunkWords]byte)
+	defer chunkPool.Put(chunk)
 	for off := 0; off < n; {
 		m := n - off
-		if m > 4096 {
-			m = 4096
+		if m > chunkWords {
+			m = chunkWords
 		}
 		if _, err := io.ReadFull(zr, chunk[:8*m]); err != nil {
 			return nil, fmt.Errorf("wire: read params: %w", err)
