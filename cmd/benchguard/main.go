@@ -18,6 +18,13 @@
 //
 //	go run ./cmd/benchguard           check against BENCH_kernels.json
 //	go run ./cmd/benchguard -update   re-measure and rewrite the baseline
+//
+// With -sched FILE it instead gates the committed scheduler scale grid
+// (BENCH_sched_scale.json, produced by `vcdl-scenario bench`): striping
+// must beat the single-mutex baseline by the recorded margins and no
+// cell may have shed load. That gate is structural — it validates the
+// committed record, it does not re-measure (wall-clock numbers are too
+// host-dependent to reproduce in CI).
 package main
 
 import (
@@ -84,7 +91,12 @@ func main() {
 func run() int {
 	update := flag.Bool("update", false, "re-measure and rewrite the baseline file")
 	baseline := flag.String("baseline", "BENCH_kernels.json", "baseline file to check or update")
+	sched := flag.String("sched", "", "gate the committed scheduler scale grid in FILE instead of the allocation baselines")
 	flag.Parse()
+
+	if *sched != "" {
+		return checkSched(*sched)
+	}
 
 	var measured []Entry
 	for _, t := range targets {
@@ -166,6 +178,117 @@ func run() int {
 		return 1
 	}
 	fmt.Printf("benchguard: %d baselines hold\n", len(base.Benchmarks))
+	return 0
+}
+
+// SchedCell mirrors one cell of BENCH_sched_scale.json's grid (the
+// fields the gate reads; extra fields pass through unchecked).
+type SchedCell struct {
+	Clients    int     `json:"clients"`
+	Shards     int     `json:"shards"`
+	AssignP99s float64 `json:"assign_wait_p99_s"`
+	Throughput float64 `json:"workunits_per_second"`
+	Shed       int64   `json:"shed"`
+}
+
+// SchedFile is the BENCH_sched_scale.json schema.
+type SchedFile struct {
+	Grid []SchedCell `json:"grid"`
+}
+
+// checkSched gates the committed scheduler scale grid (DESIGN.md §14):
+//
+//   - no cell may have shed requests — the record must capture an
+//     un-backpressured drain, otherwise latency numbers are polluted;
+//   - at every client count >= 256 present at both 1 shard and the
+//     grid's maximum shard count, striping must deliver >= 2x the
+//     single-mutex throughput;
+//   - the striped assign-wait p99 at the largest fleet must not exceed
+//     the single-mutex p99 at 256 clients (scale 4x, pay nothing).
+func checkSched(path string) int {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v (run `vcdl-scenario bench -o %s` to create it)\n", err, path)
+		return 1
+	}
+	var f SchedFile
+	if err := json.Unmarshal(blob, &f); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: parse %s: %v\n", path, err)
+		return 1
+	}
+	if len(f.Grid) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: empty grid\n", path)
+		return 1
+	}
+	maxShards := 0
+	for _, c := range f.Grid {
+		if c.Shards > maxShards {
+			maxShards = c.Shards
+		}
+	}
+	cell := func(clients, shards int) *SchedCell {
+		for i := range f.Grid {
+			if f.Grid[i].Clients == clients && f.Grid[i].Shards == shards {
+				return &f.Grid[i]
+			}
+		}
+		return nil
+	}
+
+	failures := 0
+	for _, c := range f.Grid {
+		if c.Shed != 0 {
+			fmt.Fprintf(os.Stderr, "FAIL sched C=%d S=%d: %d shed requests in the committed record\n", c.Clients, c.Shards, c.Shed)
+			failures++
+		}
+	}
+	if maxShards < 2 {
+		fmt.Fprintf(os.Stderr, "FAIL sched: grid has no striped (shards > 1) cells\n")
+		return 1
+	}
+	compared := 0
+	maxClients := 0
+	for _, c := range f.Grid {
+		if c.Shards != 1 || c.Clients < 256 {
+			continue
+		}
+		striped := cell(c.Clients, maxShards)
+		if striped == nil {
+			continue
+		}
+		compared++
+		if c.Clients > maxClients {
+			maxClients = c.Clients
+		}
+		if striped.Throughput < 2*c.Throughput {
+			fmt.Fprintf(os.Stderr, "FAIL sched C=%d: %d-shard throughput %.0f wu/s < 2x single-mutex %.0f wu/s\n",
+				c.Clients, maxShards, striped.Throughput, c.Throughput)
+			failures++
+		} else {
+			fmt.Printf("ok   sched C=%d: %d-shard throughput %.0f wu/s >= 2x single-mutex %.0f wu/s\n",
+				c.Clients, maxShards, striped.Throughput, c.Throughput)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "FAIL sched: no client count >= 256 measured at both 1 and %d shards\n", maxShards)
+		failures++
+	}
+	if base := cell(256, 1); base != nil && maxClients > 0 {
+		striped := cell(maxClients, maxShards)
+		if striped.AssignP99s > base.AssignP99s {
+			fmt.Fprintf(os.Stderr, "FAIL sched: assign p99 %.3fs at C=%d S=%d exceeds single-mutex p99 %.3fs at C=256\n",
+				striped.AssignP99s, maxClients, maxShards, base.AssignP99s)
+			failures++
+		} else {
+			fmt.Printf("ok   sched: assign p99 %.3fs at C=%d S=%d <= single-mutex p99 %.3fs at C=256\n",
+				striped.AssignP99s, maxClients, maxShards, base.AssignP99s)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d scheduler-scale regression(s)\n", failures)
+		return 1
+	}
+	fmt.Printf("benchguard: scheduler scale grid holds (%d cells)\n", len(f.Grid))
 	return 0
 }
 

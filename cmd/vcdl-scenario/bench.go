@@ -1,0 +1,235 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"vcdl/internal/boinc"
+	"vcdl/internal/metrics"
+	"vcdl/internal/obs"
+)
+
+// benchCell is one measured cell of the scheduler scale grid,
+// serialized into BENCH_sched_scale.json. It extends the older
+// BENCH_sched_latency.json schema with the shard count and shed total
+// so cmd/benchguard can gate striping wins and backpressure health.
+type benchCell struct {
+	Clients   int `json:"clients"`
+	Workunits int `json:"workunits"`
+	// Shards is the scheduler state stripe count the cell ran with
+	// (1 = the single-mutex baseline).
+	Shards int `json:"shards"`
+	// Requests counts scheduler RPCs issued (drain + the empty replies
+	// that end each worker).
+	Requests int64 `json:"requests"`
+	// RPC latencies are the server-side wall clock of the /scheduler
+	// handler, from vcdl_rpc_seconds{handler="scheduler"}.
+	RPCp50Ms float64 `json:"rpc_p50_ms"`
+	RPCp99Ms float64 `json:"rpc_p99_ms"`
+	// Assignment waits are how long workunits sat queued before issue,
+	// from vcdl_sched_assign_wait_seconds (wall seconds).
+	AssignP50s float64 `json:"assign_wait_p50_s"`
+	AssignP99s float64 `json:"assign_wait_p99_s"`
+	// DrainSeconds is the wall clock to assign and complete the whole
+	// backlog; Throughput is workunits completed per second.
+	DrainSeconds float64 `json:"drain_seconds"`
+	Throughput   float64 `json:"workunits_per_second"`
+	// Shed counts requests rejected (429) by admission control; 0 when
+	// the gate is off or never tripped.
+	Shed int64 `json:"shed"`
+}
+
+// cmdBench hammers an instrumented live boinc.Server from N concurrent
+// HTTP client daemons per cell of a (clients × shards) grid, draining a
+// synthetic backlog, and records scheduler RPC latency, assignment-wait
+// percentiles and throughput — the load generator behind
+// BENCH_sched_scale.json (DESIGN.md §14). The backlog is the same total
+// for every cell, so cells compare capacity: constant offered work, a
+// growing fleet contending for it. Cells run serially so each measures
+// one configuration alone.
+func cmdBench(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	clientsFlag := fs.String("clients", "64,256,1024", "comma-separated concurrent client counts")
+	backlog := fs.Int("backlog", 24576, "total workunits seeded per cell (fixed across cells so offered work is constant while the fleet grows)")
+	shardsFlag := fs.String("shards", "1,8", "comma-separated scheduler stripe counts")
+	admit := fs.Int("admit", 0, "admission MaxConcurrent (0 = no admission gate)")
+	queue := fs.Int("queue", 0, "admission MaxQueue (with -admit)")
+	out := fs.String("o", "", "write the grid as JSON (e.g. BENCH_sched_scale.json)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	sizes, err := parseIntList(*clientsFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "vcdl-scenario bench: bad -clients: %v\n", err)
+		return 2
+	}
+	shardCounts, err := parseIntList(*shardsFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "vcdl-scenario bench: bad -shards: %v\n", err)
+		return 2
+	}
+	if *backlog < 1 {
+		fmt.Fprintf(stderr, "vcdl-scenario bench: bad -backlog %d (want >= 1)\n", *backlog)
+		return 2
+	}
+
+	fmt.Fprintf(stdout, "scheduler scale bench — clients ∈ %v × shards ∈ %v, %d-workunit backlog per cell\n",
+		sizes, shardCounts, *backlog)
+	var cells []benchCell
+	var rows [][]string
+	for _, shards := range shardCounts {
+		for _, n := range sizes {
+			cell, err := benchCellRun(n, *backlog, shards, *admit, *queue)
+			if err != nil {
+				fmt.Fprintf(stderr, "vcdl-scenario bench: %v\n", err)
+				return 1
+			}
+			cells = append(cells, *cell)
+			rows = append(rows, []string{
+				strconv.Itoa(cell.Shards),
+				strconv.Itoa(cell.Clients),
+				strconv.Itoa(cell.Workunits),
+				fmt.Sprintf("%.2f", cell.RPCp50Ms),
+				fmt.Sprintf("%.2f", cell.RPCp99Ms),
+				fmt.Sprintf("%.3f", cell.AssignP50s),
+				fmt.Sprintf("%.3f", cell.AssignP99s),
+				fmt.Sprintf("%.2f s", cell.DrainSeconds),
+				fmt.Sprintf("%.0f", cell.Throughput),
+				strconv.FormatInt(cell.Shed, 10),
+			})
+		}
+	}
+	fmt.Fprint(stdout, metrics.Table(
+		[]string{"shards", "clients", "workunits", "rpc p50(ms)", "rpc p99(ms)", "assign p50(s)", "assign p99(s)", "drain", "wu/s", "shed"}, rows))
+	if *out != "" {
+		blob, err := json.MarshalIndent(map[string]any{"grid": cells}, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "vcdl-scenario bench: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "vcdl-scenario bench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d cells)\n", *out, len(cells))
+	}
+	return 0
+}
+
+// benchCellRun measures one (clients, shards) configuration: an
+// instrumented server is seeded with a workunit backlog, then n HTTP
+// client daemons race to drain it, each looping request→upload until
+// the scheduler replies empty. Workers that get shed (429) honour the
+// Retry-After advisory and retry, so a gated cell still drains fully.
+func benchCellRun(n, wus, shards, admitMax, admitQueue int) (*benchCell, error) {
+	reg := obs.NewRegistry()
+	cfg := boinc.DefaultSchedulerConfig()
+	cfg.DefaultTimeout = 3600 // wall seconds; nothing should expire mid-bench
+	cfg.Shards = shards
+	srv := boinc.NewServer(cfg, nil, nil)
+	if admitMax > 0 {
+		srv.EnableAdmission(boinc.AdmissionConfig{
+			MaxConcurrent: admitMax,
+			MaxQueue:      admitQueue,
+			RetryAfter:    50 * time.Millisecond,
+		})
+	}
+	srv.EnableMetrics(reg)
+	for i := 0; i < wus; i++ {
+		srv.AddWorkunit(boinc.Workunit{
+			Name:       fmt.Sprintf("bench-%d", i),
+			InputFiles: []string{"model", fmt.Sprintf("shard-%d", i%64)},
+		})
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var requests int64
+	var mu sync.Mutex
+	var firstErr error
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl := boinc.NewClient(fmt.Sprintf("load-%03d", id), ts.URL, 1, nil)
+			for {
+				asns, err := cl.RequestWork(1)
+				mu.Lock()
+				requests++
+				mu.Unlock()
+				if err != nil {
+					var ra *boinc.RetryAfterError
+					if errors.As(err, &ra) {
+						time.Sleep(ra.After)
+						continue
+					}
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				if len(asns) == 0 {
+					return
+				}
+				if err := cl.Upload(asns[0].ResultID, []byte("ok"), nil); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	drain := time.Since(start).Seconds()
+	if firstErr != nil {
+		return nil, fmt.Errorf("bench C=%d S=%d: %w", n, shards, firstErr)
+	}
+
+	cell := &benchCell{Clients: n, Workunits: wus, Shards: shards, Requests: requests, DrainSeconds: drain, Shed: srv.ShedCount()}
+	if drain > 0 {
+		cell.Throughput = float64(wus) / drain
+	}
+	if h := reg.FindHistogram(boinc.MetricRPCSeconds, "scheduler"); h != nil && h.Count() > 0 {
+		cell.RPCp50Ms = h.Quantile(0.5) * 1000
+		cell.RPCp99Ms = h.Quantile(0.99) * 1000
+	}
+	if h := reg.FindHistogram(boinc.MetricAssignWait); h != nil && h.Count() > 0 {
+		cell.AssignP50s = h.Quantile(0.5)
+		cell.AssignP99s = h.Quantile(0.99)
+	}
+	if done := reg.CounterValue("vcdl_sched_workunits_done_total"); done != int64(wus) {
+		return nil, fmt.Errorf("bench C=%d S=%d: drained %d of %d workunits", n, shards, done, wus)
+	}
+	return cell, nil
+}
+
+// parseIntList parses "64,256,1024" into positive ints.
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad value %q (want integers >= 1)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package boinc
+
+import (
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"vcdl/internal/obs"
+)
+
+// AdmissionConfig bounds how much concurrent scheduler and upload
+// traffic the server will hold before shedding load (DESIGN.md §14).
+// Requests beyond MaxConcurrent wait in a bounded queue; requests beyond
+// MaxConcurrent+MaxQueue are shed immediately with 429 and a
+// Retry-After advisory, which boinc.Client's retry loop honours. The
+// zero value (MaxConcurrent 0) means unlimited — admission control off.
+type AdmissionConfig struct {
+	// MaxConcurrent is the number of gated requests handled
+	// simultaneously (0 disables admission control).
+	MaxConcurrent int
+	// MaxQueue bounds how many further requests may wait for a slot
+	// before the server starts shedding (0 = shed as soon as every slot
+	// is busy).
+	MaxQueue int
+	// RetryAfter is the backoff advertised on shed responses
+	// (0 = 1 second).
+	RetryAfter time.Duration
+}
+
+// admission is the counting-semaphore gate in front of the scheduler
+// and upload handlers.
+type admission struct {
+	slots      chan struct{}
+	maxQueue   int64
+	retryAfter time.Duration
+	// waiting counts requests between "all slots busy" and "slot
+	// acquired"; it is the queue-depth gauge's source and the shed
+	// threshold.
+	waiting atomic.Int64
+	shed    atomic.Int64
+
+	// obsShed/obsDepth are nil until the server is instrumented.
+	obsShed  *obs.Counter
+	obsDepth *obs.Gauge
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	if cfg.MaxConcurrent <= 0 {
+		return nil
+	}
+	retry := cfg.RetryAfter
+	if retry <= 0 {
+		retry = time.Second
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	return &admission{
+		slots:      make(chan struct{}, cfg.MaxConcurrent),
+		maxQueue:   int64(cfg.MaxQueue),
+		retryAfter: retry,
+	}
+}
+
+// instrument resolves the shed/queue-depth instruments against r.
+func (a *admission) instrument(r *obs.Registry) {
+	a.obsShed = r.Counter(MetricShed, "scheduler/upload requests shed by admission control (429)")
+	a.obsDepth = r.Gauge(MetricAdmissionQueue, "requests waiting for an admission slot")
+}
+
+// acquire claims an admission slot, waiting in the bounded queue when
+// all slots are busy. It returns false — without blocking — when the
+// queue is already full (the request must be shed); a true return must
+// be paired with release.
+func (a *admission) acquire() bool {
+	select {
+	case a.slots <- struct{}{}:
+		return true
+	default:
+	}
+	// Contended: join the wait queue unless it is already at capacity.
+	if a.waiting.Add(1) > a.maxQueue {
+		a.waiting.Add(-1)
+		a.shed.Add(1)
+		if a.obsShed != nil {
+			a.obsShed.Inc()
+		}
+		return false
+	}
+	if a.obsDepth != nil {
+		a.obsDepth.Set(float64(a.waiting.Load()))
+	}
+	a.slots <- struct{}{}
+	w := a.waiting.Add(-1)
+	if a.obsDepth != nil {
+		a.obsDepth.Set(float64(w))
+	}
+	return true
+}
+
+// release frees an acquired slot.
+func (a *admission) release() { <-a.slots }
+
+// Shed returns how many requests admission control has rejected.
+func (a *admission) Shed() int64 { return a.shed.Load() }
+
+// reject writes the shed response: 429 with the Retry-After advisory in
+// seconds. Fractional values are written as decimals — our client parses
+// them; standard HTTP clients round up.
+func (a *admission) reject(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.FormatFloat(a.retryAfter.Seconds(), 'g', -1, 64))
+	http.Error(w, "server overloaded, retry later", http.StatusTooManyRequests)
+}
+
+// gate wraps a handler with the admission check.
+func (a *admission) gate(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !a.acquire() {
+			a.reject(w)
+			return
+		}
+		defer a.release()
+		h(w, r)
+	}
+}

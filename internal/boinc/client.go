@@ -10,6 +10,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -74,6 +75,35 @@ type Client struct {
 // ErrDetached is returned by Loop when the server asked the client to
 // detach (ClientControl.Detach): in-flight work finished, loop exited.
 var ErrDetached = errors.New("boinc: detached by server")
+
+// RetryAfterError reports a request the server shed under load (HTTP
+// 429) together with its Retry-After advisory. Loop honours it by
+// backing off for the advised delay (plus jitter) instead of the usual
+// poll interval.
+type RetryAfterError struct {
+	// After is the server's advised backoff.
+	After time.Duration
+}
+
+// Error implements error.
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("boinc: server overloaded, retry after %s", e.After)
+}
+
+// parseRetryAfter reads a Retry-After header as seconds (the server
+// writes decimals; integers per RFC work too). Zero when absent or
+// unparseable.
+func parseRetryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.ParseFloat(v, 64)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs * float64(time.Second))
+}
 
 // NewClient creates a client daemon.
 func NewClient(id, serverURL string, slots int, app App) *Client {
@@ -219,6 +249,13 @@ func (c *Client) requestWork(ctx context.Context, n int) ([]Assignment, error) {
 		return nil, fmt.Errorf("boinc: scheduler request: %w", err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		after := parseRetryAfter(resp)
+		if after <= 0 {
+			after = time.Second
+		}
+		return nil, &RetryAfterError{After: after}
+	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("boinc: scheduler status %s", resp.Status)
 	}
@@ -381,10 +418,17 @@ func (c *Client) upload(ctx context.Context, resultID int64, output []byte, appE
 			continue
 		}
 		status := resp.StatusCode
+		after := parseRetryAfter(resp)
 		resp.Body.Close()
 		switch {
 		case status == http.StatusOK || status == http.StatusGone:
 			return nil
+		case status == http.StatusTooManyRequests:
+			// Shed by admission control: honour the advisory before the
+			// next attempt instead of the short default pause.
+			lastErr = fmt.Errorf("boinc: upload result %d: %w", resultID, &RetryAfterError{After: after})
+			sleepCtx(ctx, after)
+			continue
 		case status >= 500:
 			lastErr = fmt.Errorf("boinc: upload result %d: %d", resultID, status)
 			continue
@@ -571,11 +615,24 @@ func (c *Client) Loop(ctx context.Context) error {
 			return ErrDetached
 		}
 		got := 0
+		var backoff time.Duration
 		if free := c.freeSlots(); free > 0 {
 			c.rttSleep(ctx)
 			asns, err := c.requestWork(ctx, free)
 			if err != nil && ctx.Err() == nil {
-				c.Log.Warn("work request failed, retrying after poll", "client", c.ID, "err", err)
+				var ra *RetryAfterError
+				if errors.As(err, &ra) {
+					// Shed under load: back off for the server's advisory
+					// plus jitter, so a whole fleet doesn't return in
+					// lock-step the moment the window expires.
+					c.mu.Lock()
+					backoff = ra.After + time.Duration(c.rng.Int63n(int64(retryWait)))
+					c.mu.Unlock()
+					c.Log.Debug("scheduler shedding load, backing off",
+						"client", c.ID, "after", ra.After)
+				} else {
+					c.Log.Warn("work request failed, retrying after poll", "client", c.ID, "err", err)
+				}
 			}
 			if err == nil {
 				got = len(asns)
@@ -599,11 +656,15 @@ func (c *Client) Loop(ctx context.Context) error {
 			}
 		}
 		if got == 0 {
+			wait := c.Poll
+			if backoff > wait {
+				wait = backoff
+			}
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
 			case <-wake:
-			case <-time.After(c.Poll):
+			case <-time.After(wait):
 			}
 		}
 	}

@@ -109,6 +109,12 @@ const (
 	// MetricRPCSeconds is the live server's per-handler RPC latency
 	// histogram (wall seconds; real mode only).
 	MetricRPCSeconds = "vcdl_rpc_seconds"
+	// MetricShed counts scheduler/upload requests rejected (429) by the
+	// server's admission gate under overload (real mode only).
+	MetricShed = "vcdl_sched_shed_total"
+	// MetricAdmissionQueue gauges how many requests are waiting for an
+	// admission slot (real mode only).
+	MetricAdmissionQueue = "vcdl_sched_admission_queue"
 )
 
 // metricsSink bridges scheduler events into an obs.Registry.

@@ -25,6 +25,11 @@ type SchedulerConfig struct {
 	// Seed is exposed to policies through PolicyView.Seed so seeded
 	// stochastic policies replay deterministically with the run.
 	Seed int64
+	// Shards stripes the live server's scheduler state across this many
+	// independently locked shards (see ShardedScheduler); 0 or 1 keeps
+	// the single-shard behaviour, and a bare Scheduler (the simulator's
+	// engine) ignores the field entirely.
+	Shards int
 }
 
 // DefaultSchedulerConfig mirrors the experiments: 5-minute timeout,
@@ -76,6 +81,14 @@ type Scheduler struct {
 	cfg    SchedulerConfig
 	policy Policy
 
+	// idOffset/idStep stride the workunit and result ID spaces so a
+	// striped deployment (ShardedScheduler) can give each shard a
+	// disjoint residue class: shard i of n allocates IDs ≡ i (mod n),
+	// which is what lets uploads route back to the owning shard from the
+	// result ID alone. A standalone scheduler uses offset 0, step 1 and
+	// produces the historical 1,2,3,… sequence unchanged.
+	idOffset, idStep int64
+
 	nextWU, nextRes int64
 	wus             map[int64]*Workunit
 	results         map[int64]*Result
@@ -115,6 +128,16 @@ type Scheduler struct {
 	// inflight counts outstanding results incrementally so queue-depth
 	// reporting is O(1) instead of a scan over every result ever issued.
 	inflight int
+	// expireLB is a lower bound on the earliest outstanding result
+	// deadline (valid when expireLBOK). ExpireTimeouts skips its scan
+	// entirely while now < expireLB — a scan then could not find anything
+	// — which turns the per-request sweep from O(results) into O(1) on
+	// the hot path. The bound is maintained conservatively: issuing a
+	// result lowers it, completions leave it alone (a stale-low bound
+	// only causes one extra scan, never a missed expiry), and each real
+	// scan recomputes it exactly.
+	expireLB   float64
+	expireLBOK bool
 
 	// Counters for reports and tests. Invalid counts results rejected by
 	// validation (or reported failed by the client); QuorumRetries counts
@@ -140,6 +163,7 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 	}
 	return &Scheduler{
 		cfg:        cfg,
+		idStep:     1,
 		policy:     paperPolicy(),
 		wus:        make(map[int64]*Workunit),
 		results:    make(map[int64]*Result),
@@ -149,6 +173,18 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 		eligible:   make(map[int64]int64),
 		assignMix:  make(map[string]int),
 	}
+}
+
+// setStripe switches the scheduler onto the (offset, step) ID residue
+// class: subsequent workunit and result IDs are offset+step, offset+2·step,
+// …, all ≡ offset (mod step). Must be called before any IDs are issued;
+// ShardedScheduler uses it at construction.
+func (s *Scheduler) setStripe(offset, step int64) {
+	if step < 1 {
+		step = 1
+	}
+	s.idOffset, s.idStep = offset, step
+	s.nextWU, s.nextRes = offset, offset
 }
 
 // SetSink installs the lifecycle event sink (nil disables observation).
@@ -234,7 +270,7 @@ func (s *Scheduler) Config() SchedulerConfig { return s.cfg }
 // AddWorkunit registers a new workunit and queues it for assignment. It
 // returns the assigned ID.
 func (s *Scheduler) AddWorkunit(wu Workunit) int64 {
-	s.nextWU++
+	s.nextWU += s.idStep
 	wu.ID = s.nextWU
 	if wu.Timeout <= 0 {
 		wu.Timeout = s.cfg.DefaultTimeout
@@ -410,7 +446,7 @@ func (s *Scheduler) RequestWork(clientID string, now float64, max int) []Assignm
 		// Cache hits must be read before the sticky loop below marks the
 		// assigned files as cached.
 		hits := cacheScore(c, wu)
-		s.nextRes++
+		s.nextRes += s.idStep
 		res := &Result{
 			ID:       s.nextRes,
 			WUID:     wu.ID,
@@ -420,6 +456,9 @@ func (s *Scheduler) RequestWork(clientID string, now float64, max int) []Assignm
 			Status:   ResInProgress,
 		}
 		s.results[res.ID] = res
+		if !s.expireLBOK || res.Deadline < s.expireLB {
+			s.expireLB, s.expireLBOK = res.Deadline, true
+		}
 		wu.active++
 		wu.status = WUInProgress
 		c.inFlight++
@@ -656,14 +695,32 @@ func (s *Scheduler) noteFailure(wu *Workunit) {
 // workunits for another client (§III-B fault tolerance). It returns the
 // IDs of expired results.
 func (s *Scheduler) ExpireTimeouts(now float64) []int64 {
+	// Fast path: nothing in flight, or the earliest possible deadline is
+	// still ahead — a scan could not expire anything, so skip it. This is
+	// observationally identical to scanning and finding nothing, and it
+	// keeps the sweep the HTTP server runs before every work request O(1)
+	// instead of O(all results ever issued).
+	if s.inflight == 0 || (s.expireLBOK && now <= s.expireLB) {
+		s.lastNow = now
+		return nil
+	}
 	// Collect first and process in ID order so reissue order (and thus
-	// simulation behaviour) is deterministic despite map iteration.
+	// simulation behaviour) is deterministic despite map iteration. The
+	// same pass recomputes the exact earliest surviving deadline, which
+	// re-arms the fast path above.
 	var expired []int64
+	nextLB, nextOK := 0.0, false
 	for id, res := range s.results {
-		if res.Status == ResInProgress && now > res.Deadline {
+		if res.Status != ResInProgress {
+			continue
+		}
+		if now > res.Deadline {
 			expired = append(expired, id)
+		} else if !nextOK || res.Deadline < nextLB {
+			nextLB, nextOK = res.Deadline, true
 		}
 	}
+	s.expireLB, s.expireLBOK = nextLB, nextOK
 	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
 	s.lastNow = now
 	for _, id := range expired {
@@ -713,3 +770,30 @@ func (s *Scheduler) PendingCount() int { return len(s.pending) }
 // CompleteResult or ExpireTimeouts), so the query is O(1) no matter how
 // many results the run has issued.
 func (s *Scheduler) InFlight() int { return s.inflight }
+
+// SchedStats is a snapshot of one scheduler's lifecycle counters and
+// queue depths. ShardedScheduler sums these across shards, so reporting
+// code reads one aggregate instead of poking at per-shard fields.
+type SchedStats struct {
+	Issued, Reissued, Timeouts, Failures, Completions int
+	Invalid, QuorumRetries                            int
+	Pending, InFlight, Clients                        int
+	Done                                              bool
+}
+
+// Stats snapshots the scheduler's counters. Pure query.
+func (s *Scheduler) Stats() SchedStats {
+	return SchedStats{
+		Issued:        s.Issued,
+		Reissued:      s.Reissued,
+		Timeouts:      s.Timeouts,
+		Failures:      s.Failures,
+		Completions:   s.Completions,
+		Invalid:       s.Invalid,
+		QuorumRetries: s.QuorumRetries,
+		Pending:       len(s.pending),
+		InFlight:      s.inflight,
+		Clients:       len(s.clients),
+		Done:          s.Done(),
+	}
+}

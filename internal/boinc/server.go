@@ -26,13 +26,24 @@ type ValidateFunc func(wu *Workunit, output []byte) bool
 // Server is the BOINC-style project server: scheduler endpoint, file
 // distribution ("web server"), upload handler, validator and assimilator.
 // It is safe for concurrent use.
+//
+// Scheduler state lives in a ShardedScheduler: with SchedulerConfig.Shards
+// > 1, work requests, uploads and validations on different shards run
+// concurrently under per-shard locks, while the server's own mutex only
+// guards the file table, client controls and traffic counters — the
+// heavy-traffic layout of DESIGN.md §14. The default single shard
+// behaves exactly like the historical single-mutex server.
 type Server struct {
 	mu    sync.Mutex
-	sched *Scheduler
+	sched *ShardedScheduler
 	files map[string][]byte
 	// controls holds per-client shaping delivered on scheduler replies
 	// (the real-mode injection surface; see ClientControl).
 	controls map[string]ClientControl
+
+	// admit is the optional backpressure gate on /scheduler and /upload
+	// (nil = unlimited). Set once by EnableAdmission before traffic.
+	admit *admission
 
 	validate   ValidateFunc
 	assimilate AssimilateFunc
@@ -61,7 +72,7 @@ type Server struct {
 // hooks.
 func NewServer(cfg SchedulerConfig, validate ValidateFunc, assimilate AssimilateFunc) *Server {
 	s := &Server{
-		sched:      NewScheduler(cfg),
+		sched:      NewShardedScheduler(cfg, cfg.Shards),
 		files:      make(map[string][]byte),
 		controls:   make(map[string]ClientControl),
 		validate:   validate,
@@ -134,6 +145,9 @@ func (s *Server) EnableMetrics(r *obs.Registry) {
 	s.obsDown = r.Counter("vcdl_bytes_down_total", "payload bytes served to clients")
 	s.obsUp = r.Counter("vcdl_bytes_up_total", "payload bytes uploaded by clients")
 	s.obsAssim = r.Counter("vcdl_assimilations_total", "canonical results assimilated")
+	if s.admit != nil {
+		s.admit.instrument(r)
+	}
 	s.sched.AddSink(MetricsSink(r))
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -147,6 +161,38 @@ func (s *Server) EnableMetrics(r *obs.Registry) {
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// EnableAdmission installs backpressure on the scheduler and upload
+// endpoints: at most cfg.MaxConcurrent requests are handled at once,
+// at most cfg.MaxQueue more wait for a slot, and anything beyond that is
+// shed with 429 and a Retry-After advisory (which boinc.Client honours
+// with a jittered backoff). Download, status and ops traffic is not
+// gated — shedding must not blind the operator. Call before serving
+// traffic; a zero MaxConcurrent or a second call is a no-op.
+func (s *Server) EnableAdmission(cfg AdmissionConfig) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.admit != nil {
+		return
+	}
+	a := newAdmission(cfg)
+	if a == nil {
+		return
+	}
+	if s.obs != nil {
+		a.instrument(s.obs)
+	}
+	s.admit = a
+}
+
+// ShedCount returns how many requests admission control has rejected
+// (0 when admission is disabled).
+func (s *Server) ShedCount() int64 {
+	if s.admit == nil {
+		return 0
+	}
+	return s.admit.Shed()
 }
 
 // EnableBlobs mounts the content-addressed data plane at /blob/{digest}
@@ -198,19 +244,50 @@ func (s *Server) PutFile(name string, data []byte) {
 	s.mu.Unlock()
 }
 
-// AddWorkunit queues a workunit (the work-generator entry point).
+// AddWorkunit queues a workunit on its owning shard (the work-generator
+// entry point).
 func (s *Server) AddWorkunit(wu Workunit) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.sched.AddWorkunit(wu)
 }
 
-// Scheduler runs f with the scheduler lock held, for inspection in tests
-// and orchestration code.
+// Scheduler runs f on every scheduler shard, each under its own lock —
+// the mutation fan-out for reconfiguration (policy swaps, timeouts,
+// cordons) and for attaching sinks. With the default single shard this
+// is exactly the historical "run f under the scheduler lock". Reading
+// state through f sees one shard at a time; aggregate queries
+// (SchedStats, ClientSummaries, AssignmentMix, PolicyName) merge across
+// shards instead.
 func (s *Server) Scheduler(f func(*Scheduler)) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	f(s.sched)
+	s.sched.Each(f)
+}
+
+// Sharded exposes the shard layer itself, for load harnesses and tests
+// that need cross-shard queries (per-client in-flight totals, shard
+// counts).
+func (s *Server) Sharded() *ShardedScheduler { return s.sched }
+
+// SchedStats returns the scheduler counters summed across shards.
+func (s *Server) SchedStats() SchedStats { return s.sched.Stats() }
+
+// ClientSummaries returns the fleet-wide client listing, merged across
+// shards and sorted by ID.
+func (s *Server) ClientSummaries() []ClientSummary { return s.sched.ClientSummaries() }
+
+// ClientCount returns the number of distinct clients across shards.
+func (s *Server) ClientCount() int { return len(s.sched.ClientSummaries()) }
+
+// AssignmentMix returns the per-policy assignment counts summed across
+// shards.
+func (s *Server) AssignmentMix() map[string]int { return s.sched.AssignmentMix() }
+
+// PolicyName reports the active assignment policy (shards always agree:
+// swaps fan out through Scheduler).
+func (s *Server) PolicyName() string {
+	var name string
+	s.sched.shards[0].mu.Lock()
+	name = s.sched.shards[0].s.Policy().Name()
+	s.sched.shards[0].mu.Unlock()
+	return name
 }
 
 // SetClientControl installs (or, for the zero value, clears) the shaping
@@ -241,8 +318,6 @@ func (s *Server) Traffic() (down, up int64) {
 
 // Done reports whether all workunits reached a terminal state.
 func (s *Server) Done() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.sched.ExpireTimeouts(s.now())
 	return s.sched.Done()
 }
@@ -269,6 +344,13 @@ type WorkReply struct {
 }
 
 func (s *Server) handleScheduler(w http.ResponseWriter, r *http.Request) {
+	if a := s.admit; a != nil {
+		if !a.acquire() {
+			a.reject(w)
+			return
+		}
+		defer a.release()
+	}
 	var req WorkRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
@@ -281,14 +363,12 @@ func (s *Server) handleScheduler(w http.ResponseWriter, r *http.Request) {
 	if svc := s.Blobs(); svc != nil && (req.BlobHits != 0 || req.BlobMisses != 0) {
 		svc.NoteCacheStats(req.BlobHits, req.BlobMisses, req.BlobHitBytes)
 	}
-	s.mu.Lock()
-	now := s.now()
-	s.sched.ExpireTimeouts(now)
-	for _, f := range req.CachedFiles {
-		s.sched.NoteCached(req.ClientID, f)
-	}
-	asn := s.sched.RequestWork(req.ClientID, now, req.MaxTasks)
+	// The gather walks shards under their own locks — deadline sweep,
+	// sticky-cache declaration and assignment all happen per visited
+	// shard, and picks coalesce into one batched reply.
+	asn := s.sched.RequestWork(req.ClientID, s.now(), req.MaxTasks, req.CachedFiles)
 	reply := WorkReply{Assignments: asn}
+	s.mu.Lock()
 	if ctl, ok := s.controls[req.ClientID]; ok {
 		c := ctl
 		reply.Control = &c
@@ -317,6 +397,13 @@ func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if a := s.admit; a != nil {
+		if !a.acquire() {
+			a.reject(w)
+			return
+		}
+		defer a.release()
+	}
 	var resultID int64
 	if _, err := fmt.Sscan(r.URL.Query().Get("result"), &resultID); err != nil {
 		http.Error(w, "bad result id", http.StatusBadRequest)
@@ -334,20 +421,34 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if s.obsUp != nil {
 		s.obsUp.Add(int64(len(output)))
 	}
-	res := s.sched.Result(resultID)
-	if res == nil {
-		s.mu.Unlock()
+	s.mu.Unlock()
+	// The result ID names its owning shard (striped residue classes), so
+	// lookup, validation and completion happen under that one shard's
+	// lock while uploads for other shards proceed in parallel.
+	var (
+		wu        *Workunit
+		known     bool
+		canonical bool
+		cerr      error
+	)
+	s.sched.ForResult(resultID, func(sc *Scheduler) {
+		res := sc.Result(resultID)
+		if res == nil {
+			return
+		}
+		known = true
+		wu = sc.Workunit(res.WUID)
+		valid := !failed
+		if valid && s.validate != nil {
+			valid = s.validate(wu, output)
+		}
+		_, canonical, cerr = sc.CompleteResult(resultID, valid, s.now())
+	})
+	if !known {
 		http.Error(w, "unknown result", http.StatusNotFound)
 		return
 	}
-	wu := s.sched.Workunit(res.WUID)
-	valid := !failed
-	if valid && s.validate != nil {
-		valid = s.validate(wu, output)
-	}
-	_, canonical, err := s.sched.CompleteResult(resultID, valid, s.now())
-	s.mu.Unlock()
-	if err != nil {
+	if err := cerr; err != nil {
 		// Late upload for an already-expired result: acknowledged but
 		// ignored, exactly like BOINC discarding post-deadline results.
 		w.WriteHeader(http.StatusGone)
@@ -379,21 +480,20 @@ type StatusReply struct {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
 	s.sched.ExpireTimeouts(s.now())
+	st := s.sched.Stats()
 	reply := StatusReply{
-		Issued:        s.sched.Issued,
-		Reissued:      s.sched.Reissued,
-		Timeouts:      s.sched.Timeouts,
-		Failures:      s.sched.Failures,
-		Completions:   s.sched.Completions,
-		Invalid:       s.sched.Invalid,
-		QuorumRetries: s.sched.QuorumRetries,
-		Pending:       s.sched.PendingCount(),
-		InFlight:      s.sched.InFlight(),
-		Done:          s.sched.Done(),
+		Issued:        st.Issued,
+		Reissued:      st.Reissued,
+		Timeouts:      st.Timeouts,
+		Failures:      st.Failures,
+		Completions:   st.Completions,
+		Invalid:       st.Invalid,
+		QuorumRetries: st.QuorumRetries,
+		Pending:       st.Pending,
+		InFlight:      st.InFlight,
+		Done:          st.Done,
 	}
-	s.mu.Unlock()
 	writeJSON(w, reply)
 }
 

@@ -635,9 +635,7 @@ func (f *Fleet) SetPolicy(p boinc.Policy) {
 
 // PolicyName reports the active assignment policy.
 func (f *Fleet) PolicyName() string {
-	var name string
-	f.srv.D.Server().Scheduler(func(s *boinc.Scheduler) { name = s.Policy().Name() })
-	return name
+	return f.srv.D.Server().PolicyName()
 }
 
 // Cordon quarantines (on=true) or releases (on=false) an active client:
@@ -695,8 +693,7 @@ func (f *Fleet) KnownClient(id string) bool {
 // ClientStatus assembles the rich per-client view the ops admin API
 // serves: fleet-side shaping joined with the scheduler's live state.
 func (f *Fleet) ClientStatus() []ops.ClientStatus {
-	var sums []boinc.ClientSummary
-	f.srv.D.Server().Scheduler(func(s *boinc.Scheduler) { sums = s.ClientSummaries() })
+	sums := f.srv.D.Server().ClientSummaries()
 	byID := make(map[string]boinc.ClientSummary, len(sums))
 	for _, s := range sums {
 		byID[s.ID] = s
@@ -771,14 +768,13 @@ func (f *Fleet) Wait(ctx context.Context) (*vcsim.Result, error) {
 	res.MaxPSUsed = f.maxPS
 	f.mu.Unlock()
 	srv := f.srv.D.Server()
-	srv.Scheduler(func(s *boinc.Scheduler) {
-		res.Issued = s.Issued
-		res.Reissued = s.Reissued
-		res.Timeouts = s.Timeouts
-		res.InvalidResults = s.Invalid
-		res.QuorumRetries = s.QuorumRetries
-		res.AssignMix = s.AssignmentMix()
-	})
+	st := srv.SchedStats()
+	res.Issued = st.Issued
+	res.Reissued = st.Reissued
+	res.Timeouts = st.Timeouts
+	res.InvalidResults = st.Invalid
+	res.QuorumRetries = st.QuorumRetries
+	res.AssignMix = srv.AssignmentMix()
 	res.BytesDownloaded, res.BytesUploaded = srv.Traffic()
 	if svc := f.srv.Blobs(); svc != nil {
 		res.BlobBytes = svc.ServedBytes()

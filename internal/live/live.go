@@ -45,6 +45,12 @@ type ServerConfig struct {
 	// input file is also stored under its SHA-256 digest and served at
 	// /blob/{digest} with resumable Range transfers (DESIGN.md §11).
 	Blobs bool
+	// Admission bounds concurrent scheduler/upload handling: beyond
+	// MaxConcurrent running plus MaxQueue waiting, requests are shed
+	// with 429 + Retry-After, which the client daemons honour with a
+	// jittered backoff (DESIGN.md §14). Nil means unlimited. Scheduler
+	// state striping is configured separately via Scheduler.Shards.
+	Admission *boinc.AdmissionConfig
 	// Checkpoint persists the model through the PS group's store after
 	// every closed epoch, so Resize/failover restores parameters instead
 	// of restarting the epoch.
@@ -106,14 +112,16 @@ func StartServer(addr string, cfg ServerConfig) (*Server, error) {
 	if svc != nil {
 		d.Server().EnableBlobs(svc)
 	}
+	if cfg.Admission != nil {
+		d.Server().EnableAdmission(*cfg.Admission)
+	}
 	if cfg.Trace != nil {
 		d.Server().Scheduler(func(s *boinc.Scheduler) { s.AddSink(boinc.TraceSink(cfg.Trace)) })
 	}
 	// Liveness first, diagnosis second: /healthz answers as soon as the
 	// listener is up, so CI and orchestrators poll it instead of sleeping.
 	d.Server().Handle("GET /healthz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		var clients int
-		d.Server().Scheduler(func(sc *boinc.Scheduler) { clients = len(sc.ClientSummaries()) })
+		clients := d.Server().ClientCount()
 		done := false
 		select {
 		case <-d.Done():

@@ -23,9 +23,7 @@ type serverTarget struct {
 
 // summaries snapshots the scheduler's per-client view.
 func (t serverTarget) summaries() []boinc.ClientSummary {
-	var sums []boinc.ClientSummary
-	t.d.Server().Scheduler(func(s *boinc.Scheduler) { sums = s.ClientSummaries() })
-	return sums
+	return t.d.Server().ClientSummaries()
 }
 
 // ActiveClients lists clients the scheduler has seen and not written off.
@@ -120,9 +118,7 @@ func (t serverTarget) SetPolicy(p boinc.Policy) {
 }
 
 func (t serverTarget) PolicyName() string {
-	var name string
-	t.d.Server().Scheduler(func(s *boinc.Scheduler) { name = s.Policy().Name() })
-	return name
+	return t.d.Server().PolicyName()
 }
 
 // SetTimeout hot-changes the result deadline. A standalone server has

@@ -155,6 +155,12 @@ func (sc *Scenario) Modes() (modes []Mode, reasons map[Mode][]string) {
 	if f.StoreKind != "" {
 		noSim = append(noSim, fmt.Sprintf("store %s (store selection is a real-engine concern)", f.StoreKind))
 	}
+	if f.Shards > 1 {
+		noSim = append(noSim, fmt.Sprintf("shards %d (scheduler state striping only matters under real concurrency)", f.Shards))
+	}
+	if f.AdmitMax > 0 {
+		noSim = append(noSim, fmt.Sprintf("admission %d %d (load shedding needs the real HTTP server)", f.AdmitMax, f.AdmitQueue))
+	}
 	for _, ev := range sc.Events {
 		switch ev.(type) {
 		case detachEvent:

@@ -318,6 +318,33 @@ func (p *parser) fleetLine(n int, key string, fields []string) {
 			return
 		}
 		f.Replication = v
+	case "shards":
+		before := len(p.errs)
+		v := p.intArg(n, key, args)
+		if len(p.errs) > before {
+			return
+		}
+		if v < 1 {
+			p.errorf(n, "bad shards value %d (want >= 1)", v)
+			return
+		}
+		f.Shards = v
+	case "admission":
+		if len(args) != 2 {
+			p.errorf(n, "want 'admission <max-concurrent> <max-queue>'")
+			return
+		}
+		mc, err1 := strconv.Atoi(args[0])
+		mq, err2 := strconv.Atoi(args[1])
+		if err1 != nil || mc < 1 {
+			p.errorf(n, "bad admission max-concurrent %q (want >= 1)", args[0])
+			return
+		}
+		if err2 != nil || mq < 0 {
+			p.errorf(n, "bad admission max-queue %q (want >= 0)", args[1])
+			return
+		}
+		f.AdmitMax, f.AdmitQueue = mc, mq
 	case "byzantine":
 		if len(args) != 2 {
 			p.errorf(n, "want 'byzantine <n> <behavior>' (behaviors: %v)", boinc.ByzantineBehaviors)

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"vcdl/internal/boinc"
 	"vcdl/internal/cloud"
 	"vcdl/internal/live"
 	"vcdl/internal/store"
@@ -49,6 +50,18 @@ func runReal(sc *Scenario, opts Options) (*Report, error) {
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
 	reg := runRegistry(opts)
+	// Heavy-traffic knobs (DESIGN.md §14): stripe the scheduler state
+	// and/or bound concurrent request handling when the scenario asks.
+	var schedCfg *boinc.SchedulerConfig
+	if sc.Fleet.Shards > 1 {
+		c := boinc.DefaultSchedulerConfig()
+		c.Shards = sc.Fleet.Shards
+		schedCfg = &c
+	}
+	var admit *boinc.AdmissionConfig
+	if sc.Fleet.AdmitMax > 0 {
+		admit = &boinc.AdmissionConfig{MaxConcurrent: sc.Fleet.AdmitMax, MaxQueue: sc.Fleet.AdmitQueue}
+	}
 	fleet, err := live.StartFleet(live.FleetConfig{
 		Server: live.ServerConfig{
 			Job:         cfg.Job,
@@ -56,8 +69,10 @@ func runReal(sc *Scenario, opts Options) (*Report, error) {
 			Corpus:      cfg.Corpus,
 			PServers:    cfg.PServers,
 			Store:       st,
+			Scheduler:   schedCfg,
 			Policy:      cfg.Policy,
 			Replication: cfg.Replication,
+			Admission:   admit,
 		},
 		Blobs:              sc.Fleet.Blobs,
 		Checkpoint:         sc.Fleet.Checkpoint,

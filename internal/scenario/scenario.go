@@ -105,6 +105,15 @@ type FleetSpec struct {
 	// (default) or "strong" (real mode only; the CLI's -store flag
 	// overrides it).
 	StoreKind string
+	// Shards stripes the live server's scheduler state so concurrent
+	// requests on different stripes never contend (0/1 = single stripe;
+	// real mode only — the simulator is single-threaded; DESIGN.md §14).
+	Shards int
+	// AdmitMax/AdmitQueue bound concurrent scheduler+upload handling:
+	// beyond AdmitMax running and AdmitQueue waiting, requests are shed
+	// with 429 + Retry-After (0 = unlimited; real mode only).
+	AdmitMax   int
+	AdmitQueue int
 }
 
 // Event is one timed injection against a running engine (simulated or
